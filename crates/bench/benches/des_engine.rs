@@ -1,0 +1,106 @@
+//! Simulator performance: event-calendar operations (with a sorted-Vec
+//! baseline ablation) and end-to-end M/M/1-bank throughput — the
+//! substrate cost behind the paper's 1–2M-job runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lb_des::calendar::Calendar;
+use lb_des::time::SimTime;
+use lb_game::model::SystemModel;
+use lb_game::schemes::{LoadBalancingScheme, ProportionalScheme};
+use lb_sim::scenario::{run_replication, SimulationConfig};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random times for calendar stress.
+fn times(n: usize) -> Vec<f64> {
+    let mut state: u64 = 0x9E3779B97F4A7C15;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 1e6
+        })
+        .collect()
+}
+
+/// The naive baseline: keep a Vec sorted by insertion (binary search +
+/// shift). O(n) insert, O(1) pop — loses badly once the pending set grows.
+struct SortedVecCalendar {
+    entries: Vec<(f64, u64)>,
+    seq: u64,
+}
+
+impl SortedVecCalendar {
+    fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, t: f64) {
+        let key = (t, self.seq);
+        self.seq += 1;
+        // Descending so pop() takes the earliest from the back.
+        let pos = self
+            .entries
+            .partition_point(|&(et, es)| (et, es) > (key.0, key.1));
+        self.entries.insert(pos, key);
+    }
+
+    fn pop(&mut self) -> Option<(f64, u64)> {
+        self.entries.pop()
+    }
+}
+
+fn bench_calendar_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_calendar_10k_schedule_pop");
+    let ts = times(10_000);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("binary_heap", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for &t in &ts {
+                cal.schedule(SimTime::new(t), ());
+            }
+            while let Some(e) = cal.pop() {
+                black_box(e);
+            }
+        });
+    });
+    group.bench_function("sorted_vec_baseline", |b| {
+        b.iter(|| {
+            let mut cal = SortedVecCalendar::new();
+            for &t in &ts {
+                cal.schedule(t);
+            }
+            while let Some(e) = cal.pop() {
+                black_box(e);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_mm1_bank_jobs");
+    group.sample_size(10);
+    for jobs in [20_000u64, 100_000] {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let profile = ProportionalScheme.compute(&model).unwrap();
+        let config = SimulationConfig {
+            target_jobs: jobs,
+            ..SimulationConfig::paper()
+        };
+        group.throughput(Throughput::Elements(jobs));
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, _| {
+            b.iter(|| {
+                run_replication(black_box(&model), black_box(&profile), config, 42).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calendar_ablation, bench_simulation_throughput);
+criterion_main!(benches);

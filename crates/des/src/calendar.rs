@@ -1,0 +1,229 @@
+//! The future-event list (pending-event set).
+//!
+//! A binary min-heap keyed on `(time, sequence)`: events at equal times pop
+//! in scheduling (FIFO) order, which makes whole simulations deterministic
+//! for a fixed seed — a property the replication methodology depends on.
+//! Cancellation is handled with a tombstone set, the standard lazy-deletion
+//! technique: O(1) cancel, skipped at pop time.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// Internal heap entry. Ordered so the `BinaryHeap` (a max-heap) pops the
+/// *earliest* `(time, seq)` first.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest time (then lowest sequence) is "greatest".
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event list: schedule events for simulated times, pop them in
+/// chronological order, cancel by [`EventId`].
+///
+/// # Examples
+///
+/// ```
+/// use lb_des::{Calendar, SimTime};
+/// let mut cal: Calendar<&str> = Calendar::new();
+/// cal.schedule(SimTime::new(2.0), "late");
+/// let id = cal.schedule(SimTime::new(1.0), "early");
+/// assert_eq!(cal.peek_time(), Some(SimTime::new(1.0)));
+/// cal.cancel(id);
+/// assert_eq!(cal.pop(), Some((SimTime::new(2.0), "late")));
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`; returns a handle for
+    /// cancellation.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending (not yet popped or cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // An id is pending iff it was issued and is still somewhere in the
+        // heap; we cannot cheaply test heap membership, so we record the
+        // tombstone and report whether it was fresh and plausible.
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Removes cancelled entries from the top of the heap.
+    fn skip_tombstones(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Time of the next (non-cancelled) event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_tombstones();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_tombstones();
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Number of entries currently stored, *including* not-yet-skipped
+    /// tombstoned ones (an upper bound on pending events).
+    pub fn len_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no pending (non-cancelled) events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn pops_in_chronological_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(3.0), 'c');
+        cal.schedule(t(1.0), 'a');
+        cal.schedule(t(2.0), 'b');
+        assert_eq!(cal.pop(), Some((t(1.0), 'a')));
+        assert_eq!(cal.pop(), Some((t(2.0), 'b')));
+        assert_eq!(cal.pop(), Some((t(3.0), 'c')));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..10 {
+            cal.schedule(t(5.0), i);
+        }
+        for i in 0..10 {
+            assert_eq!(cal.pop(), Some((t(5.0), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(t(1.0), "a");
+        cal.schedule(t(2.0), "b");
+        assert!(cal.cancel(a));
+        assert!(!cal.cancel(a), "double cancel reports false");
+        assert_eq!(cal.pop(), Some((t(2.0), "b")));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(!cal.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(t(1.0), "a");
+        cal.schedule(t(2.0), "b");
+        cal.cancel(a);
+        assert_eq!(cal.peek_time(), Some(t(2.0)));
+        assert!(!cal.is_empty());
+        cal.pop();
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(10.0), 10);
+        cal.schedule(t(1.0), 1);
+        assert_eq!(cal.pop(), Some((t(1.0), 1)));
+        cal.schedule(t(5.0), 5);
+        cal.schedule(t(2.0), 2);
+        assert_eq!(cal.pop(), Some((t(2.0), 2)));
+        assert_eq!(cal.pop(), Some((t(5.0), 5)));
+        assert_eq!(cal.pop(), Some((t(10.0), 10)));
+    }
+
+    #[test]
+    fn large_volume_stays_sorted() {
+        // Pseudo-random insertion order, verify global chronological pops.
+        let mut cal = Calendar::new();
+        let mut x: u64 = 0x12345;
+        let mut times = Vec::new();
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let time = (x >> 11) as f64 / (1u64 << 53) as f64 * 1e6;
+            times.push(time);
+            cal.schedule(t(time), time);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for expected in times {
+            let (tt, payload) = cal.pop().unwrap();
+            assert_eq!(tt.as_secs(), expected);
+            assert_eq!(payload, expected);
+        }
+    }
+}

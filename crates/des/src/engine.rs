@@ -1,0 +1,252 @@
+//! The simulation engine: clock + calendar + event loop bounds.
+//!
+//! The engine is deliberately *pull-based*: model code owns the loop,
+//! calling [`Engine::next_event`] and scheduling follow-up events in
+//! response. This sidesteps handler-callback borrow gymnastics and keeps
+//! the kernel reusable for any event type.
+//!
+//! ```
+//! use lb_des::{Engine, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut eng = Engine::new();
+//! eng.schedule_in(1.0, Ev::Ping(0));
+//! let mut pings = 0;
+//! while let Some(ev) = eng.next_event() {
+//!     let Ev::Ping(k) = ev;
+//!     pings += 1;
+//!     if k < 9 {
+//!         eng.schedule_in(1.0, Ev::Ping(k + 1));
+//!     }
+//! }
+//! assert_eq!(pings, 10);
+//! assert_eq!(eng.now(), SimTime::new(10.0));
+//! ```
+
+use crate::calendar::{Calendar, EventId};
+use crate::time::SimTime;
+
+/// A discrete-event simulation engine over event payloads of type `E`.
+pub struct Engine<E> {
+    calendar: Calendar<E>,
+    now: SimTime,
+    processed: u64,
+    horizon: Option<SimTime>,
+    max_events: Option<u64>,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at zero and no horizon.
+    pub fn new() -> Self {
+        Self {
+            calendar: Calendar::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            horizon: None,
+            max_events: None,
+        }
+    }
+
+    /// Bounds the total number of delivered events — a runaway-model
+    /// backstop (an event handler that always schedules more work would
+    /// otherwise loop forever inside [`Engine::run_with`]).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = Some(max);
+    }
+
+    /// Sets the run horizon: events scheduled *after* this time are never
+    /// delivered ([`Engine::next_event`] returns `None` once the next
+    /// pending event lies beyond it, leaving the clock at the horizon).
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = Some(horizon);
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the current clock — delivering an event in
+    /// the past would corrupt causality, and doing so is always a model bug.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: t={time} < now={}",
+            self.now
+        );
+        self.calendar.schedule(time, event)
+    }
+
+    /// Schedules an event `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite delay.
+    pub fn schedule_in(&mut self, delay: f64, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a pending event; `true` if it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.calendar.cancel(id)
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.calendar.peek_time()
+    }
+
+    /// Advances the clock to the next pending event and returns its
+    /// payload; `None` when the calendar is exhausted or the next event
+    /// lies beyond the horizon (in which case the clock is left at the
+    /// horizon so time-integrated statistics stay exact).
+    pub fn next_event(&mut self) -> Option<E> {
+        if let Some(max) = self.max_events {
+            if self.processed >= max {
+                return None;
+            }
+        }
+        let next = self.calendar.peek_time()?;
+        if let Some(h) = self.horizon {
+            if next > h {
+                self.now = self.now.max(h);
+                return None;
+            }
+        }
+        let (time, payload) = self.calendar.pop()?;
+        self.now = time;
+        self.processed += 1;
+        Some(payload)
+    }
+
+    /// Runs the engine to completion (or horizon), delivering every event
+    /// to `handler` along with the engine itself for follow-up scheduling.
+    /// Returns the number of events delivered by this call.
+    pub fn run_with<F: FnMut(&mut Engine<E>, E)>(&mut self, mut handler: F) -> u64 {
+        let start = self.processed;
+        while let Some(ev) = self.next_event() {
+            handler(self, ev);
+        }
+        self.processed - start
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut eng = Engine::new();
+        eng.schedule_in(2.0, "b");
+        eng.schedule_in(1.0, "a");
+        assert_eq!(eng.now(), SimTime::ZERO);
+        assert_eq!(eng.next_event(), Some("a"));
+        assert_eq!(eng.now(), SimTime::new(1.0));
+        assert_eq!(eng.next_event(), Some("b"));
+        assert_eq!(eng.now(), SimTime::new(2.0));
+        assert_eq!(eng.next_event(), None);
+        assert_eq!(eng.events_processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule_in(1.0, ());
+        eng.next_event();
+        eng.schedule_at(SimTime::new(0.5), ());
+    }
+
+    #[test]
+    fn horizon_stops_delivery_and_pins_clock() {
+        let mut eng = Engine::new();
+        eng.set_horizon(SimTime::new(5.0));
+        eng.schedule_in(1.0, 1);
+        eng.schedule_in(10.0, 10);
+        assert_eq!(eng.next_event(), Some(1));
+        assert_eq!(eng.next_event(), None);
+        assert_eq!(eng.now(), SimTime::new(5.0));
+        // The late event is still pending but never delivered.
+        assert_eq!(eng.peek_time(), Some(SimTime::new(10.0)));
+    }
+
+    #[test]
+    fn event_exactly_at_horizon_is_delivered() {
+        let mut eng = Engine::new();
+        eng.set_horizon(SimTime::new(5.0));
+        eng.schedule_in(5.0, "edge");
+        assert_eq!(eng.next_event(), Some("edge"));
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut eng = Engine::new();
+        let id = eng.schedule_in(1.0, "gone");
+        eng.schedule_in(2.0, "kept");
+        assert!(eng.cancel(id));
+        assert_eq!(eng.next_event(), Some("kept"));
+    }
+
+    #[test]
+    fn run_with_drives_cascading_events() {
+        // Each event spawns the next until a counter runs out.
+        let mut eng = Engine::new();
+        eng.schedule_in(0.5, 5u32);
+        let mut seen = Vec::new();
+        let n = eng.run_with(|eng, k| {
+            seen.push(k);
+            if k > 0 {
+                eng.schedule_in(0.5, k - 1);
+            }
+        });
+        assert_eq!(n, 6);
+        assert_eq!(seen, vec![5, 4, 3, 2, 1, 0]);
+        assert_eq!(eng.now(), SimTime::new(3.0));
+    }
+
+    #[test]
+    fn max_events_bound_stops_runaway_models() {
+        // An event that always reschedules itself would loop forever
+        // without the bound.
+        let mut eng = Engine::new();
+        eng.set_max_events(100);
+        eng.schedule_in(1.0, ());
+        let n = eng.run_with(|eng, ()| {
+            eng.schedule_in(1.0, ());
+        });
+        assert_eq!(n, 100);
+        assert_eq!(eng.events_processed(), 100);
+        assert_eq!(eng.next_event(), None);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking_through_engine() {
+        let mut eng = Engine::new();
+        for i in 0..5 {
+            eng.schedule_at(SimTime::new(1.0), i);
+        }
+        let mut order = Vec::new();
+        eng.run_with(|_, i| order.push(i));
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # lb-des — discrete-event simulation engine
+//!
+//! The paper's evaluation (§4.1) was "carried out using Sim++, a simulation
+//! software package written in C++ \[which\] provides an application
+//! programming interface … related to event scheduling, queueing, preemption
+//! and random number generation". Sim++ is long gone; this crate is a from-
+//! scratch replacement providing the same facilities:
+//!
+//! * [`time`] — the simulation clock type [`time::SimTime`].
+//! * [`calendar`] — the future-event list: a pending-event binary heap with
+//!   deterministic FIFO tie-breaking and cancellation tombstones.
+//! * [`engine`] — the event loop: schedule / cancel / advance, with run
+//!   bounds on time and event count.
+//! * [`rng`] — reproducible per-entity random streams (seeded from a master
+//!   seed) and the service/interarrival distributions the experiments use
+//!   (exponential for M/M/1, plus Erlang, hyperexponential and
+//!   deterministic for sensitivity extensions).
+//! * [`station`] — a single-server FCFS run-to-completion station (the
+//!   paper's computer model) with run-queue-length observation.
+//! * [`multiserver`] — a c-server FCFS pool (M/M/c) for the multicore
+//!   extension.
+//! * [`source`] — a Markov-modulated Poisson source (MMPP-2) producing
+//!   *correlated* bursty arrivals for the traffic-model extensions.
+//! * [`monitor`] — warmup-aware response-time and queue-length collectors.
+//!
+//! The model-specific wiring (Poisson users dispatching probabilistically
+//! over a bank of stations) lives in `lb-sim`; this crate stays generic.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod calendar;
+pub mod engine;
+pub mod monitor;
+pub mod multiserver;
+pub mod rng;
+pub mod source;
+pub mod station;
+pub mod time;
+
+pub use calendar::{Calendar, EventId};
+pub use engine::Engine;
+pub use monitor::{QueueLengthMonitor, ResponseTimeMonitor};
+pub use multiserver::MultiServerStation;
+pub use rng::{Distribution, RngStream};
+pub use source::MmppSource;
+pub use station::{FcfsStation, Job};
+pub use time::SimTime;

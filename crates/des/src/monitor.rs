@@ -1,0 +1,197 @@
+//! Warmup-aware measurement collectors.
+//!
+//! Steady-state estimation from a simulation started empty requires
+//! discarding the initial transient. [`ResponseTimeMonitor`] drops every
+//! job that *arrived* before the warmup cutoff and accumulates per-user
+//! and system-wide response-time statistics with `lb-stats` Welford
+//! accumulators. [`QueueLengthMonitor`] tracks a time-averaged queue
+//! length over the measurement window.
+
+use crate::time::SimTime;
+use lb_stats::Welford;
+
+/// Per-user and system-wide response-time statistics with warmup deletion.
+#[derive(Debug, Clone)]
+pub struct ResponseTimeMonitor {
+    warmup: SimTime,
+    per_user: Vec<Welford>,
+    system: Welford,
+}
+
+impl ResponseTimeMonitor {
+    /// Creates a monitor for `users` users, ignoring jobs that arrived
+    /// before `warmup`.
+    pub fn new(users: usize, warmup: SimTime) -> Self {
+        Self {
+            warmup,
+            per_user: vec![Welford::new(); users],
+            system: Welford::new(),
+        }
+    }
+
+    /// Records a completed job: `user` index, `arrival` time, `departure`
+    /// time. Jobs that arrived during warmup are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `user` is out of range or `departure < arrival`.
+    pub fn record(&mut self, user: usize, arrival: SimTime, departure: SimTime) {
+        assert!(user < self.per_user.len(), "user index {user} out of range");
+        assert!(
+            departure >= arrival,
+            "job departs at {departure} before arriving at {arrival}"
+        );
+        if arrival < self.warmup {
+            return;
+        }
+        let response = departure - arrival;
+        self.per_user[user].push(response);
+        self.system.push(response);
+    }
+
+    /// Number of measured (post-warmup) jobs for `user`.
+    pub fn count(&self, user: usize) -> u64 {
+        self.per_user[user].count()
+    }
+
+    /// Total measured jobs across users.
+    pub fn total_count(&self) -> u64 {
+        self.system.count()
+    }
+
+    /// Mean response time of `user`'s measured jobs (`0` if none).
+    pub fn user_mean(&self, user: usize) -> f64 {
+        self.per_user[user].mean()
+    }
+
+    /// Mean response times of every user.
+    pub fn user_means(&self) -> Vec<f64> {
+        self.per_user.iter().map(Welford::mean).collect()
+    }
+
+    /// System-wide (job-averaged) mean response time.
+    pub fn system_mean(&self) -> f64 {
+        self.system.mean()
+    }
+
+    /// The per-user accumulators, for callers needing variances.
+    pub fn user_accumulators(&self) -> &[Welford] {
+        &self.per_user
+    }
+}
+
+/// Time-average queue length over the measurement window `[warmup, ∞)`.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueLengthMonitor {
+    warmup: SimTime,
+    last: SimTime,
+    current: f64,
+    area: f64,
+}
+
+impl QueueLengthMonitor {
+    /// Creates a monitor that starts integrating at `warmup`.
+    pub fn new(warmup: SimTime) -> Self {
+        Self {
+            warmup,
+            last: warmup,
+            current: 0.0,
+            area: 0.0,
+        }
+    }
+
+    /// Reports that the tracked queue length changed to `length` at `now`.
+    /// Updates are expected in non-decreasing time order; the portion of
+    /// any interval before the warmup cutoff is discarded.
+    pub fn update(&mut self, now: SimTime, length: usize) {
+        if now > self.last && now > self.warmup {
+            let from = self.last.max(self.warmup);
+            self.area += now.since(from) * self.current;
+        }
+        self.last = self.last.max(now);
+        self.current = length as f64;
+    }
+
+    /// Time-average queue length over `[warmup, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let window = now.since(self.warmup);
+        if window == 0.0 {
+            return 0.0;
+        }
+        let tail = now.since(self.last.max(self.warmup)) * self.current;
+        (self.area + tail) / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn records_after_warmup_only() {
+        let mut m = ResponseTimeMonitor::new(2, t(10.0));
+        m.record(0, t(5.0), t(12.0)); // arrived during warmup: dropped
+        m.record(0, t(10.0), t(13.0)); // boundary arrival: kept
+        m.record(1, t(20.0), t(21.0));
+        assert_eq!(m.count(0), 1);
+        assert_eq!(m.count(1), 1);
+        assert_eq!(m.total_count(), 2);
+        assert!((m.user_mean(0) - 3.0).abs() < 1e-12);
+        assert!((m.system_mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.user_means(), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unknown_user() {
+        let mut m = ResponseTimeMonitor::new(1, SimTime::ZERO);
+        m.record(1, t(0.0), t(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before arriving")]
+    fn rejects_time_travel() {
+        let mut m = ResponseTimeMonitor::new(1, SimTime::ZERO);
+        m.record(0, t(2.0), t(1.0));
+    }
+
+    #[test]
+    fn empty_monitor_means_are_zero() {
+        let m = ResponseTimeMonitor::new(3, SimTime::ZERO);
+        assert_eq!(m.user_mean(2), 0.0);
+        assert_eq!(m.system_mean(), 0.0);
+        assert_eq!(m.user_accumulators().len(), 3);
+    }
+
+    #[test]
+    fn queue_length_time_average() {
+        let mut q = QueueLengthMonitor::new(SimTime::ZERO);
+        q.update(t(0.0), 1); // [0,2): 1
+        q.update(t(2.0), 3); // [2,3): 3
+        q.update(t(3.0), 0); // [3,5): 0
+        // Mean over [0,5] = (2*1 + 1*3 + 2*0)/5 = 1.
+        assert!((q.mean(t(5.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_monitor_discards_warmup_portion() {
+        let mut q = QueueLengthMonitor::new(t(10.0));
+        q.update(t(0.0), 4); // entirely pre-warmup
+        q.update(t(12.0), 0); // [10,12): 4
+        // Mean over [10,14] = (2*4 + 2*0)/4 = 2.
+        assert!((q.mean(t(14.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_monitor_tail_counts_current_level() {
+        let mut q = QueueLengthMonitor::new(SimTime::ZERO);
+        q.update(t(0.0), 2);
+        // No further updates: mean over [0,4] is 2.
+        assert!((q.mean(t(4.0)) - 2.0).abs() < 1e-12);
+        assert_eq!(q.mean(t(0.0)), 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Reproducible random-number streams and sampling distributions.
+//!
+//! The paper replicates each simulation "five times with different random
+//! number streams". We give every stochastic entity (each user source,
+//! each station) its own [`RngStream`], derived deterministically from a
+//! master seed and a stream index, so replications differ only in the
+//! master seed and runs are bit-reproducible.
+//!
+//! Sampling is implemented from scratch on top of `rand`'s uniform
+//! generator: exponential by inversion (the M/M/1 workhorse), Erlang as a
+//! sum of exponentials, two-phase hyperexponential by mixture, and
+//! deterministic — the latter three power sensitivity extensions where the
+//! exponential service assumption is relaxed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named, reproducible random stream.
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: StdRng,
+}
+
+impl RngStream {
+    /// Derives stream number `stream` from a master seed. Different
+    /// `(master_seed, stream)` pairs yield decorrelated streams (SplitMix64
+    /// spreading, the same construction `lb-stats` uses for replication
+    /// seeds).
+    pub fn new(master_seed: u64, stream: u64) -> Self {
+        let mut z = master_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self {
+            rng: StdRng::seed_from_u64(z),
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform sample in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `low >= high` or the bounds are non-finite.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "invalid uniform bounds [{low}, {high})"
+        );
+        low + (high - low) * self.uniform01()
+    }
+
+    /// Exponential sample with the given `rate` (mean `1/rate`), by
+    /// inversion: `−ln(1 − U)/rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive or non-finite rate.
+    #[inline]
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        // 1 - U is in (0, 1], so ln is finite and the sample non-negative.
+        -(1.0 - self.uniform01()).ln() / rate
+    }
+
+    /// Samples a categorical index with the given (unnormalized, non-
+    /// negative) weights. Used by the probabilistic dispatcher: user `j`
+    /// picks computer `i` with probability `s_ji`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when weights are empty, contain negatives/non-finites, or
+    /// all are zero.
+    pub fn categorical(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+        }
+        assert!(total > 0.0, "categorical weights sum to zero");
+        let mut x = self.uniform01() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("total > 0 implies a positive weight")
+    }
+
+    /// Draws a sample from a [`Distribution`].
+    pub fn sample(&mut self, dist: &Distribution) -> f64 {
+        match *dist {
+            Distribution::Exponential { rate } => self.exponential(rate),
+            Distribution::Erlang { k, rate } => {
+                (0..k).map(|_| self.exponential(rate)).sum()
+            }
+            Distribution::HyperExponential {
+                p,
+                rate_a,
+                rate_b,
+            } => {
+                if self.uniform01() < p {
+                    self.exponential(rate_a)
+                } else {
+                    self.exponential(rate_b)
+                }
+            }
+            Distribution::Deterministic { value } => value,
+        }
+    }
+}
+
+/// Interarrival / service-time distributions available to the simulator.
+///
+/// The paper's model is [`Distribution::Exponential`] throughout; the
+/// others are used by robustness extensions (EXPERIMENTS.md, "beyond the
+/// paper").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Exponential with the given rate (mean `1/rate`, CV 1).
+    Exponential {
+        /// Rate parameter `λ`.
+        rate: f64,
+    },
+    /// Erlang-k: sum of `k` exponentials (CV `1/√k < 1`).
+    Erlang {
+        /// Number of exponential phases.
+        k: u32,
+        /// Per-phase rate (mean is `k/rate`).
+        rate: f64,
+    },
+    /// Two-phase hyperexponential mixture (CV > 1).
+    HyperExponential {
+        /// Probability of drawing phase A.
+        p: f64,
+        /// Rate of phase A.
+        rate_a: f64,
+        /// Rate of phase B.
+        rate_b: f64,
+    },
+    /// A constant (CV 0).
+    Deterministic {
+        /// The constant value returned by every sample.
+        value: f64,
+    },
+}
+
+impl Distribution {
+    /// Exponential distribution with the mean of one job at a computer of
+    /// processing rate `mu` — the paper's service model.
+    pub fn exp_with_rate(rate: f64) -> Self {
+        Distribution::Exponential { rate }
+    }
+
+    /// Theoretical mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Exponential { rate } => 1.0 / rate,
+            Distribution::Erlang { k, rate } => f64::from(k) / rate,
+            Distribution::HyperExponential { p, rate_a, rate_b } => {
+                p / rate_a + (1.0 - p) / rate_b
+            }
+            Distribution::Deterministic { value } => value,
+        }
+    }
+
+    /// Squared coefficient of variation (variance / mean²).
+    pub fn scv(&self) -> f64 {
+        match *self {
+            Distribution::Exponential { .. } => 1.0,
+            Distribution::Erlang { k, .. } => 1.0 / f64::from(k),
+            Distribution::HyperExponential { p, rate_a, rate_b } => {
+                let m = self.mean();
+                let m2 = 2.0 * (p / (rate_a * rate_a) + (1.0 - p) / (rate_b * rate_b));
+                m2 / (m * m) - 1.0
+            }
+            Distribution::Deterministic { .. } => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible_and_distinct() {
+        let mut a1 = RngStream::new(7, 0);
+        let mut a2 = RngStream::new(7, 0);
+        let mut b = RngStream::new(7, 1);
+        let mut c = RngStream::new(8, 0);
+        let xa1: Vec<f64> = (0..16).map(|_| a1.uniform01()).collect();
+        let xa2: Vec<f64> = (0..16).map(|_| a2.uniform01()).collect();
+        let xb: Vec<f64> = (0..16).map(|_| b.uniform01()).collect();
+        let xc: Vec<f64> = (0..16).map(|_| c.uniform01()).collect();
+        assert_eq!(xa1, xa2);
+        assert_ne!(xa1, xb);
+        assert_ne!(xa1, xc);
+    }
+
+    #[test]
+    fn uniform01_stays_in_range() {
+        let mut s = RngStream::new(1, 1);
+        for _ in 0..10_000 {
+            let x = s.uniform01();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut s = RngStream::new(1, 2);
+        for _ in 0..1000 {
+            let x = s.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds")]
+    fn uniform_rejects_inverted_bounds() {
+        RngStream::new(0, 0).uniform(2.0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut s = RngStream::new(42, 0);
+        let n = 200_000;
+        let rate = 3.0;
+        let mean: f64 = (0..n).map(|_| s.exponential(rate)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01 / rate,
+            "empirical mean {mean}, expected {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut s = RngStream::new(5, 5);
+        for _ in 0..10_000 {
+            assert!(s.exponential(0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        RngStream::new(0, 0).exponential(0.0);
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let mut s = RngStream::new(9, 9);
+        let weights = [0.2, 0.0, 0.5, 0.3];
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[s.categorical(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never be drawn");
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = f64::from(counts[i]) / f64::from(n);
+            assert!(
+                (freq - w).abs() < 0.01,
+                "category {i}: freq {freq} vs weight {w}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn categorical_rejects_all_zero() {
+        RngStream::new(0, 0).categorical(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn distribution_means_are_exact() {
+        assert!((Distribution::Exponential { rate: 4.0 }.mean() - 0.25).abs() < 1e-12);
+        assert!((Distribution::Erlang { k: 3, rate: 6.0 }.mean() - 0.5).abs() < 1e-12);
+        assert!(
+            (Distribution::Deterministic { value: 1.5 }.mean() - 1.5).abs() < 1e-12
+        );
+        let h = Distribution::HyperExponential {
+            p: 0.5,
+            rate_a: 1.0,
+            rate_b: 2.0,
+        };
+        assert!((h.mean() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_scv_ordering() {
+        let det = Distribution::Deterministic { value: 1.0 };
+        let erl = Distribution::Erlang { k: 4, rate: 4.0 };
+        let exp = Distribution::Exponential { rate: 1.0 };
+        let hyp = Distribution::HyperExponential {
+            p: 0.9,
+            rate_a: 2.0,
+            rate_b: 0.2,
+        };
+        assert_eq!(det.scv(), 0.0);
+        assert!((erl.scv() - 0.25).abs() < 1e-12);
+        assert_eq!(exp.scv(), 1.0);
+        assert!(hyp.scv() > 1.0, "hyperexponential must have SCV > 1, got {}", hyp.scv());
+    }
+
+    #[test]
+    fn sampled_means_match_theory() {
+        let mut s = RngStream::new(77, 3);
+        let dists = [
+            Distribution::Exponential { rate: 2.0 },
+            Distribution::Erlang { k: 3, rate: 6.0 },
+            Distribution::HyperExponential {
+                p: 0.3,
+                rate_a: 0.5,
+                rate_b: 4.0,
+            },
+            Distribution::Deterministic { value: 0.7 },
+        ];
+        for d in dists {
+            let n = 100_000;
+            let mean: f64 = (0..n).map(|_| s.sample(&d)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - d.mean()).abs() < 0.02 * d.mean().max(0.1),
+                "{d:?}: empirical {mean} vs {}",
+                d.mean()
+            );
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Arrival-process generators.
+//!
+//! The paper's users emit Poisson streams; the renewal generalization
+//! lives in `lb-sim` (i.i.d. interarrivals of any
+//! [`crate::rng::Distribution`]). This module adds the genuinely
+//! non-renewal case: a **two-state Markov-modulated Poisson process**
+//! (MMPP-2), which produces *correlated* arrivals — quiet phases and
+//! bursts — while holding the long-run rate fixed. MMPPs are the
+//! standard parsimonious model for bursty traffic.
+
+use crate::rng::RngStream;
+
+/// A two-state MMPP arrival source.
+///
+/// # Examples
+///
+/// ```
+/// use lb_des::{MmppSource, RngStream};
+/// let mut src = MmppSource::balanced(5.0, 1.8, 2.0, RngStream::new(1, 0));
+/// assert!((src.mean_rate() - 5.0).abs() < 1e-12);
+/// let dt = src.next_interarrival();
+/// assert!(dt >= 0.0);
+/// ```
+///
+/// The modulating chain alternates between state 0 (quiet, Poisson rate
+/// `rate[0]`) and state 1 (burst, rate `rate[1]`), with exponential
+/// sojourns of rates `switch[s]` out of state `s`. The long-run arrival
+/// rate is `π₀ rate₀ + π₁ rate₁` with `π₀ = switch₁ / (switch₀ + switch₁)`.
+#[derive(Debug, Clone)]
+pub struct MmppSource {
+    rate: [f64; 2],
+    switch: [f64; 2],
+    state: usize,
+    rng: RngStream,
+}
+
+impl MmppSource {
+    /// Creates an MMPP with explicit per-state arrival and switching
+    /// rates, starting in the quiet state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative/non-finite arrival rates or non-positive
+    /// switching rates (configuration errors).
+    pub fn new(rate: [f64; 2], switch: [f64; 2], rng: RngStream) -> Self {
+        for r in rate {
+            assert!(r.is_finite() && r >= 0.0, "invalid MMPP arrival rate {r}");
+        }
+        for r in switch {
+            assert!(r.is_finite() && r > 0.0, "invalid MMPP switch rate {r}");
+        }
+        assert!(
+            rate[0] > 0.0 || rate[1] > 0.0,
+            "MMPP must generate arrivals in some state"
+        );
+        Self {
+            rate,
+            switch,
+            state: 0,
+            rng,
+        }
+    }
+
+    /// A symmetric-sojourn MMPP with long-run rate `mean_rate`: the burst
+    /// state runs at `burst_factor × mean_rate` and the quiet state at
+    /// whatever keeps the average right; both sojourns last
+    /// `mean_sojourn` on average. `burst_factor ∈ [1, 2)` (the two states
+    /// spend equal time, so the burst state cannot carry more than twice
+    /// the average).
+    ///
+    /// # Panics
+    ///
+    /// Panics for parameters outside the valid ranges.
+    pub fn balanced(mean_rate: f64, burst_factor: f64, mean_sojourn: f64, rng: RngStream) -> Self {
+        assert!(
+            mean_rate.is_finite() && mean_rate > 0.0,
+            "mean rate must be positive"
+        );
+        assert!(
+            (1.0..2.0).contains(&burst_factor),
+            "burst factor must be in [1, 2), got {burst_factor}"
+        );
+        assert!(
+            mean_sojourn.is_finite() && mean_sojourn > 0.0,
+            "mean sojourn must be positive"
+        );
+        let burst = burst_factor * mean_rate;
+        let quiet = (2.0 - burst_factor) * mean_rate;
+        let s = 1.0 / mean_sojourn;
+        Self::new([quiet, burst], [s, s], rng)
+    }
+
+    /// Long-run mean arrival rate.
+    pub fn mean_rate(&self) -> f64 {
+        let pi0 = self.switch[1] / (self.switch[0] + self.switch[1]);
+        pi0 * self.rate[0] + (1.0 - pi0) * self.rate[1]
+    }
+
+    /// Current modulating state (0 = quiet, 1 = burst).
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Time until the next arrival, advancing the modulating chain as
+    /// needed (competing exponentials: arrival vs state switch).
+    pub fn next_interarrival(&mut self) -> f64 {
+        let mut elapsed = 0.0;
+        loop {
+            let lam = self.rate[self.state];
+            let sw = self.switch[self.state];
+            let t_switch = self.rng.exponential(sw);
+            if lam > 0.0 {
+                let t_arrival = self.rng.exponential(lam);
+                if t_arrival < t_switch {
+                    return elapsed + t_arrival;
+                }
+            }
+            elapsed += t_switch;
+            self.state = 1 - self.state;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> RngStream {
+        RngStream::new(seed, 0)
+    }
+
+    #[test]
+    #[should_panic(expected = "switch rate")]
+    fn rejects_zero_switch_rate() {
+        let _ = MmppSource::new([1.0, 2.0], [0.0, 1.0], rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst factor")]
+    fn rejects_out_of_range_burst_factor() {
+        let _ = MmppSource::balanced(1.0, 2.5, 1.0, rng(0));
+    }
+
+    #[test]
+    fn balanced_construction_hits_the_mean_rate() {
+        let src = MmppSource::balanced(5.0, 1.8, 2.0, rng(1));
+        assert!((src.mean_rate() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_rate_matches_long_run_mean() {
+        let mut src = MmppSource::balanced(4.0, 1.9, 0.5, rng(7));
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| src.next_interarrival()).sum();
+        let rate = n as f64 / total;
+        assert!(
+            (rate - 4.0).abs() < 0.05,
+            "empirical rate {rate}, expected 4.0"
+        );
+    }
+
+    #[test]
+    fn degenerate_mmpp_is_poisson() {
+        // Equal rates in both states: interarrivals are Exp(rate).
+        let mut src = MmppSource::new([3.0, 3.0], [1.0, 1.0], rng(5));
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| src.next_interarrival()).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 1.0 / 3.0).abs() < 0.01);
+        // Exponential: variance = mean^2.
+        assert!((var / (mean * mean) - 1.0).abs() < 0.05, "SCV {}", var / (mean * mean));
+    }
+
+    #[test]
+    fn bursty_mmpp_is_overdispersed() {
+        // Index of dispersion of counts in windows: Poisson = 1; a bursty
+        // MMPP with long sojourns must exceed it clearly.
+        let window = 4.0;
+        let count_dispersion = |src: &mut MmppSource| {
+            let mut counts = Vec::new();
+            let mut now = 0.0;
+            let mut next = src.next_interarrival();
+            for _ in 0..4000 {
+                let end = now + window;
+                let mut c = 0u32;
+                while now + next < end {
+                    now += next;
+                    next = src.next_interarrival();
+                    c += 1;
+                }
+                next -= end - now;
+                now = end;
+                counts.push(f64::from(c));
+            }
+            let n = counts.len() as f64;
+            let mean: f64 = counts.iter().sum::<f64>() / n;
+            let var: f64 =
+                counts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+            var / mean
+        };
+        let mut bursty = MmppSource::balanced(5.0, 1.9, 8.0, rng(11));
+        let mut poissonish = MmppSource::new([5.0, 5.0], [1.0, 1.0], rng(11));
+        let d_bursty = count_dispersion(&mut bursty);
+        let d_poisson = count_dispersion(&mut poissonish);
+        assert!(
+            d_bursty > 1.5,
+            "bursty dispersion {d_bursty} should exceed Poisson's 1"
+        );
+        assert!(
+            (d_poisson - 1.0).abs() < 0.15,
+            "degenerate dispersion {d_poisson} should be ~1"
+        );
+    }
+
+    #[test]
+    fn quiet_state_with_zero_rate_is_allowed() {
+        // Interrupted Poisson process: no arrivals in state 0.
+        let mut src = MmppSource::new([0.0, 10.0], [1.0, 1.0], rng(3));
+        for _ in 0..1000 {
+            let t = src.next_interarrival();
+            assert!(t.is_finite() && t >= 0.0);
+        }
+        assert!((src.mean_rate() - 5.0).abs() < 1e-12);
+    }
+}

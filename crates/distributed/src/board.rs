@@ -1,0 +1,172 @@
+//! The shared load board: the observable state of the computers.
+//!
+//! In the paper each user estimates the available processing rate of every
+//! computer "by statistical estimation of the run queue length". The
+//! board is that observable surface: it records each user's current flow
+//! to each computer; a user derives any computer's total load (and thus
+//! its available rate) from it without ever reading another user's
+//! strategy object.
+//!
+//! Only the token holder mutates the board, but all user threads share it,
+//! so it sits behind a `parking_lot::RwLock`.
+
+use parking_lot::RwLock;
+
+/// Shared `m × n` matrix of user→computer flows (jobs/s).
+#[derive(Debug)]
+pub struct LoadBoard {
+    flows: RwLock<Vec<Vec<f64>>>,
+    users: usize,
+    computers: usize,
+}
+
+impl LoadBoard {
+    /// An all-zero board for `users × computers` (the NASH_0 start state:
+    /// nobody has placed any flow yet).
+    pub fn new(users: usize, computers: usize) -> Self {
+        Self {
+            flows: RwLock::new(vec![vec![0.0; computers]; users]),
+            users,
+            computers,
+        }
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of computers.
+    pub fn computers(&self) -> usize {
+        self.computers
+    }
+
+    /// Seeds every user's row (e.g. the NASH_P proportional start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` has the wrong shape.
+    pub fn seed(&self, rows: &[Vec<f64>]) {
+        assert_eq!(rows.len(), self.users, "seed row count");
+        let mut guard = self.flows.write();
+        for (dst, src) in guard.iter_mut().zip(rows) {
+            assert_eq!(src.len(), self.computers, "seed column count");
+            dst.clone_from(src);
+        }
+    }
+
+    /// Replaces user `j`'s flow row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index or row length.
+    pub fn publish(&self, j: usize, row: &[f64]) {
+        assert!(j < self.users, "user index {j}");
+        assert_eq!(row.len(), self.computers, "row length");
+        self.flows.write()[j].copy_from_slice(row);
+    }
+
+    /// Total flow at each computer: `λ_i = Σ_j flow[j][i]`.
+    pub fn total_flows(&self) -> Vec<f64> {
+        let guard = self.flows.read();
+        let mut totals = vec![0.0; self.computers];
+        for row in guard.iter() {
+            for (t, &x) in totals.iter_mut().zip(row) {
+                *t += x;
+            }
+        }
+        totals
+    }
+
+    /// Total flow at each computer *excluding* user `j`'s contribution —
+    /// what user `j` needs for its available rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index.
+    pub fn flows_excluding(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.users, "user index {j}");
+        let guard = self.flows.read();
+        let mut totals = vec![0.0; self.computers];
+        for (k, row) in guard.iter().enumerate() {
+            if k == j {
+                continue;
+            }
+            for (t, &x) in totals.iter_mut().zip(row) {
+                *t += x;
+            }
+        }
+        totals
+    }
+
+    /// Snapshot of user `j`'s current row.
+    pub fn row(&self, j: usize) -> Vec<f64> {
+        self.flows.read()[j].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let b = LoadBoard::new(2, 3);
+        assert_eq!(b.users(), 2);
+        assert_eq!(b.computers(), 3);
+        assert_eq!(b.total_flows(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn publish_and_aggregate() {
+        let b = LoadBoard::new(2, 2);
+        b.publish(0, &[1.0, 2.0]);
+        b.publish(1, &[0.5, 0.0]);
+        assert_eq!(b.total_flows(), vec![1.5, 2.0]);
+        assert_eq!(b.flows_excluding(0), vec![0.5, 0.0]);
+        assert_eq!(b.flows_excluding(1), vec![1.0, 2.0]);
+        assert_eq!(b.row(0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn republish_overwrites() {
+        let b = LoadBoard::new(1, 2);
+        b.publish(0, &[1.0, 0.0]);
+        b.publish(0, &[0.0, 3.0]);
+        assert_eq!(b.total_flows(), vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn seed_sets_all_rows() {
+        let b = LoadBoard::new(2, 2);
+        b.seed(&[vec![1.0, 1.0], vec![2.0, 0.0]]);
+        assert_eq!(b.total_flows(), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn publish_checks_shape() {
+        LoadBoard::new(1, 2).publish(0, &[1.0]);
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_block() {
+        use std::sync::Arc;
+        let b = Arc::new(LoadBoard::new(4, 4));
+        b.publish(0, &[1.0, 0.0, 0.0, 0.0]);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let t = b.total_flows();
+                        assert_eq!(t.len(), 4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

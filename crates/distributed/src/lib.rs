@@ -1,0 +1,35 @@
+//! # lb-distributed — the NASH algorithm as a real distributed runtime
+//!
+//! The paper presents NASH as a *distributed* algorithm (§3): each user is
+//! an independent decision maker that receives `(norm, iteration)` from
+//! its predecessor, observes the computers' available processing rates
+//! ("by inspecting the run queue of each computer"), plays its best reply,
+//! and forwards the token to its successor; the last user in the ring
+//! decides termination.
+//!
+//! `lb-game::nash` implements that dynamics sequentially. This crate runs
+//! it **for real**: one OS thread per user, crossbeam channels for the
+//! token ring, and a shared load board standing in for the computers'
+//! observable run-queue state:
+//!
+//! * [`messages`] — the token protocol.
+//! * [`board`] — the shared per-user flow board users observe and update.
+//! * [`observer`] — how users estimate available rates from the board
+//!   (exact, or with multiplicative noise modeling run-queue sampling
+//!   error).
+//! * [`runtime`] — thread spawning, the ring, termination, and result
+//!   collection.
+//!
+//! The integration tests verify the threaded runtime reaches the same
+//! equilibrium as the sequential solver.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod board;
+pub mod messages;
+pub mod observer;
+pub mod runtime;
+
+pub use observer::ObservationModel;
+pub use runtime::{DistributedNash, DistributedOutcome};

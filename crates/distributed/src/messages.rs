@@ -1,0 +1,74 @@
+//! The token-ring protocol of the distributed NASH algorithm.
+//!
+//! The paper's pseudocode passes `(norm, s)` between users with
+//! `Send`/`Recv`. Here the strategies live on the shared [`crate::board`]
+//! (users observe each other through computer state, not by reading each
+//! other's strategies — exactly the paper's "inspect the run queue"
+//! remark), so the token carries only the control state: the round
+//! number, the accumulated norm, the completed norm trace, and the
+//! termination flag.
+
+/// The control token circulating the user ring.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Current round (sweep) number, starting at 0.
+    pub round: u32,
+    /// Norm accumulated so far in this round: partial
+    /// `Σ_j |D_j^{(l)} − D_j^{(l−1)}|`.
+    pub norm_acc: f64,
+    /// Completed rounds' norms (the Figure-2 series).
+    pub trace: Vec<f64>,
+    /// Set by the ring tail when the algorithm must stop (converged or
+    /// out of budget); one final lap delivers it to everyone.
+    pub terminate: Termination,
+}
+
+/// Why (or whether) the ring is shutting down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Keep iterating.
+    Continue,
+    /// Converged: the last completed round's norm met the tolerance.
+    Converged,
+    /// The round budget was exhausted before convergence.
+    Exhausted,
+}
+
+impl Token {
+    /// A fresh token starting round 0.
+    pub fn initial() -> Self {
+        Self {
+            round: 0,
+            norm_acc: 0.0,
+            trace: Vec::new(),
+            terminate: Termination::Continue,
+        }
+    }
+}
+
+/// A user's final report, sent to the coordinator on shutdown.
+#[derive(Debug, Clone)]
+pub struct FinalReport {
+    /// The user's index.
+    pub user: usize,
+    /// The user's final strategy (job fractions).
+    pub fractions: Vec<f64>,
+    /// The user's final expected response time `D_j`.
+    pub response_time: f64,
+    /// Best replies the user computed.
+    pub updates: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_token_is_clean() {
+        let t = Token::initial();
+        assert_eq!(t.round, 0);
+        assert_eq!(t.norm_acc, 0.0);
+        assert!(t.trace.is_empty());
+        assert_eq!(t.terminate, Termination::Continue);
+    }
+}

@@ -1,0 +1,459 @@
+//! The threaded token-ring runtime for the distributed NASH algorithm.
+//!
+//! One OS thread per user, connected in a ring by unbounded crossbeam
+//! channels. The control token ([`crate::messages::Token`]) circulates
+//! round-robin exactly as in the paper's pseudocode; strategies are
+//! *never* exchanged — users observe each other only through the shared
+//! [`crate::board::LoadBoard`], matching the paper's run-queue-inspection
+//! model. The ring tail (user `m−1`) owns the convergence test and
+//! initiates a final terminate lap; every user then reports its strategy
+//! to the coordinator and exits.
+
+use crate::board::LoadBoard;
+use crate::messages::{FinalReport, Termination, Token};
+use crate::observer::{ObservationModel, Observer};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lb_game::best_reply::water_fill_flows;
+use lb_game::error::GameError;
+use lb_game::model::SystemModel;
+use lb_game::strategy::{Strategy, StrategyProfile};
+use lb_stats::IterationTrace;
+use std::sync::Arc;
+use std::thread;
+
+/// Initial board state, mirroring the paper's two NASH variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingInit {
+    /// NASH_0: the board starts empty.
+    Zero,
+    /// NASH_P: every user starts with the proportional flow split.
+    Proportional,
+}
+
+/// Configuration for a distributed NASH run.
+#[derive(Debug, Clone)]
+pub struct DistributedNash {
+    init: RingInit,
+    observation: ObservationModel,
+    tolerance: f64,
+    max_rounds: u32,
+}
+
+impl DistributedNash {
+    /// Paper defaults: NASH_P start, exact observation, ε = 1e-4, at most
+    /// 500 rounds.
+    pub fn new() -> Self {
+        Self {
+            init: RingInit::Proportional,
+            observation: ObservationModel::Exact,
+            tolerance: 1e-4,
+            max_rounds: 500,
+        }
+    }
+
+    /// Selects the initial board state.
+    pub fn init(mut self, init: RingInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Selects how users observe available rates.
+    pub fn observation(mut self, model: ObservationModel) -> Self {
+        self.observation = model;
+        self
+    }
+
+    /// Sets the convergence tolerance ε.
+    pub fn tolerance(mut self, eps: f64) -> Self {
+        self.tolerance = eps;
+        self
+    }
+
+    /// Sets the round budget.
+    pub fn max_rounds(mut self, rounds: u32) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Runs the ring to termination and collects the outcome.
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::DidNotConverge`] when the round budget ran out (the
+    ///   assembled profile is discarded, as in the sequential solver).
+    /// * Channel failures surface as [`GameError::InfeasibleStrategy`]
+    ///   (they indicate a crashed user thread).
+    pub fn run(&self, model: &SystemModel) -> Result<DistributedOutcome, GameError> {
+        let m = model.num_users();
+        let n = model.num_computers();
+        let board = Arc::new(LoadBoard::new(m, n));
+        match self.init {
+            RingInit::Zero => {}
+            RingInit::Proportional => {
+                let total: f64 = model.computer_rates().iter().sum();
+                let rows: Vec<Vec<f64>> = (0..m)
+                    .map(|j| {
+                        let phi = model.user_rate(j);
+                        model
+                            .computer_rates()
+                            .iter()
+                            .map(|mu| phi * mu / total)
+                            .collect()
+                    })
+                    .collect();
+                board.seed(&rows);
+            }
+        }
+
+        // Initial D_j must be computed from the seeded board *before* any
+        // user starts updating — doing it inside each thread would race
+        // with earlier users' round-0 publishes.
+        let initial_d: Vec<f64> = {
+            let totals = board.total_flows();
+            (0..m)
+                .map(|j| {
+                    let row = board.row(j);
+                    let phi = model.user_rate(j);
+                    row.iter()
+                        .enumerate()
+                        .filter(|(_, &x)| x > 0.0)
+                        .map(|(i, &x)| {
+                            x / phi
+                                * lb_queueing::mm1::response_time(
+                                    totals[i],
+                                    model.computer_rate(i),
+                                )
+                        })
+                        .sum()
+                })
+                .collect()
+        };
+
+        // Ring channels: user j receives on rx[j], sends to tx[(j+1)%m].
+        let (txs, rxs): (Vec<Sender<Token>>, Vec<Receiver<Token>>) =
+            (0..m).map(|_| unbounded()).unzip();
+        let (report_tx, report_rx) = unbounded::<ThreadResult>();
+
+        let mut handles = Vec::with_capacity(m);
+        for j in 0..m {
+            let ctx = UserContext {
+                user: j,
+                is_tail: j == m - 1,
+                mu: model.computer_rates().to_vec(),
+                phi: model.user_rate(j),
+                board: Arc::clone(&board),
+                rx: rxs[j].clone(),
+                next: txs[(j + 1) % m].clone(),
+                report: report_tx.clone(),
+                observer: Observer::new(self.observation, j),
+                tolerance: self.tolerance,
+                max_rounds: self.max_rounds,
+                initial_d: initial_d[j],
+            };
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("nash-user-{j}"))
+                    .spawn(move || user_main(ctx))
+                    .expect("failed to spawn user thread"),
+            );
+        }
+        drop(report_tx);
+
+        // Inject the token at user 0.
+        txs[0]
+            .send(Token::initial())
+            .map_err(|_| ring_broken("token injection"))?;
+
+        // Collect all reports plus the tail's trace.
+        let mut reports: Vec<Option<FinalReport>> = (0..m).map(|_| None).collect();
+        let mut trace_info: Option<(Vec<f64>, Termination)> = None;
+        for _ in 0..m {
+            let msg = report_rx.recv().map_err(|_| ring_broken("report"))?;
+            if let Some(t) = msg.trace {
+                trace_info = Some(t);
+            }
+            let user = msg.report.user;
+            reports[user] = Some(msg.report);
+        }
+        for h in handles {
+            h.join().map_err(|_| ring_broken("join"))?;
+        }
+
+        let (trace, termination) = trace_info.ok_or_else(|| ring_broken("missing trace"))?;
+        let rounds = trace.len() as u32;
+        if termination == Termination::Exhausted {
+            return Err(GameError::DidNotConverge {
+                iterations: rounds,
+                final_norm: trace.last().copied().unwrap_or(f64::INFINITY),
+            });
+        }
+
+        let mut rows = Vec::with_capacity(m);
+        let mut user_times = Vec::with_capacity(m);
+        let mut total_updates = 0;
+        for r in reports.into_iter().map(Option::unwrap) {
+            rows.push(Strategy::new(r.fractions)?);
+            user_times.push(r.response_time);
+            total_updates += r.updates;
+        }
+        Ok(DistributedOutcome {
+            profile: StrategyProfile::new(rows)?,
+            trace: trace.into_iter().collect(),
+            rounds,
+            user_times,
+            total_updates,
+        })
+    }
+}
+
+impl Default for DistributedNash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of a converged distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    profile: StrategyProfile,
+    trace: IterationTrace,
+    rounds: u32,
+    user_times: Vec<f64>,
+    total_updates: u32,
+}
+
+impl DistributedOutcome {
+    /// The equilibrium profile assembled from the users' reports.
+    pub fn profile(&self) -> &StrategyProfile {
+        &self.profile
+    }
+
+    /// Per-round norms (the distributed Figure-2 series).
+    pub fn trace(&self) -> &IterationTrace {
+        &self.trace
+    }
+
+    /// Rounds completed.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Each user's final self-reported `D_j`.
+    pub fn user_times(&self) -> &[f64] {
+        &self.user_times
+    }
+
+    /// Total best replies computed across the ring.
+    pub fn total_updates(&self) -> u32 {
+        self.total_updates
+    }
+}
+
+struct ThreadResult {
+    report: FinalReport,
+    trace: Option<(Vec<f64>, Termination)>,
+}
+
+struct UserContext {
+    user: usize,
+    is_tail: bool,
+    mu: Vec<f64>,
+    phi: f64,
+    board: Arc<LoadBoard>,
+    rx: Receiver<Token>,
+    next: Sender<Token>,
+    report: Sender<ThreadResult>,
+    observer: Observer,
+    tolerance: f64,
+    max_rounds: u32,
+    initial_d: f64,
+}
+
+fn user_main(mut ctx: UserContext) {
+    // D_j of the initial board state, computed race-free by the
+    // coordinator (0 for the unseeded NASH_0 start).
+    let mut prev_d = ctx.initial_d;
+    let mut updates = 0_u32;
+
+    while let Ok(mut token) = ctx.rx.recv() {
+        match token.terminate {
+            Termination::Continue => {
+                // Observe, best-respond, publish.
+                let others = ctx.board.flows_excluding(ctx.user);
+                let avail = ctx.observer.observe(&ctx.mu, &others);
+                match water_fill_flows(&avail, ctx.phi) {
+                    Ok(flows) => {
+                        ctx.board.publish(ctx.user, &flows);
+                        updates += 1;
+                    }
+                    Err(_) => {
+                        // A (noisy) observation made the subproblem look
+                        // infeasible; keep the current strategy this round.
+                    }
+                }
+                let d = response_time_from_board(&ctx);
+                token.norm_acc += (d - prev_d).abs();
+                prev_d = d;
+
+                if ctx.is_tail {
+                    let norm = token.norm_acc;
+                    token.trace.push(norm);
+                    token.round += 1;
+                    token.norm_acc = 0.0;
+                    if norm <= ctx.tolerance {
+                        token.terminate = Termination::Converged;
+                    } else if token.round >= ctx.max_rounds {
+                        token.terminate = Termination::Exhausted;
+                    }
+                }
+                if ctx.next.send(token).is_err() {
+                    return; // ring collapsed; coordinator will notice
+                }
+            }
+            term => {
+                // Terminate lap: report and (unless tail) forward.
+                let row = ctx.board.row(ctx.user);
+                let fractions: Vec<f64> = row.iter().map(|x| x / ctx.phi).collect();
+                let trace = if ctx.is_tail {
+                    Some((token.trace.clone(), term))
+                } else {
+                    None
+                };
+                let _ = ctx.report.send(ThreadResult {
+                    report: FinalReport {
+                        user: ctx.user,
+                        fractions,
+                        response_time: prev_d,
+                        updates,
+                    },
+                    trace,
+                });
+                if !ctx.is_tail {
+                    let _ = ctx.next.send(token);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// The user's actual expected response time given the *true* board state.
+fn response_time_from_board(ctx: &UserContext) -> f64 {
+    let totals = ctx.board.total_flows();
+    let own = ctx.board.row(ctx.user);
+    let mut d = 0.0;
+    for i in 0..ctx.mu.len() {
+        if own[i] > 0.0 {
+            let f = lb_queueing::mm1::response_time(totals[i], ctx.mu[i]);
+            d += own[i] / ctx.phi * f;
+        }
+    }
+    d
+}
+
+fn ring_broken(stage: &str) -> GameError {
+    GameError::InfeasibleStrategy {
+        reason: format!("distributed ring failed during {stage}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_game::equilibrium::epsilon_nash_gap;
+    use lb_game::nash::{Initialization, NashSolver};
+
+    fn model() -> SystemModel {
+        SystemModel::new(vec![10.0, 20.0, 50.0], vec![15.0, 25.0]).unwrap()
+    }
+
+    #[test]
+    fn ring_converges_to_epsilon_nash() {
+        let m = model();
+        let out = DistributedNash::new().run(&m).unwrap();
+        let gap = epsilon_nash_gap(&m, out.profile()).unwrap();
+        assert!(gap < 1e-3, "gap {gap}");
+        assert!(out.rounds() > 0);
+        assert_eq!(out.user_times().len(), 2);
+    }
+
+    #[test]
+    fn matches_sequential_solver() {
+        let m = model();
+        let dist = DistributedNash::new().tolerance(1e-8).run(&m).unwrap();
+        let seq = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-8)
+            .solve(&m)
+            .unwrap();
+        let d = dist.profile().max_l1_distance(seq.profile()).unwrap();
+        assert!(d < 1e-4, "distributed and sequential differ by {d}");
+        // Identical round counts too: the ring replays the same dynamics.
+        assert_eq!(dist.rounds(), seq.iterations());
+    }
+
+    #[test]
+    fn zero_init_matches_sequential_nash0() {
+        let m = model();
+        let dist = DistributedNash::new()
+            .init(RingInit::Zero)
+            .tolerance(1e-8)
+            .run(&m)
+            .unwrap();
+        let seq = NashSolver::new(Initialization::Zero)
+            .tolerance(1e-8)
+            .solve(&m)
+            .unwrap();
+        assert_eq!(dist.rounds(), seq.iterations());
+        let d = dist.profile().max_l1_distance(seq.profile()).unwrap();
+        assert!(d < 1e-4);
+    }
+
+    #[test]
+    fn single_user_ring_works() {
+        let m = SystemModel::new(vec![10.0, 20.0], vec![12.0]).unwrap();
+        let out = DistributedNash::new().run(&m).unwrap();
+        assert!(epsilon_nash_gap(&m, out.profile()).unwrap() < 1e-6);
+        assert_eq!(out.total_updates(), out.rounds());
+    }
+
+    #[test]
+    fn round_budget_is_enforced() {
+        let m = SystemModel::table1_system(0.9).unwrap();
+        let err = DistributedNash::new()
+            .init(RingInit::Zero)
+            .tolerance(1e-12)
+            .max_rounds(2)
+            .run(&m)
+            .unwrap_err();
+        assert!(matches!(err, GameError::DidNotConverge { iterations: 2, .. }));
+    }
+
+    #[test]
+    fn noisy_observation_still_roughly_equilibrates() {
+        let m = SystemModel::table1_system(0.5).unwrap();
+        let out = DistributedNash::new()
+            .observation(ObservationModel::Noisy {
+                rel_std: 0.02,
+                seed: 11,
+            })
+            .tolerance(5e-3)
+            .max_rounds(2000)
+            .run(&m)
+            .unwrap();
+        // With 2% observation noise the profile is still a loose eps-Nash.
+        let gap = epsilon_nash_gap(&m, out.profile()).unwrap();
+        let d_avg: f64 =
+            out.user_times().iter().sum::<f64>() / out.user_times().len() as f64;
+        assert!(gap < 0.25 * d_avg, "gap {gap} vs avg time {d_avg}");
+    }
+
+    #[test]
+    fn table1_ring_at_medium_load() {
+        let m = SystemModel::table1_system(0.6).unwrap();
+        let out = DistributedNash::new().run(&m).unwrap();
+        let gap = epsilon_nash_gap(&m, out.profile()).unwrap();
+        assert!(gap < 1e-2, "gap {gap}");
+        assert_eq!(out.profile().num_users(), 10);
+        assert_eq!(out.total_updates(), 10 * out.rounds());
+    }
+}

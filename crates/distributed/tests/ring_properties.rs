@@ -1,0 +1,62 @@
+//! Randomized end-to-end tests of the distributed token ring: for random
+//! stable systems, the ring must terminate, produce a feasible ε-Nash
+//! profile, and agree with the sequential solver.
+
+use lb_distributed::runtime::{DistributedNash, RingInit};
+use lb_game::equilibrium::epsilon_nash_gap;
+use lb_game::model::SystemModel;
+use lb_game::nash::{Initialization, NashSolver};
+use proptest::prelude::*;
+
+fn arb_system() -> impl Strategy<Value = SystemModel> {
+    (
+        prop::collection::vec(1.0f64..100.0, 1..6),
+        prop::collection::vec(0.1f64..1.0, 1..5),
+        0.1f64..0.85,
+    )
+        .prop_map(|(rates, fractions, rho)| {
+            SystemModel::with_utilization(rates, &fractions, rho).expect("valid")
+        })
+}
+
+proptest! {
+    // Thread-spawning tests are slower; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_terminates_feasible_and_epsilon_nash(model in arb_system()) {
+        let out = DistributedNash::new()
+            .tolerance(1e-7)
+            .max_rounds(3000)
+            .run(&model)
+            .unwrap();
+        out.profile().check_stability(&model).unwrap();
+        let gap = epsilon_nash_gap(&model, out.profile()).unwrap();
+        let scale: f64 = out
+            .user_times()
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+            .max(1e-6);
+        prop_assert!(gap <= 1e-3 * scale, "gap {gap} at scale {scale}");
+        prop_assert_eq!(out.total_updates(), out.rounds() * model.num_users() as u32);
+    }
+
+    #[test]
+    fn ring_and_sequential_agree_on_random_systems(model in arb_system()) {
+        let ring = DistributedNash::new()
+            .init(RingInit::Proportional)
+            .tolerance(1e-8)
+            .max_rounds(5000)
+            .run(&model)
+            .unwrap();
+        let seq = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-8)
+            .max_iterations(5000)
+            .solve(&model)
+            .unwrap();
+        prop_assert_eq!(ring.rounds(), seq.iterations());
+        let dist = ring.profile().max_l1_distance(seq.profile()).unwrap();
+        prop_assert!(dist < 1e-6, "profiles differ by {dist}");
+    }
+}

@@ -1,0 +1,892 @@
+//! Beyond the paper: extension experiments grounded in the paper's own
+//! future-work section and related-work citations.
+//!
+//! * [`service_robustness`] — the paper's M/M/1 assumption relaxed: the
+//!   schemes' profiles re-simulated under deterministic, Erlang,
+//!   exponential and hyperexponential service (M/G/1), with
+//!   Pollaczek–Khinchine predictions alongside.
+//! * [`stackelberg_sweep`] — the Roughgarden-style leader the paper cites:
+//!   how much centrally controlled traffic it takes to match what NASH
+//!   achieves with none.
+//! * [`warm_start_dynamics`] — the paper's "dynamic load balancing"
+//!   future work: re-equilibration cost under demand drift, warm vs cold
+//!   restarts.
+//! * [`observation_noise`] — the paper's "uncertainty" future work: how
+//!   equilibrium quality degrades when users estimate available rates
+//!   from noisy run-queue observations.
+//! * [`multicore_pooling`] — computers as M/M/c pools (numeric best
+//!   replies, validated by multi-server simulation).
+//! * [`poa_vs_utilization`] — the Koutsoupias–Papadimitriou efficiency
+//!   ratio over the load range.
+//! * [`arrival_burstiness`] — the Poisson arrival assumption relaxed to
+//!   general renewal streams.
+//! * [`dynamic_policies`] — static equilibria vs state-aware dispatch
+//!   (JSQ, power-of-d, shortest expected delay).
+
+use crate::config::{EPSILON, MEDIUM_LOAD};
+use crate::report::{fmt, Table};
+use lb_distributed::runtime::DistributedNash;
+use lb_distributed::ObservationModel;
+use lb_game::dynamics::{DynamicBalancer, Restart};
+use lb_game::equilibrium::epsilon_nash_gap;
+use lb_game::error::GameError;
+use lb_game::metrics::evaluate_profile;
+use lb_game::model::SystemModel;
+use lb_game::response::overall_response_time;
+use lb_game::schemes::{
+    GlobalOptimalScheme, IndividualOptimalScheme, LoadBalancingScheme, NashScheme,
+    ProportionalScheme, StackelbergScheme,
+};
+use lb_sim::harness::simulate_profile;
+use lb_sim::scenario::{DistributionFamily, SimulationConfig};
+use lb_stats::ReplicationPlan;
+
+/// One (scheme × service-family) cell of the robustness experiment.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Service family label.
+    pub service: &'static str,
+    /// Squared coefficient of variation of the family.
+    pub scv: f64,
+    /// Simulated system mean response time.
+    pub simulated: f64,
+    /// M/G/1 (P-K) prediction under the scheme's flows.
+    pub predicted: f64,
+}
+
+/// Simulates every scheme's (M/M/1-computed) profile under four service
+/// families and compares with the M/G/1 prediction.
+///
+/// # Errors
+///
+/// Propagates scheme/simulation failures.
+pub fn service_robustness(
+    target_jobs: u64,
+    replications: u32,
+) -> Result<Vec<RobustnessRow>, GameError> {
+    let model = SystemModel::table1_system(MEDIUM_LOAD)?;
+    let schemes: Vec<Box<dyn LoadBalancingScheme>> = vec![
+        Box::new(NashScheme::default()),
+        Box::new(GlobalOptimalScheme::default()),
+        Box::new(IndividualOptimalScheme),
+        Box::new(ProportionalScheme),
+    ];
+    let families: [(&'static str, DistributionFamily); 4] = [
+        ("deterministic", DistributionFamily::Deterministic),
+        ("erlang-4", DistributionFamily::Erlang { k: 4 }),
+        ("exponential", DistributionFamily::Exponential),
+        ("hyperexp-4", DistributionFamily::HyperExponential { scv: 4.0 }),
+    ];
+    let plan = ReplicationPlan {
+        replications,
+        ..ReplicationPlan::paper()
+    };
+    let mut rows = Vec::new();
+    for scheme in &schemes {
+        let profile = scheme.compute(&model)?;
+        let flows = profile.computer_flows(&model)?;
+        for (label, service) in families {
+            let cfg = SimulationConfig {
+                target_jobs,
+                service,
+                ..SimulationConfig::paper()
+            };
+            let sim = simulate_profile(&model, &profile, &plan, cfg)?;
+            // Job-averaged M/G/1 prediction over the scheme's flows.
+            let phi = model.total_arrival_rate();
+            let predicted = flows
+                .iter()
+                .zip(model.computer_rates())
+                .filter(|(&l, _)| l > 0.0)
+                .map(|(&l, &mu)| l * lb_queueing::mg1::response_time(l, mu, service.scv()))
+                .sum::<f64>()
+                / phi;
+            rows.push(RobustnessRow {
+                scheme: scheme.name(),
+                service: label,
+                scv: service.scv(),
+                simulated: sim.system_summary.mean,
+                predicted,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the robustness table.
+pub fn render_robustness(rows: &[RobustnessRow]) -> Table {
+    let mut t = Table::new(
+        "Extension 1: service-time robustness at rho=60% (M/G/1)",
+        vec!["scheme", "service", "SCV", "simulated D", "P-K predicted"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.scheme.to_string(),
+            r.service.to_string(),
+            fmt(r.scv),
+            fmt(r.simulated),
+            fmt(r.predicted),
+        ]);
+    }
+    t
+}
+
+/// One α point of the Stackelberg sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct StackelbergPoint {
+    /// Leader fraction.
+    pub alpha: f64,
+    /// Overall response time of LLF + Wardrop followers.
+    pub overall_time: f64,
+}
+
+/// Sweeps the leader fraction and reports the overall response time, with
+/// NASH's and GOS's values for context.
+///
+/// # Errors
+///
+/// Propagates scheme failures.
+pub fn stackelberg_sweep() -> Result<(Vec<StackelbergPoint>, f64, f64), GameError> {
+    let model = SystemModel::table1_system(MEDIUM_LOAD)?;
+    let mut points = Vec::new();
+    for i in 0..=10 {
+        let alpha = f64::from(i) / 10.0;
+        let p = StackelbergScheme::new(alpha)?.compute(&model)?;
+        points.push(StackelbergPoint {
+            alpha,
+            overall_time: overall_response_time(&model, &p)?,
+        });
+    }
+    let nash = overall_response_time(&model, &NashScheme::default().compute(&model)?)?;
+    let gos = overall_response_time(
+        &model,
+        &GlobalOptimalScheme::default().compute(&model)?,
+    )?;
+    Ok((points, nash, gos))
+}
+
+/// Renders the Stackelberg sweep.
+pub fn render_stackelberg(points: &[StackelbergPoint], nash: f64, gos: f64) -> Table {
+    let mut t = Table::new(
+        "Extension 2: Stackelberg (LLF) leader fraction vs overall response time (rho=60%)",
+        vec!["alpha", "Stackelberg D", "vs GOS", "vs NASH"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{:.1}", p.alpha),
+            fmt(p.overall_time),
+            format!("{:+.1}%", (p.overall_time / gos - 1.0) * 100.0),
+            format!("{:+.1}%", (p.overall_time / nash - 1.0) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// One drift step of the warm-start experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftStep {
+    /// Utilization after the drift.
+    pub rho: f64,
+    /// Iterations with a warm (previous-equilibrium) start.
+    pub warm_iterations: u32,
+    /// Iterations with a cold (proportional) start.
+    pub cold_iterations: u32,
+}
+
+/// Drifts the Table-1 system's demand through a utilization path and
+/// measures re-equilibration cost for warm vs cold restarts.
+///
+/// # Errors
+///
+/// Propagates model/solver failures.
+pub fn warm_start_dynamics() -> Result<Vec<DriftStep>, GameError> {
+    let path = [0.62, 0.65, 0.60, 0.55, 0.65, 0.70, 0.68];
+    let mut warm = DynamicBalancer::new(SystemModel::table1_system(MEDIUM_LOAD)?, EPSILON)?;
+    let mut cold = DynamicBalancer::new(SystemModel::table1_system(MEDIUM_LOAD)?, EPSILON)?;
+    let mut steps = Vec::new();
+    for &rho in &path {
+        let model = SystemModel::table1_system(rho)?;
+        let w = warm.update(model.clone(), Restart::Warm)?;
+        let c = cold.update(model, Restart::Cold)?;
+        steps.push(DriftStep {
+            rho,
+            warm_iterations: w.iterations,
+            cold_iterations: c.iterations,
+        });
+    }
+    Ok(steps)
+}
+
+/// Renders the warm-start experiment.
+pub fn render_dynamics(steps: &[DriftStep]) -> Table {
+    let mut t = Table::new(
+        "Extension 3: re-equilibration under demand drift (warm vs cold restart)",
+        vec!["new util %", "warm iterations", "cold iterations"],
+    );
+    for s in steps {
+        t.row(vec![
+            format!("{:.0}", s.rho * 100.0),
+            s.warm_iterations.to_string(),
+            s.cold_iterations.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One noise level of the observation-uncertainty experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisePoint {
+    /// Relative standard deviation of the rate estimates.
+    pub rel_std: f64,
+    /// Rounds the ring needed (or its budget if it never settled).
+    pub rounds: u32,
+    /// ε-Nash gap of the final profile, relative to the mean user time.
+    pub relative_gap: f64,
+}
+
+/// Runs the distributed ring under increasing observation noise.
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn observation_noise() -> Result<Vec<NoisePoint>, GameError> {
+    let model = SystemModel::table1_system(MEDIUM_LOAD)?;
+    let mut points = Vec::new();
+    for &rel_std in &[0.0, 0.01, 0.02, 0.05, 0.10] {
+        let runner = DistributedNash::new()
+            .observation(if rel_std == 0.0 {
+                ObservationModel::Exact
+            } else {
+                ObservationModel::Noisy {
+                    rel_std,
+                    seed: 0x0b5e,
+                }
+            })
+            .tolerance(if rel_std == 0.0 { EPSILON } else { 5e-3 })
+            .max_rounds(300);
+        let (rounds, profile) = match runner.run(&model) {
+            Ok(out) => (out.rounds(), out.profile().clone()),
+            // Noise can keep the norm above tolerance forever; treat the
+            // budget-exhausted state as "did not settle" but still probe
+            // the quality via a fresh capped run.
+            Err(GameError::DidNotConverge { iterations, .. }) => {
+                let out = DistributedNash::new()
+                    .observation(ObservationModel::Noisy {
+                        rel_std,
+                        seed: 0x0b5e,
+                    })
+                    .tolerance(f64::INFINITY)
+                    .max_rounds(iterations.max(1))
+                    .run(&model)?;
+                (iterations, out.profile().clone())
+            }
+            Err(e) => return Err(e),
+        };
+        let gap = epsilon_nash_gap(&model, &profile)?;
+        let metrics = evaluate_profile(&model, &profile)?;
+        let mean_d: f64 =
+            metrics.user_times.iter().sum::<f64>() / metrics.user_times.len() as f64;
+        points.push(NoisePoint {
+            rel_std,
+            rounds,
+            relative_gap: gap / mean_d,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders the observation-noise experiment.
+pub fn render_noise(points: &[NoisePoint]) -> Table {
+    let mut t = Table::new(
+        "Extension 4: equilibrium quality under noisy run-queue observation",
+        vec!["rel. std dev", "rounds", "Nash gap / mean D"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{:.0}%", p.rel_std * 100.0),
+            p.rounds.to_string(),
+            fmt(p.relative_gap),
+        ]);
+    }
+    t
+}
+
+/// One point of the price-of-anarchy sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PoaPoint {
+    /// Swept parameter value (utilization or skewness).
+    pub x: f64,
+    /// `D(NASH)/D(GOS)` — the price of anarchy of the instance.
+    pub poa_nash: f64,
+    /// `D(IOS)/D(GOS)` — the Wardrop (infinite-player) anarchy cost.
+    pub poa_wardrop: f64,
+}
+
+/// Price of anarchy vs utilization (Table-1 system) — quantifying the
+/// Koutsoupias–Papadimitriou efficiency question the paper's related
+/// work raises. Roughgarden–Tardos's 4/3 bound applies to *linear*
+/// latencies only; M/M/1 latencies are unbounded near saturation, yet
+/// the measured PoA stays small and, notably, *decreases* at high load.
+///
+/// # Errors
+///
+/// Propagates scheme failures.
+pub fn poa_vs_utilization() -> Result<Vec<PoaPoint>, GameError> {
+    crate::config::UTILIZATION_SWEEP
+        .iter()
+        .map(|&rho| {
+            let model = SystemModel::table1_system(rho)?;
+            let nash = NashScheme::default().compute(&model)?;
+            let gos = GlobalOptimalScheme::default().compute(&model)?;
+            let ios = IndividualOptimalScheme.compute(&model)?;
+            let d_gos = overall_response_time(&model, &gos)?;
+            Ok(PoaPoint {
+                x: rho,
+                poa_nash: overall_response_time(&model, &nash)? / d_gos,
+                poa_wardrop: overall_response_time(&model, &ios)? / d_gos,
+            })
+        })
+        .collect()
+}
+
+/// Renders the PoA sweep.
+pub fn render_poa(points: &[PoaPoint]) -> Table {
+    let mut t = Table::new(
+        "Extension 6: price of anarchy vs utilization (Table-1 system)",
+        vec!["util %", "PoA(NASH)", "PoA(Wardrop/IOS)"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{:.0}", p.x * 100.0),
+            fmt(p.poa_nash),
+            fmt(p.poa_wardrop),
+        ]);
+    }
+    t
+}
+
+/// One (scheme × arrival-family) cell of the burstiness experiment.
+#[derive(Debug, Clone)]
+pub struct BurstinessRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Arrival family label.
+    pub arrivals: &'static str,
+    /// Squared coefficient of variation of interarrival times.
+    pub scv: f64,
+    /// Simulated system mean response time.
+    pub simulated: f64,
+}
+
+/// Simulates every scheme's profile under renewal arrival processes of
+/// varying burstiness (the Poisson assumption of §2 relaxed). Unlike the
+/// service extension there is no exact multi-queue theory here — the
+/// probabilistic split of a non-Poisson renewal stream is not renewal —
+/// so the experiment reports measured values only (single-queue GI/M/1
+/// validation lives in `lb-sim`'s tests).
+///
+/// # Errors
+///
+/// Propagates scheme/simulation failures.
+pub fn arrival_burstiness(
+    target_jobs: u64,
+    replications: u32,
+) -> Result<Vec<BurstinessRow>, GameError> {
+    let model = SystemModel::table1_system(MEDIUM_LOAD)?;
+    let schemes: Vec<Box<dyn LoadBalancingScheme>> = vec![
+        Box::new(NashScheme::default()),
+        Box::new(GlobalOptimalScheme::default()),
+        Box::new(IndividualOptimalScheme),
+        Box::new(ProportionalScheme),
+    ];
+    let families: [(&'static str, DistributionFamily); 4] = [
+        ("deterministic", DistributionFamily::Deterministic),
+        ("erlang-4", DistributionFamily::Erlang { k: 4 }),
+        ("poisson", DistributionFamily::Exponential),
+        ("hyperexp-4", DistributionFamily::HyperExponential { scv: 4.0 }),
+    ];
+    let plan = ReplicationPlan {
+        replications,
+        ..ReplicationPlan::paper()
+    };
+    let mut rows = Vec::new();
+    for scheme in &schemes {
+        let profile = scheme.compute(&model)?;
+        for (label, arrivals) in families {
+            let cfg = SimulationConfig {
+                target_jobs,
+                arrivals,
+                ..SimulationConfig::paper()
+            };
+            let sim = simulate_profile(&model, &profile, &plan, cfg)?;
+            rows.push(BurstinessRow {
+                scheme: scheme.name(),
+                arrivals: label,
+                scv: arrivals.scv(),
+                simulated: sim.system_summary.mean,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the burstiness table.
+pub fn render_burstiness(rows: &[BurstinessRow]) -> Table {
+    let mut t = Table::new(
+        "Extension 7: arrival burstiness at rho=60% (renewal job streams)",
+        vec!["scheme", "arrivals", "SCV", "simulated D"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.scheme.to_string(),
+            r.arrivals.to_string(),
+            fmt(r.scv),
+            fmt(r.simulated),
+        ]);
+    }
+    t
+}
+
+/// One (policy × load) cell of the dynamic-dispatch experiment.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Policy name.
+    pub policy: &'static str,
+    /// System utilization.
+    pub rho: f64,
+    /// Simulated system mean response time.
+    pub simulated: f64,
+}
+
+/// Compares the paper's static Nash profile against dynamic (state-aware)
+/// dispatch policies across loads — how much is online queue information
+/// worth?
+///
+/// # Errors
+///
+/// Propagates game/simulation failures.
+pub fn dynamic_policies(target_jobs: u64) -> Result<Vec<PolicyRow>, GameError> {
+    use lb_sim::policies::{run_policy_replication, DispatchPolicy};
+    let mut rows = Vec::new();
+    for &rho in &[0.3, 0.6, 0.9] {
+        let model = SystemModel::table1_system(rho)?;
+        let nash = NashScheme::default().compute(&model)?;
+        let policies = vec![
+            DispatchPolicy::Static(nash.clone()),
+            DispatchPolicy::WeightedRoundRobin(nash),
+            DispatchPolicy::PowerOfD(2),
+            DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::ShortestExpectedDelay,
+        ];
+        for policy in policies {
+            let cfg = SimulationConfig {
+                target_jobs,
+                ..SimulationConfig::paper()
+            };
+            let r = run_policy_replication(&model, &policy, cfg, 0x9019)?;
+            rows.push(PolicyRow {
+                policy: policy.name(),
+                rho,
+                simulated: r.system_mean,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the dynamic-policy comparison (loads as columns).
+pub fn render_policies(rows: &[PolicyRow]) -> Table {
+    let mut t = Table::new(
+        "Extension 8: static Nash vs dynamic dispatch (simulated D, sec)",
+        vec!["policy", "rho=30%", "rho=60%", "rho=90%"],
+    );
+    for policy in ["STATIC", "WRR", "POW-D", "JSQ", "SED"] {
+        let cell = |rho: f64| {
+            rows.iter()
+                .find(|r| r.policy == policy && (r.rho - rho).abs() < 1e-9)
+                .map(|r| fmt(r.simulated))
+                .unwrap_or_default()
+        };
+        t.row(vec![policy.to_string(), cell(0.3), cell(0.6), cell(0.9)]);
+    }
+    t
+}
+
+/// One scheme row of the tail-latency experiment.
+#[derive(Debug, Clone)]
+pub struct TailRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Analytic mean response time.
+    pub mean: f64,
+    /// Analytic squared coefficient of variation of a job's response time
+    /// (rate-weighted across users; exact for the exponential-mixture
+    /// sojourn distribution).
+    pub scv: f64,
+    /// Simulated p95 response time (P² streaming estimate).
+    pub simulated_p95: f64,
+}
+
+/// Tail latency across the schemes at ρ = 60%: the game optimizes *mean*
+/// response times, but users feel the tail. Analytic variance comes from
+/// the exponential-mixture identity (`lb-game::response`); the p95 from
+/// the simulator's streaming quantile estimator.
+///
+/// # Errors
+///
+/// Propagates scheme/simulation failures.
+pub fn tail_latency(target_jobs: u64, replications: u32) -> Result<Vec<TailRow>, GameError> {
+    use lb_game::response::{user_response_time, user_response_variance};
+    let model = SystemModel::table1_system(MEDIUM_LOAD)?;
+    let schemes: Vec<Box<dyn LoadBalancingScheme>> = vec![
+        Box::new(NashScheme::default()),
+        Box::new(GlobalOptimalScheme::default()),
+        Box::new(IndividualOptimalScheme),
+        Box::new(ProportionalScheme),
+    ];
+    let plan = ReplicationPlan {
+        replications,
+        ..ReplicationPlan::paper()
+    };
+    let mut rows = Vec::new();
+    for scheme in &schemes {
+        let profile = scheme.compute(&model)?;
+        // A random job belongs to user j w.p. phi_j / Phi; its response
+        // time is user j's mixture. Combine first and second moments.
+        let phi = model.total_arrival_rate();
+        let mut m1 = 0.0;
+        let mut m2 = 0.0;
+        for j in 0..model.num_users() {
+            let w = model.user_rate(j) / phi;
+            let mean_j = user_response_time(&model, &profile, j)?;
+            let var_j = user_response_variance(&model, &profile, j)?;
+            m1 += w * mean_j;
+            m2 += w * (var_j + mean_j * mean_j);
+        }
+        let scv = m2 / (m1 * m1) - 1.0;
+        let cfg = SimulationConfig {
+            target_jobs,
+            ..SimulationConfig::paper()
+        };
+        let sim = simulate_profile(&model, &profile, &plan, cfg)?;
+        rows.push(TailRow {
+            scheme: scheme.name(),
+            mean: m1,
+            scv,
+            simulated_p95: sim.system_p95,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the tail-latency table.
+pub fn render_tails(rows: &[TailRow]) -> Table {
+    let mut t = Table::new(
+        "Extension 9: tail latency at rho=60% (mean vs p95)",
+        vec!["scheme", "mean D", "SCV (analytic)", "p95 (sim)", "p95/mean"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.scheme.to_string(),
+            fmt(r.mean),
+            fmt(r.scv),
+            fmt(r.simulated_p95),
+            format!("{:.2}", r.simulated_p95 / r.mean),
+        ]);
+    }
+    t
+}
+
+/// One architecture row of the multicore-pooling experiment.
+#[derive(Debug, Clone)]
+pub struct PoolingRow {
+    /// Architecture label.
+    pub architecture: &'static str,
+    /// Nash-equilibrium overall response time (analytic/numeric).
+    pub nash_time: f64,
+    /// Social optimum overall response time.
+    pub optimal_time: f64,
+    /// Simulated Nash response time (DES with multi-server stations).
+    pub simulated_nash: f64,
+}
+
+/// Compares the paper's 16 single-core computers against the same
+/// capacity consolidated into 4 multicore pools (one per speed class),
+/// under Nash routing — the resource-pooling question the paper's model
+/// cannot ask but modern hardware does.
+///
+/// # Errors
+///
+/// Propagates game/simulation failures.
+pub fn multicore_pooling(target_jobs: u64) -> Result<Vec<PoolingRow>, GameError> {
+    use lb_game::multicore::PoolSystem;
+    use lb_sim::pools::run_pool_replication;
+
+    let user_rates: Vec<f64> = {
+        let model = SystemModel::table1_system(MEDIUM_LOAD)?;
+        model.user_rates().to_vec()
+    };
+    // (a) The paper's architecture: 16 independent single-core computers.
+    let separate = PoolSystem::new(
+        SystemModel::table1_rates().iter().map(|&mu| (mu, 1)).collect(),
+        user_rates.clone(),
+    )?;
+    // (b) Same capacity, consolidated: one pool per speed class.
+    let pooled = PoolSystem::new(
+        vec![(10.0, 6), (20.0, 5), (50.0, 3), (100.0, 2)],
+        user_rates,
+    )?;
+
+    let mut rows = Vec::new();
+    for (label, sys) in [("16x single-core (paper)", &separate), ("4 pools (multicore)", &pooled)]
+    {
+        let nash = sys.nash(1e-5, 500, 1200)?;
+        let nash_time = sys.overall_time(&nash.flows);
+        let opt = sys.social_optimum(8000)?;
+        let optimal_time = {
+            let phi = sys.total_arrival_rate();
+            opt.iter()
+                .zip(sys.pools())
+                .filter(|(&t, _)| t > 0.0)
+                .map(|(&t, p)| {
+                    t * lb_game::latency::Latency::response_time(p, t)
+                })
+                .sum::<f64>()
+                / phi
+        };
+        let sim = run_pool_replication(sys, &nash.flows, target_jobs, 0.1, 0xcafe)?;
+        rows.push(PoolingRow {
+            architecture: label,
+            nash_time,
+            optimal_time,
+            simulated_nash: sim.system_mean,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the pooling comparison.
+pub fn render_pooling(rows: &[PoolingRow]) -> Table {
+    let mut t = Table::new(
+        "Extension 5: multicore pooling at rho=60% (same 510 jobs/s capacity)",
+        vec!["architecture", "NASH D", "optimal D", "NASH D (sim)"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.architecture.to_string(),
+            fmt(r.nash_time),
+            fmt(r.optimal_time),
+            fmt(r.simulated_nash),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robustness_order_survives_service_families() {
+        // The paper's ranking NASH < IOS <= PS should hold under every
+        // service family, not just M/M/1.
+        let rows = service_robustness(40_000, 2).unwrap();
+        for family in ["deterministic", "erlang-4", "exponential", "hyperexp-4"] {
+            let get = |scheme: &str| {
+                rows.iter()
+                    .find(|r| r.scheme == scheme && r.service == family)
+                    .unwrap()
+                    .simulated
+            };
+            assert!(
+                get("NASH") < get("PS"),
+                "{family}: NASH {} !< PS {}",
+                get("NASH"),
+                get("PS")
+            );
+            assert!(
+                get("GOS") < get("PS") * 1.001,
+                "{family}: GOS should stay best-ish"
+            );
+        }
+    }
+
+    #[test]
+    fn robustness_simulation_matches_pk_prediction() {
+        let rows = service_robustness(40_000, 2).unwrap();
+        for r in &rows {
+            let rel = (r.simulated - r.predicted).abs() / r.predicted;
+            // Heavier-tailed service converges slower (variance grows with
+            // the SCV); widen the acceptance band accordingly.
+            let tol = 0.10 + 0.05 * r.scv;
+            assert!(
+                rel < tol,
+                "{} / {}: simulated {} vs P-K {} (rel {rel:.3}, tol {tol})",
+                r.scheme,
+                r.service,
+                r.simulated,
+                r.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn stackelberg_needs_most_of_the_traffic_to_match_nash() {
+        let (points, nash, gos) = stackelberg_sweep().unwrap();
+        assert_eq!(points.len(), 11);
+        // alpha = 0 is Wardrop (worse than NASH at medium load)…
+        assert!(points[0].overall_time > nash);
+        // …alpha = 1 is the optimum (at or below NASH).
+        assert!(points[10].overall_time <= nash + 1e-9);
+        assert!((points[10].overall_time - gos).abs() < 1e-9);
+        // The sweep is monotone non-increasing.
+        for w in points.windows(2) {
+            assert!(w[1].overall_time <= w[0].overall_time + 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_saves_iterations_on_every_drift_step() {
+        let steps = warm_start_dynamics().unwrap();
+        let warm: u32 = steps.iter().map(|s| s.warm_iterations).sum();
+        let cold: u32 = steps.iter().map(|s| s.cold_iterations).sum();
+        assert!(
+            warm < cold,
+            "warm restarts ({warm}) should beat cold restarts ({cold}) overall"
+        );
+        for s in &steps {
+            assert!(
+                s.warm_iterations <= s.cold_iterations,
+                "at rho {}: warm {} > cold {}",
+                s.rho,
+                s.warm_iterations,
+                s.cold_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn noise_degrades_gracefully() {
+        let points = observation_noise().unwrap();
+        assert!(points[0].relative_gap < 1e-2, "exact observation gap");
+        // More noise, larger (but bounded) equilibrium gap.
+        let last = points.last().unwrap();
+        assert!(last.relative_gap < 0.5, "10% noise should still be usable");
+    }
+
+    #[test]
+    fn poa_stays_bounded_and_nash_dominates_wardrop() {
+        let points = poa_vs_utilization().unwrap();
+        for p in &points {
+            assert!(p.poa_nash >= 1.0 - 1e-9, "PoA below 1 at {}", p.x);
+            assert!(p.poa_nash <= p.poa_wardrop + 1e-9, "finite-player Nash should beat Wardrop at {}", p.x);
+            assert!(p.poa_nash < 1.2, "PoA {} too large at {}", p.poa_nash, p.x);
+        }
+        // The interesting shape: Wardrop anarchy cost peaks at medium-high
+        // load (~70%) and shrinks toward both extremes (at low load all
+        // schemes ride the fast machines; near saturation everything is
+        // forced to use everything).
+        let peak = points
+            .iter()
+            .map(|p| p.poa_wardrop)
+            .fold(0.0, f64::max);
+        assert!(peak > points[0].poa_wardrop + 0.05);
+        assert!(peak > points.last().unwrap().poa_wardrop + 0.05);
+    }
+
+    #[test]
+    fn burstiness_preserves_scheme_ordering() {
+        let rows = arrival_burstiness(40_000, 2).unwrap();
+        for family in ["deterministic", "erlang-4", "poisson", "hyperexp-4"] {
+            let get = |scheme: &str| {
+                rows.iter()
+                    .find(|r| r.scheme == scheme && r.arrivals == family)
+                    .unwrap()
+                    .simulated
+            };
+            assert!(get("NASH") < get("PS"), "{family}: NASH !< PS");
+        }
+        // Burstier arrivals inflate every scheme's response time.
+        let nash = |fam: &str| {
+            rows.iter()
+                .find(|r| r.scheme == "NASH" && r.arrivals == fam)
+                .unwrap()
+                .simulated
+        };
+        assert!(nash("deterministic") < nash("poisson"));
+        assert!(nash("poisson") < nash("hyperexp-4"));
+    }
+
+    #[test]
+    fn dynamic_information_beats_static_at_every_load() {
+        let rows = dynamic_policies(50_000).unwrap();
+        for &rho in &[0.3, 0.6, 0.9] {
+            let get = |policy: &str| {
+                rows.iter()
+                    .find(|r| r.policy == policy && (r.rho - rho).abs() < 1e-9)
+                    .unwrap()
+                    .simulated
+            };
+            assert!(
+                get("SED") < get("STATIC"),
+                "rho {rho}: SED {} vs static {}",
+                get("SED"),
+                get("STATIC")
+            );
+            assert!(get("WRR") <= get("STATIC") * 1.05, "rho {rho}: WRR");
+        }
+    }
+
+    #[test]
+    fn tail_latency_is_consistent_with_the_mixture_moments() {
+        let rows = tail_latency(50_000, 2).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            // Mixtures of exponentials are hyperexponential-like: SCV >= 1.
+            assert!(r.scv >= 1.0 - 1e-9, "{}: SCV {}", r.scheme, r.scv);
+            // For an exponential, p95 = ln(20) * mean ~ 3.0x; mixtures can
+            // stretch further but stay in a sane band.
+            let ratio = r.simulated_p95 / r.mean;
+            assert!(
+                (2.0..6.0).contains(&ratio),
+                "{}: p95/mean {ratio}",
+                r.scheme
+            );
+        }
+        // NASH keeps a lower p95 than PS, not just a lower mean.
+        let p95 = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap().simulated_p95;
+        assert!(p95("NASH") < p95("PS"), "NASH {} vs PS {}", p95("NASH"), p95("PS"));
+    }
+
+    #[test]
+    fn pooling_beats_separate_computers() {
+        let rows = multicore_pooling(60_000).unwrap();
+        assert_eq!(rows.len(), 2);
+        let separate = &rows[0];
+        let pooled = &rows[1];
+        // Resource pooling: the consolidated architecture wins at
+        // equilibrium, and its optimum is no worse either.
+        assert!(
+            pooled.nash_time < separate.nash_time,
+            "pooled {} vs separate {}",
+            pooled.nash_time,
+            separate.nash_time
+        );
+        assert!(pooled.optimal_time <= separate.optimal_time + 1e-6);
+        // Simulated values confirm the numeric equilibria.
+        for r in &rows {
+            let rel = (r.simulated_nash - r.nash_time).abs() / r.nash_time;
+            assert!(rel < 0.08, "{}: sim {} vs {}", r.architecture, r.simulated_nash, r.nash_time);
+        }
+    }
+
+    #[test]
+    fn renders_have_expected_shapes() {
+        let (points, nash, gos) = stackelberg_sweep().unwrap();
+        assert_eq!(render_stackelberg(&points, nash, gos).len(), 11);
+        let steps = warm_start_dynamics().unwrap();
+        assert_eq!(render_dynamics(&steps).len(), steps.len());
+    }
+}

@@ -1,0 +1,153 @@
+//! Argument parsing for the `experiments` binary, separated from the
+//! binary so it can be unit-tested.
+
+use crate::config;
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Subcommand (`table1`, `fig2`…`fig6`, `all`, `ext`, `ext-*`).
+    pub command: String,
+    /// Whether to run the DES alongside the analytic path.
+    pub simulate: bool,
+    /// Jobs per replication for simulated runs.
+    pub jobs: u64,
+    /// Replications for simulated runs.
+    pub replications: u32,
+    /// Output directory for CSV artifacts.
+    pub out: PathBuf,
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails> \
+     [--simulate] [--jobs N] [--replications R] [--out DIR]"
+        .to_string()
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// A human-readable message including the usage string.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut args = args.into_iter();
+    let command = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        command,
+        simulate: false,
+        jobs: 1_000_000,
+        replications: 5,
+        out: PathBuf::from(config::RESULTS_DIR),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--simulate" => opts.simulate = true,
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--replications" => {
+                opts.replications = args
+                    .next()
+                    .ok_or("--replications needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--replications: {e}"))?;
+            }
+            "--out" => {
+                opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Expands a command into the concrete experiment list (handles the
+/// `all` and `ext` umbrellas).
+pub fn expand_command(command: &str) -> Vec<&str> {
+    match command {
+        "all" => vec!["table1", "fig2", "fig3", "fig4", "fig5", "fig6"],
+        "ext" => vec![
+            "ext-service",
+            "ext-stackelberg",
+            "ext-dynamics",
+            "ext-noise",
+            "ext-multicore",
+            "ext-poa",
+            "ext-burstiness",
+            "ext-policies",
+            "ext-tails",
+        ],
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let o = parse(args(&["fig4"])).unwrap();
+        assert_eq!(o.command, "fig4");
+        assert!(!o.simulate);
+        assert_eq!(o.jobs, 1_000_000);
+        assert_eq!(o.replications, 5);
+        assert_eq!(o.out, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let o = parse(args(&[
+            "fig5",
+            "--simulate",
+            "--jobs",
+            "5000",
+            "--replications",
+            "2",
+            "--out",
+            "/tmp/x",
+        ]))
+        .unwrap();
+        assert!(o.simulate);
+        assert_eq!(o.jobs, 5000);
+        assert_eq!(o.replications, 2);
+        assert_eq!(o.out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn missing_command_and_bad_flags_error() {
+        assert!(parse(args(&[])).is_err());
+        assert!(parse(args(&["fig2", "--jobs"])).is_err());
+        assert!(parse(args(&["fig2", "--jobs", "abc"])).is_err());
+        assert!(parse(args(&["fig2", "--frobnicate"])).is_err());
+        assert!(parse(args(&["fig2", "--out"])).is_err());
+    }
+
+    #[test]
+    fn umbrellas_expand() {
+        assert_eq!(expand_command("all").len(), 6);
+        let ext = expand_command("ext");
+        assert_eq!(ext.len(), 9);
+        assert!(ext.iter().all(|c| c.starts_with("ext-")));
+        assert_eq!(expand_command("fig3"), vec!["fig3"]);
+    }
+
+    #[test]
+    fn usage_names_every_command() {
+        let u = usage();
+        for c in expand_command("all").iter().chain(expand_command("ext").iter()) {
+            assert!(u.contains(c), "usage missing {c}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared experimental constants (paper §4).
+
+/// Convergence tolerance ε used by the NASH runs in all experiments.
+pub const EPSILON: f64 = 1e-4;
+
+/// The utilization levels of Figure 4 (10% … 90%).
+pub const UTILIZATION_SWEEP: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// The medium load at which Figures 2, 5 (and 6's fixed utilization) run.
+pub const MEDIUM_LOAD: f64 = 0.6;
+
+/// The user counts of Figure 3 (4 … 32).
+pub const USER_SWEEP: [usize; 8] = [4, 8, 12, 16, 20, 24, 28, 32];
+
+/// The speed-skewness sweep of Figure 6 (1 = homogeneous … 20 = highly
+/// heterogeneous; the paper varies the fast computers' relative rate from
+/// 1 to 20).
+pub const SKEW_SWEEP: [f64; 8] = [1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0];
+
+/// Default output directory for CSV artifacts.
+pub const RESULTS_DIR: &str = "results";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_paper_ranges() {
+        assert_eq!(UTILIZATION_SWEEP.len(), 9);
+        assert_eq!(USER_SWEEP.first(), Some(&4));
+        assert_eq!(USER_SWEEP.last(), Some(&32));
+        assert_eq!(SKEW_SWEEP.first(), Some(&1.0));
+        assert_eq!(SKEW_SWEEP.last(), Some(&20.0));
+        let eps = EPSILON;
+        assert!(eps > 0.0 && eps < 1e-2);
+    }
+}

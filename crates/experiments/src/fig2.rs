@@ -1,0 +1,151 @@
+//! Figure 2 — convergence norm vs number of iterations for the NASH_0
+//! and NASH_P variants (16 Table-1 computers, 10 users, 60% utilization).
+//!
+//! The paper's observation: starting from the proportional allocation
+//! (NASH_P) the initial point is close to the equilibrium and the
+//! iteration count drops to less than half of NASH_0's.
+
+use crate::config::{EPSILON, MEDIUM_LOAD};
+use crate::report::{fmt, Table};
+use lb_game::diagnostics::ConvergenceReport;
+use lb_game::error::GameError;
+use lb_game::model::SystemModel;
+use lb_game::nash::{Initialization, NashSolver};
+use lb_stats::IterationTrace;
+
+/// The two norm traces of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Per-iteration norm of NASH_0.
+    pub nash0: Vec<f64>,
+    /// Per-iteration norm of NASH_P.
+    pub nashp: Vec<f64>,
+}
+
+impl Fig2Result {
+    /// Iterations NASH_0 needed.
+    pub fn iterations_nash0(&self) -> usize {
+        self.nash0.len()
+    }
+
+    /// Iterations NASH_P needed.
+    pub fn iterations_nashp(&self) -> usize {
+        self.nashp.len()
+    }
+
+    /// Convergence diagnostics of both traces: `(nash0, nashp)`.
+    pub fn diagnostics(&self) -> (ConvergenceReport, ConvergenceReport) {
+        let t0: IterationTrace = self.nash0.iter().copied().collect();
+        let tp: IterationTrace = self.nashp.iter().copied().collect();
+        (
+            ConvergenceReport::from_trace(&t0).expect("non-empty trace"),
+            ConvergenceReport::from_trace(&tp).expect("non-empty trace"),
+        )
+    }
+}
+
+/// Runs the Figure 2 experiment at tolerance ε on the medium-load
+/// Table-1 system.
+///
+/// # Errors
+///
+/// Propagates solver failures (cannot occur for the paper configuration).
+pub fn run() -> Result<Fig2Result, GameError> {
+    run_at(MEDIUM_LOAD, EPSILON)
+}
+
+/// Parameterized variant used by benches/tests.
+///
+/// # Errors
+///
+/// Propagates model-construction and solver failures.
+pub fn run_at(rho: f64, eps: f64) -> Result<Fig2Result, GameError> {
+    let model = SystemModel::table1_system(rho)?;
+    let nash0 = NashSolver::new(Initialization::Zero)
+        .tolerance(eps)
+        .solve(&model)?;
+    let nashp = NashSolver::new(Initialization::Proportional)
+        .tolerance(eps)
+        .solve(&model)?;
+    Ok(Fig2Result {
+        nash0: nash0.trace().values().to_vec(),
+        nashp: nashp.trace().values().to_vec(),
+    })
+}
+
+/// Renders the two series side by side (blank cells once a variant has
+/// converged).
+pub fn render(r: &Fig2Result) -> Table {
+    let mut t = Table::new(
+        "Figure 2: norm vs number of iterations (16 computers, 10 users, rho=60%)",
+        vec!["iteration", "NASH_0 norm", "NASH_P norm"],
+    );
+    let len = r.nash0.len().max(r.nashp.len());
+    for i in 0..len {
+        t.row(vec![
+            (i + 1).to_string(),
+            r.nash0.get(i).map(|&x| fmt(x)).unwrap_or_default(),
+            r.nashp.get(i).map(|&x| fmt(x)).unwrap_or_default(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nashp_outperforms_nash0() {
+        let r = run().unwrap();
+        // Paper: NASH_P "significantly outperforms" NASH_0. In our
+        // reproduction the win is consistent but smaller than the paper's
+        // ">2x" headline (see EXPERIMENTS.md): the asymptotic contraction
+        // rate of best-reply dynamics is initialization-independent, so a
+        // closer start buys a constant number of iterations.
+        assert!(
+            r.iterations_nashp() < r.iterations_nash0(),
+            "NASH_P {} vs NASH_0 {}",
+            r.iterations_nashp(),
+            r.iterations_nash0()
+        );
+        // The "closer to the equilibrium point" claim itself: the initial
+        // proportional profile starts with a much smaller norm.
+        assert!(
+            r.nashp[0] < 0.5 * r.nash0[0],
+            "initial norms: NASH_P {} vs NASH_0 {}",
+            r.nashp[0],
+            r.nash0[0]
+        );
+    }
+
+    #[test]
+    fn norms_decay_below_epsilon() {
+        let r = run().unwrap();
+        assert!(*r.nash0.last().unwrap() <= EPSILON);
+        assert!(*r.nashp.last().unwrap() <= EPSILON);
+        // Early NASH_0 norms are large (far-from-equilibrium start).
+        assert!(r.nash0[0] > r.nash0[r.nash0.len() - 1] * 10.0);
+    }
+
+    #[test]
+    fn diagnostics_expose_the_contraction_rate() {
+        let r = run().unwrap();
+        let (d0, dp) = r.diagnostics();
+        let r0 = d0.tail_rate.unwrap();
+        let rp = dp.tail_rate.unwrap();
+        // Both initializations share (approximately) the same asymptotic
+        // contraction rate — the EXPERIMENTS.md argument for why NASH_P's
+        // win is a constant offset, not a constant factor.
+        assert!((r0 - rp).abs() < 0.1, "tail rates {r0} vs {rp}");
+        assert!(r0 > 0.5 && r0 < 1.0);
+        assert!(d0.initial_norm > dp.initial_norm);
+    }
+
+    #[test]
+    fn render_has_one_row_per_iteration() {
+        let r = run().unwrap();
+        let t = render(&r);
+        assert_eq!(t.len(), r.iterations_nash0().max(r.iterations_nashp()));
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 3 — iterations to reach equilibrium vs the number of users
+//! (16 Table-1 computers, 4…32 equal-rate users, 60% utilization).
+//!
+//! "NASH_P significantly outperforms NASH_0, reducing the number of
+//! iterations needed to reach the equilibrium in all the cases."
+
+use crate::config::{EPSILON, MEDIUM_LOAD, USER_SWEEP};
+use crate::report::Table;
+use lb_game::error::GameError;
+use lb_game::model::SystemModel;
+use lb_game::nash::{Initialization, NashSolver};
+
+/// One sweep point of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig3Point {
+    /// Number of users.
+    pub users: usize,
+    /// Iterations for NASH_0.
+    pub nash0_iterations: u32,
+    /// Iterations for NASH_P.
+    pub nashp_iterations: u32,
+}
+
+/// Runs the Figure 3 sweep.
+///
+/// # Errors
+///
+/// Propagates model/solver failures.
+pub fn run() -> Result<Vec<Fig3Point>, GameError> {
+    run_sweep(&USER_SWEEP, MEDIUM_LOAD, EPSILON)
+}
+
+/// Parameterized sweep used by benches.
+///
+/// # Errors
+///
+/// Propagates model/solver failures.
+pub fn run_sweep(users: &[usize], rho: f64, eps: f64) -> Result<Vec<Fig3Point>, GameError> {
+    users
+        .iter()
+        .map(|&m| {
+            let model = SystemModel::with_equal_users(SystemModel::table1_rates(), m, rho)?;
+            let nash0 = NashSolver::new(Initialization::Zero)
+                .tolerance(eps)
+                .solve(&model)?;
+            let nashp = NashSolver::new(Initialization::Proportional)
+                .tolerance(eps)
+                .solve(&model)?;
+            Ok(Fig3Point {
+                users: m,
+                nash0_iterations: nash0.iterations(),
+                nashp_iterations: nashp.iterations(),
+            })
+        })
+        .collect()
+}
+
+/// Renders the sweep as the paper's series.
+pub fn render(points: &[Fig3Point]) -> Table {
+    let mut t = Table::new(
+        "Figure 3: iterations to converge vs number of users (16 computers, rho=60%)",
+        vec!["users", "NASH_0 iterations", "NASH_P iterations"],
+    );
+    for p in points {
+        t.row(vec![
+            p.users.to_string(),
+            p.nash0_iterations.to_string(),
+            p.nashp_iterations.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nashp_wins_at_every_user_count() {
+        for p in run().unwrap() {
+            assert!(
+                p.nashp_iterations < p.nash0_iterations,
+                "{} users: NASH_P {} !< NASH_0 {}",
+                p.users,
+                p.nashp_iterations,
+                p.nash0_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_holds_up_to_32_users() {
+        // The open question the paper probes experimentally: best-reply
+        // dynamics converge well beyond two users.
+        let points = run().unwrap();
+        assert_eq!(points.len(), USER_SWEEP.len());
+        assert_eq!(points.last().unwrap().users, 32);
+    }
+
+    #[test]
+    fn render_matches_sweep() {
+        let points = run_sweep(&[4, 8], 0.6, 1e-3).unwrap();
+        assert_eq!(render(&points).len(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # lb-experiments — regenerating every table and figure of the paper
+//!
+//! One module per experiment, each exposing a `run*` function returning a
+//! structured result (consumed by tests and benches) and a rendering into
+//! the paper's rows (consumed by the `experiments` CLI binary):
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — system configuration |
+//! | [`fig2`] | Figure 2 — norm vs iterations, NASH_0 vs NASH_P |
+//! | [`fig3`] | Figure 3 — iterations to converge vs number of users |
+//! | [`fig4`] | Figure 4 — response time & fairness vs utilization |
+//! | [`fig5`] | Figure 5 — per-user response times at 60% load |
+//! | [`fig6`] | Figure 6 — response time & fairness vs speed skewness |
+//!
+//! [`beyond`] adds four extension experiments grounded in the paper's
+//! future-work section (service-distribution robustness, Stackelberg
+//! leaders, dynamic re-equilibration, observation noise).
+//!
+//! Every experiment has an **analytic** path (closed-form response times
+//! under the computed profiles; deterministic) and, where the paper used
+//! simulation, an optional **simulation** path (the DES with the paper's
+//! five-replication methodology). EXPERIMENTS.md records the outputs
+//! against the paper's reported shapes.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod beyond;
+pub mod cli;
+pub mod config;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod table1;

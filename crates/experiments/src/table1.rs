@@ -1,0 +1,86 @@
+//! Table 1 — the heterogeneous system configuration.
+//!
+//! | Relative processing rate | 1 | 2 | 5 | 10 |
+//! |--------------------------|---|---|---|----|
+//! | Number of computers      | 6 | 5 | 3 | 2  |
+//! | Processing rate (jobs/s) | 10| 20| 50| 100|
+
+use crate::report::Table;
+use lb_game::model::SystemModel;
+
+/// One computer class of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputerClass {
+    /// Rate relative to the slowest class.
+    pub relative_rate: f64,
+    /// Number of computers in the class.
+    pub count: usize,
+    /// Absolute processing rate, jobs per second.
+    pub rate: f64,
+}
+
+/// The classes of Table 1, derived from the model constructor (so the
+/// table can never drift from the code).
+pub fn classes() -> Vec<ComputerClass> {
+    let rates = SystemModel::table1_rates();
+    let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut classes: Vec<ComputerClass> = Vec::new();
+    for &r in &rates {
+        match classes.iter_mut().find(|c| c.rate == r) {
+            Some(c) => c.count += 1,
+            None => classes.push(ComputerClass {
+                relative_rate: r / min,
+                count: 1,
+                rate: r,
+            }),
+        }
+    }
+    classes.sort_by(|a, b| a.rate.partial_cmp(&b.rate).expect("finite"));
+    classes
+}
+
+/// Renders Table 1 in the paper's layout (classes as columns).
+pub fn render() -> Table {
+    let cls = classes();
+    let mut header = vec!["quantity".to_string()];
+    header.extend(cls.iter().map(|c| format!("class {}", c.relative_rate as u64)));
+    let mut t = Table::new(
+        "Table 1: system configuration".to_string(),
+        header,
+    );
+    let mut rel = vec!["relative processing rate".to_string()];
+    rel.extend(cls.iter().map(|c| format!("{}", c.relative_rate as u64)));
+    t.row(rel);
+    let mut cnt = vec!["number of computers".to_string()];
+    cnt.extend(cls.iter().map(|c| c.count.to_string()));
+    t.row(cnt);
+    let mut rate = vec!["processing rate (jobs/s)".to_string()];
+    rate.extend(cls.iter().map(|c| format!("{}", c.rate as u64)));
+    t.row(rate);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_the_paper() {
+        let c = classes();
+        assert_eq!(c.len(), 4);
+        let expected = [(1.0, 6, 10.0), (2.0, 5, 20.0), (5.0, 3, 50.0), (10.0, 2, 100.0)];
+        for (cls, (rel, count, rate)) in c.iter().zip(expected) {
+            assert_eq!(cls.relative_rate, rel);
+            assert_eq!(cls.count, count);
+            assert_eq!(cls.rate, rate);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_classes() {
+        let s = render().render();
+        for v in ["6", "5", "3", "2", "10", "20", "50", "100"] {
+            assert!(s.contains(v), "missing {v} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `experiments` binary: spawn the real
+//! executable, check exit codes, stdout shape, and CSV artifacts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lb_cli_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn table1_prints_and_writes_csv() {
+    let out = temp_out("table1");
+    let output = bin()
+        .args(["table1", "--out", out.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Table 1"));
+    assert!(stdout.contains("processing rate"));
+    let csv = std::fs::read_to_string(out.join("table1.csv")).expect("csv written");
+    assert!(csv.lines().count() >= 3);
+    assert!(csv.contains("100"));
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn fig3_csv_has_the_user_sweep() {
+    let out = temp_out("fig3");
+    let output = bin()
+        .args(["fig3", "--out", out.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let csv = std::fs::read_to_string(out.join("fig3.csv")).unwrap();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next().unwrap(), "users,NASH_0 iterations,NASH_P iterations");
+    // 8 sweep points, each with NASH_P < NASH_0.
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 8);
+    for row in rows {
+        let cells: Vec<u32> = row.split(',').map(|c| c.parse().unwrap()).collect();
+        assert!(cells[2] < cells[1], "row {row}");
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = bin().arg("fig99").output().expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_command_fails() {
+    let output = bin().output().expect("binary runs");
+    assert!(!output.status.success());
+}
+
+#[test]
+fn bad_flag_value_fails() {
+    let output = bin()
+        .args(["fig2", "--jobs", "not-a-number"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--jobs"));
+}

@@ -1,0 +1,135 @@
+//! Convergence diagnostics for best-reply dynamics.
+//!
+//! Used by EXPERIMENTS.md's analysis of the paper's Figure-2 claim: the
+//! asymptotic contraction rate `r` of the best-reply map is a property of
+//! the equilibrium, not the starting point, so a closer initialization
+//! (NASH_P) buys `log(norm0_P / norm0_0) / log r` iterations — a constant
+//! — rather than a constant *factor*. [`ConvergenceReport`] extracts the
+//! quantities behind that argument from a norm trace.
+
+use lb_stats::IterationTrace;
+
+/// Summary of a convergence-norm trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceReport {
+    /// Norm after the first sweep.
+    pub initial_norm: f64,
+    /// Norm at termination.
+    pub final_norm: f64,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Geometric contraction rate fitted to the tail (second half) of the
+    /// trace; `None` if the tail is too short or non-positive.
+    pub tail_rate: Option<f64>,
+}
+
+impl ConvergenceReport {
+    /// Builds a report from a norm trace; `None` for an empty trace.
+    pub fn from_trace(trace: &IterationTrace) -> Option<Self> {
+        let values = trace.values();
+        if values.is_empty() {
+            return None;
+        }
+        let tail_start = values.len() / 2;
+        let tail: IterationTrace = values[tail_start..].iter().copied().collect();
+        Some(Self {
+            initial_norm: values[0],
+            final_norm: *values.last().expect("non-empty"),
+            iterations: values.len(),
+            tail_rate: tail.geometric_rate().filter(|r| r.is_finite() && *r > 0.0),
+        })
+    }
+
+    /// Predicted additional sweeps to push the norm from `from` down to
+    /// `tolerance` at contraction rate `rate` (`None` when the prediction
+    /// is undefined: rate ≥ 1 or non-positive inputs).
+    pub fn predict_iterations(from: f64, tolerance: f64, rate: f64) -> Option<u32> {
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        if !positive(from) || !positive(tolerance) || !(0.0..1.0).contains(&rate) || rate == 0.0 {
+            return None;
+        }
+        if from <= tolerance {
+            return Some(0);
+        }
+        Some(((tolerance / from).ln() / rate.ln()).ceil() as u32)
+    }
+
+    /// Predicted iteration *saving* of starting at `norm_close` instead of
+    /// `norm_far` for the same tolerance, at the report's tail rate — the
+    /// constant-offset argument of EXPERIMENTS.md. `None` when the tail
+    /// rate is unavailable.
+    pub fn predicted_saving(&self, norm_far: f64, norm_close: f64) -> Option<f64> {
+        let rate = self.tail_rate?;
+        if !(0.0..1.0).contains(&rate) || rate == 0.0 || norm_far <= 0.0 || norm_close <= 0.0 {
+            return None;
+        }
+        Some((norm_close / norm_far).ln() / rate.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SystemModel;
+    use crate::nash::{Initialization, NashSolver};
+
+    #[test]
+    fn empty_trace_yields_none() {
+        assert!(ConvergenceReport::from_trace(&IterationTrace::new()).is_none());
+    }
+
+    #[test]
+    fn recovers_exact_geometric_decay() {
+        let trace: IterationTrace = (0..24).map(|k| 8.0 * 0.5f64.powi(k)).collect();
+        let r = ConvergenceReport::from_trace(&trace).unwrap();
+        assert_eq!(r.iterations, 24);
+        assert!((r.initial_norm - 8.0).abs() < 1e-12);
+        assert!((r.tail_rate.unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_matches_closed_form() {
+        // From 1.0 to 1e-4 at rate 0.5: ceil(ln(1e-4)/ln(0.5)) = 14.
+        assert_eq!(ConvergenceReport::predict_iterations(1.0, 1e-4, 0.5), Some(14));
+        assert_eq!(ConvergenceReport::predict_iterations(1e-5, 1e-4, 0.5), Some(0));
+        assert_eq!(ConvergenceReport::predict_iterations(1.0, 1e-4, 1.0), None);
+        assert_eq!(ConvergenceReport::predict_iterations(0.0, 1e-4, 0.5), None);
+    }
+
+    #[test]
+    fn explains_the_fig2_gap_on_the_real_system() {
+        // The real NASH_0 / NASH_P iteration gap must be within a few
+        // sweeps of the constant-offset prediction.
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let zero = NashSolver::new(Initialization::Zero)
+            .tolerance(1e-4)
+            .solve(&model)
+            .unwrap();
+        let prop = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-4)
+            .solve(&model)
+            .unwrap();
+        let report = ConvergenceReport::from_trace(zero.trace()).unwrap();
+        let predicted = report
+            .predicted_saving(zero.trace().values()[0], prop.trace().values()[0])
+            .unwrap();
+        let actual = zero.iterations() as f64 - prop.iterations() as f64;
+        assert!(
+            (predicted - actual).abs() <= 6.0,
+            "predicted saving {predicted:.1} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn rate_is_between_zero_and_one_for_contracting_dynamics() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let out = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-8)
+            .solve(&model)
+            .unwrap();
+        let r = ConvergenceReport::from_trace(out.trace()).unwrap();
+        let rate = r.tail_rate.unwrap();
+        assert!(rate > 0.0 && rate < 1.0, "rate {rate}");
+        assert!(r.final_norm <= 1e-8);
+    }
+}

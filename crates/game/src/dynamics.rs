@@ -1,0 +1,282 @@
+//! Dynamic re-equilibration — the paper's named future work ("game
+//! theoretic models for dynamic load balancing").
+//!
+//! The paper's NASH algorithm is static: "the execution of this algorithm
+//! is initiated periodically or when the system parameters are changed".
+//! This module implements exactly that loop: a [`DynamicBalancer`] holds
+//! the current equilibrium and, whenever the system changes (computer
+//! rates drift, users join or leave, demand shifts), recomputes it —
+//! **warm-starting** from the previous equilibrium re-mapped onto the new
+//! system, which is typically far closer to the new equilibrium than
+//! either NASH_0 or NASH_P. The `ablations` bench quantifies the saving.
+
+use crate::error::GameError;
+use crate::model::SystemModel;
+use crate::nash::{Initialization, NashOutcome, NashSolver};
+use crate::strategy::{Strategy, StrategyProfile};
+
+/// How the balancer seeds the solver after a system change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Restart {
+    /// Re-solve from scratch with NASH_P (the static algorithm's default).
+    Cold,
+    /// Seed with the previous equilibrium, re-mapped to the new system
+    /// shape (rows added/dropped for joined/left users, renormalized).
+    Warm,
+}
+
+/// Statistics of one re-equilibration step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rebalance {
+    /// Sweeps the solver needed.
+    pub iterations: u32,
+    /// Restart policy used.
+    pub restart: Restart,
+}
+
+/// Maintains a Nash equilibrium across system changes.
+///
+/// # Examples
+///
+/// ```
+/// use lb_game::dynamics::{DynamicBalancer, Restart};
+/// use lb_game::model::SystemModel;
+///
+/// let mut b = DynamicBalancer::new(
+///     SystemModel::new(vec![10.0, 20.0], vec![9.0]).unwrap(),
+///     1e-6,
+/// ).unwrap();
+/// // Demand grows; warm-restart from the previous equilibrium.
+/// let drifted = SystemModel::new(vec![10.0, 20.0], vec![12.0]).unwrap();
+/// let step = b.update(drifted, Restart::Warm).unwrap();
+/// assert!(step.iterations >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicBalancer {
+    model: SystemModel,
+    equilibrium: StrategyProfile,
+    tolerance: f64,
+    max_iterations: u32,
+    history: Vec<Rebalance>,
+}
+
+impl DynamicBalancer {
+    /// Computes the initial equilibrium for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn new(model: SystemModel, tolerance: f64) -> Result<Self, GameError> {
+        let outcome = NashSolver::new(Initialization::Proportional)
+            .tolerance(tolerance)
+            .max_iterations(5000)
+            .solve(&model)?;
+        let history = vec![Rebalance {
+            iterations: outcome.iterations(),
+            restart: Restart::Cold,
+        }];
+        Ok(Self {
+            model,
+            equilibrium: outcome.into_profile(),
+            tolerance,
+            max_iterations: 5000,
+            history,
+        })
+    }
+
+    /// The current system model.
+    pub fn model(&self) -> &SystemModel {
+        &self.model
+    }
+
+    /// The current equilibrium profile.
+    pub fn equilibrium(&self) -> &StrategyProfile {
+        &self.equilibrium
+    }
+
+    /// Re-equilibration log (most recent last).
+    pub fn history(&self) -> &[Rebalance] {
+        &self.history
+    }
+
+    /// Applies a system change and recomputes the equilibrium with the
+    /// chosen restart policy. Returns the step statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/solver failures; on error the balancer keeps its
+    /// previous state.
+    pub fn update(&mut self, new_model: SystemModel, restart: Restart) -> Result<Rebalance, GameError> {
+        let init = match restart {
+            Restart::Cold => Initialization::Proportional,
+            Restart::Warm => {
+                Initialization::Custom(remap_profile(&self.equilibrium, &new_model)?)
+            }
+        };
+        let outcome: NashOutcome = NashSolver::new(init)
+            .tolerance(self.tolerance)
+            .max_iterations(self.max_iterations)
+            .solve(&new_model)?;
+        let step = Rebalance {
+            iterations: outcome.iterations(),
+            restart,
+        };
+        self.model = new_model;
+        self.equilibrium = outcome.into_profile();
+        self.history.push(step);
+        Ok(step)
+    }
+}
+
+/// Re-maps an old equilibrium onto a (possibly reshaped) new system:
+/// existing users keep their strategies truncated/extended to the new
+/// computer count and renormalized; new users start proportional.
+///
+/// # Errors
+///
+/// Propagates strategy-construction failures.
+pub fn remap_profile(
+    old: &StrategyProfile,
+    new_model: &SystemModel,
+) -> Result<StrategyProfile, GameError> {
+    let n_new = new_model.num_computers();
+    let m_new = new_model.num_users();
+    let total: f64 = new_model.computer_rates().iter().sum();
+    let proportional: Vec<f64> = new_model
+        .computer_rates()
+        .iter()
+        .map(|mu| mu / total)
+        .collect();
+
+    let mut rows = Vec::with_capacity(m_new);
+    for j in 0..m_new {
+        if j < old.num_users() {
+            let old_row = old.strategy(j).fractions();
+            let mut fr: Vec<f64> = (0..n_new)
+                .map(|i| old_row.get(i).copied().unwrap_or(0.0))
+                .collect();
+            let sum: f64 = fr.iter().sum();
+            if sum > 1e-12 {
+                for x in &mut fr {
+                    *x /= sum;
+                }
+            } else {
+                fr.clone_from(&proportional);
+            }
+            rows.push(Strategy::new(fr)?);
+        } else {
+            rows.push(Strategy::new(proportional.clone())?);
+        }
+    }
+    StrategyProfile::new(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::epsilon_nash_gap;
+
+    fn base_model() -> SystemModel {
+        SystemModel::table1_system(0.6).unwrap()
+    }
+
+    #[test]
+    fn initial_equilibrium_is_epsilon_nash() {
+        let b = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4);
+        assert_eq!(b.history().len(), 1);
+    }
+
+    #[test]
+    fn warm_start_beats_cold_start_on_small_drift() {
+        // Demand drifts by 5%: warm restart should need far fewer sweeps.
+        let mut warm = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        let mut cold = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        let drifted = SystemModel::table1_system(0.63).unwrap();
+        let w = warm.update(drifted.clone(), Restart::Warm).unwrap();
+        let c = cold.update(drifted, Restart::Cold).unwrap();
+        assert!(
+            w.iterations < c.iterations,
+            "warm {} vs cold {}",
+            w.iterations,
+            c.iterations
+        );
+        // Both end at an equilibrium of the new system.
+        for b in [&warm, &cold] {
+            let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+            assert!(gap < 1e-4, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn user_join_and_leave_are_handled() {
+        let mut b = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        // A user joins: 11 users now.
+        let mut fractions = lb_fractions();
+        fractions.push(0.08);
+        let joined =
+            SystemModel::with_utilization(SystemModel::table1_rates(), &fractions, 0.65)
+                .unwrap();
+        b.update(joined, Restart::Warm).unwrap();
+        assert_eq!(b.equilibrium().num_users(), 11);
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4);
+
+        // Two users leave: 9 users.
+        let left = SystemModel::with_utilization(
+            SystemModel::table1_rates(),
+            &lb_fractions()[..9],
+            0.55,
+        )
+        .unwrap();
+        b.update(left, Restart::Warm).unwrap();
+        assert_eq!(b.equilibrium().num_users(), 9);
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4);
+        assert_eq!(b.history().len(), 3);
+    }
+
+    #[test]
+    fn computer_pool_reshapes() {
+        let mut b = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        // Two fast computers are added.
+        let mut rates = SystemModel::table1_rates();
+        rates.push(100.0);
+        rates.push(100.0);
+        let expanded = SystemModel::with_utilization(rates, &lb_fractions(), 0.6).unwrap();
+        b.update(expanded, Restart::Warm).unwrap();
+        assert_eq!(b.equilibrium().num_computers(), 18);
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4);
+
+        // The pool shrinks back to 12 computers.
+        let shrunk = SystemModel::with_utilization(
+            SystemModel::table1_rates()[..12].to_vec(),
+            &lb_fractions(),
+            0.6,
+        )
+        .unwrap();
+        b.update(shrunk, Restart::Warm).unwrap();
+        assert_eq!(b.equilibrium().num_computers(), 12);
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4);
+    }
+
+    #[test]
+    fn failed_update_preserves_state() {
+        let b = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        let before = b.equilibrium().clone();
+        // An impossible re-solve: absurdly tight tolerance within 0 sweeps
+        // cannot be triggered through update(), so use an overloaded-model
+        // construction failure upstream instead.
+        let bad = SystemModel::new(vec![10.0], vec![5.0, 6.0]);
+        assert!(bad.is_err());
+        assert_eq!(b.equilibrium(), &before);
+        assert_eq!(b.history().len(), 1);
+    }
+
+    fn lb_fractions() -> Vec<f64> {
+        crate::model::paper_user_fractions()
+    }
+}

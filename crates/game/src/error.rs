@@ -1,0 +1,164 @@
+//! Error type for the load-balancing game.
+
+use lb_queueing::QueueingError;
+use std::fmt;
+
+/// Errors raised by model construction, best-reply computation and the
+/// equilibrium algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// A rate was non-positive or non-finite.
+    InvalidRate {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The model has no computers or no users.
+    EmptyModel {
+        /// Which collection was empty: `"computers"` or `"users"`.
+        what: &'static str,
+    },
+    /// The standing stability assumption `Φ < Σ μ_i` fails.
+    Overloaded {
+        /// Total user arrival rate Φ.
+        total_arrival_rate: f64,
+        /// Aggregate capacity Σ μ_i.
+        total_capacity: f64,
+    },
+    /// Vector lengths disagree with the model dimensions.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A strategy violated positivity or conservation.
+    InfeasibleStrategy {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A user's best-reply subproblem has no feasible solution — the other
+    /// users leave less available capacity than the user's arrival rate.
+    InfeasibleBestReply {
+        /// Index of the user.
+        user: usize,
+        /// Capacity left to the user.
+        available: f64,
+        /// The user's arrival rate.
+        demand: f64,
+    },
+    /// The iterative algorithm exhausted its iteration budget without
+    /// meeting the convergence tolerance.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: u32,
+        /// Final value of the convergence norm.
+        final_norm: f64,
+    },
+    /// An error bubbled up from the queueing substrate.
+    Queueing(QueueingError),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRate { name, value } => {
+                write!(f, "rate `{name}` must be positive and finite, got {value}")
+            }
+            Self::EmptyModel { what } => write!(f, "model must have at least one of: {what}"),
+            Self::Overloaded {
+                total_arrival_rate,
+                total_capacity,
+            } => write!(
+                f,
+                "system overloaded: total arrival rate {total_arrival_rate} >= capacity {total_capacity}"
+            ),
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Self::InfeasibleStrategy { reason } => write!(f, "infeasible strategy: {reason}"),
+            Self::InfeasibleBestReply {
+                user,
+                available,
+                demand,
+            } => write!(
+                f,
+                "best reply infeasible for user {user}: available capacity {available} < demand {demand}"
+            ),
+            Self::DidNotConverge {
+                iterations,
+                final_norm,
+            } => write!(
+                f,
+                "did not converge after {iterations} iterations (norm {final_norm})"
+            ),
+            Self::Queueing(e) => write!(f, "queueing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Queueing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueueingError> for GameError {
+    fn from(e: QueueingError) -> Self {
+        Self::Queueing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<GameError> = vec![
+            GameError::InvalidRate {
+                name: "phi",
+                value: -1.0,
+            },
+            GameError::EmptyModel { what: "users" },
+            GameError::Overloaded {
+                total_arrival_rate: 10.0,
+                total_capacity: 5.0,
+            },
+            GameError::DimensionMismatch {
+                expected: 3,
+                actual: 1,
+            },
+            GameError::InfeasibleStrategy {
+                reason: "sums to 0.9".into(),
+            },
+            GameError::InfeasibleBestReply {
+                user: 2,
+                available: 1.0,
+                demand: 2.0,
+            },
+            GameError::DidNotConverge {
+                iterations: 100,
+                final_norm: 0.5,
+            },
+            GameError::Queueing(QueueingError::EmptySystem),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn queueing_error_converts_and_sources() {
+        use std::error::Error;
+        let e: GameError = QueueingError::EmptySystem.into();
+        assert!(matches!(e, GameError::Queueing(_)));
+        assert!(e.source().is_some());
+        let e = GameError::EmptyModel { what: "users" };
+        assert!(e.source().is_none());
+    }
+}

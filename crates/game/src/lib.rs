@@ -1,0 +1,70 @@
+//! # lb-game — the noncooperative load-balancing game
+//!
+//! This crate is the primary contribution of Grosu & Chronopoulos,
+//! *A Game-Theoretic Model and Algorithm for Load Balancing in Distributed
+//! Systems* (IPDPS/APDCM 2002), implemented as a library:
+//!
+//! * [`model`] — the heterogeneous distributed system: `n` M/M/1 computers
+//!   with rates `μ_i` shared by `m` selfish users with Poisson rates `φ_j`,
+//!   including the paper's Table 1 configuration.
+//! * [`strategy`] — user strategies `s_j` (job fractions) and strategy
+//!   profiles with the paper's feasibility constraints.
+//! * [`response`] — the expected-response-time functionals `F_i(s)`,
+//!   `D_j(s)` and the system-wide `D(s)`.
+//! * [`best_reply`] — the **OPTIMAL** algorithm (Theorem 2.1): a user's
+//!   exact best reply by square-root water-filling, O(n log n).
+//! * [`nash`] — the **NASH** distributed algorithm: round-robin greedy
+//!   best replies until the norm `Σ_j |D_j^{(l)} − D_j^{(l−1)}|` drops
+//!   below a tolerance, with the paper's NASH_0 and NASH_P initializations
+//!   (plus a Jacobi variant for ablations).
+//! * [`equilibrium`] — ε-Nash verification and price-of-anarchy helpers.
+//! * [`schemes`] — the comparison baselines of §4.2: proportional (PS),
+//!   global optimal (GOS) and individual optimal / Wardrop (IOS), behind a
+//!   common [`schemes::LoadBalancingScheme`] trait alongside NASH itself.
+//! * [`gradient`] — an independent projected-gradient best-reply solver
+//!   used to cross-check the water-filling optimum.
+//! * [`metrics`] — per-user/system response times and Jain fairness for a
+//!   computed profile (the paper's two evaluation metrics).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lb_game::model::SystemModel;
+//! use lb_game::nash::{Initialization, NashSolver};
+//! use lb_game::metrics::evaluate_profile;
+//!
+//! let model = SystemModel::builder()
+//!     .computer_rates(vec![10.0, 20.0, 50.0, 100.0])
+//!     .user_rates(vec![30.0, 60.0])
+//!     .build()
+//!     .unwrap();
+//! let outcome = NashSolver::new(Initialization::Proportional)
+//!     .solve(&model)
+//!     .unwrap();
+//! assert!(outcome.converged());
+//! let m = evaluate_profile(&model, outcome.profile()).unwrap();
+//! assert!(m.fairness > 0.99); // Nash is near-perfectly fair here
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod best_reply;
+pub mod diagnostics;
+pub mod dynamics;
+pub mod equilibrium;
+pub mod error;
+pub mod gradient;
+pub mod latency;
+pub mod metrics;
+pub mod model;
+pub mod multicore;
+pub mod nash;
+pub mod response;
+pub mod schemes;
+pub mod sensitivity;
+pub mod strategy;
+
+pub use error::GameError;
+pub use model::SystemModel;
+pub use strategy::{Strategy, StrategyProfile};

@@ -1,0 +1,107 @@
+//! Evaluation metrics for a strategy profile — the two quantities the
+//! paper plots everywhere: expected response time (per user and system)
+//! and Jain's fairness index.
+
+use crate::error::GameError;
+use crate::model::SystemModel;
+use crate::response::{overall_response_time, user_response_times};
+use crate::strategy::StrategyProfile;
+use lb_stats::jain_index;
+
+/// Analytic evaluation of a strategy profile against a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileMetrics {
+    /// Per-user expected response times `D_j`.
+    pub user_times: Vec<f64>,
+    /// System-wide expected response time `D = (1/Φ) Σ φ_j D_j`.
+    pub overall_time: f64,
+    /// Jain's fairness index of the user times (`NaN` if undefined, e.g.
+    /// under saturation).
+    pub fairness: f64,
+    /// Aggregate flow at each computer `λ_i`.
+    pub computer_flows: Vec<f64>,
+    /// Per-computer utilizations `λ_i / μ_i`.
+    pub computer_utilizations: Vec<f64>,
+}
+
+/// Evaluates `profile` on `model`.
+///
+/// # Examples
+///
+/// ```
+/// use lb_game::metrics::evaluate_profile;
+/// use lb_game::model::SystemModel;
+/// use lb_game::schemes::{LoadBalancingScheme, ProportionalScheme};
+///
+/// let model = SystemModel::new(vec![10.0, 30.0], vec![8.0]).unwrap();
+/// let profile = ProportionalScheme.compute(&model).unwrap();
+/// let m = evaluate_profile(&model, &profile).unwrap();
+/// assert_eq!(m.fairness, 1.0); // PS is perfectly fair
+/// assert!((m.computer_utilizations[0] - 0.2).abs() < 1e-12);
+/// ```
+///
+/// # Errors
+///
+/// [`GameError::DimensionMismatch`] when the shapes disagree.
+pub fn evaluate_profile(
+    model: &SystemModel,
+    profile: &StrategyProfile,
+) -> Result<ProfileMetrics, GameError> {
+    let user_times = user_response_times(model, profile)?;
+    let overall_time = overall_response_time(model, profile)?;
+    let fairness = jain_index(&user_times).unwrap_or(f64::NAN);
+    let computer_flows = profile.computer_flows(model)?;
+    let computer_utilizations = computer_flows
+        .iter()
+        .zip(model.computer_rates())
+        .map(|(&l, &mu)| l / mu)
+        .collect();
+    Ok(ProfileMetrics {
+        user_times,
+        overall_time,
+        fairness,
+        computer_flows,
+        computer_utilizations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{LoadBalancingScheme, ProportionalScheme};
+
+    #[test]
+    fn metrics_are_consistent() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let p = ProportionalScheme.compute(&model).unwrap();
+        let m = evaluate_profile(&model, &p).unwrap();
+        assert_eq!(m.user_times.len(), 10);
+        assert_eq!(m.computer_flows.len(), 16);
+        assert!((m.fairness - 1.0).abs() < 1e-12);
+        // Overall equals the rate-weighted user mean.
+        let phi: f64 = model.total_arrival_rate();
+        let weighted: f64 = m
+            .user_times
+            .iter()
+            .zip(model.user_rates())
+            .map(|(&d, &f)| d * f)
+            .sum::<f64>()
+            / phi;
+        assert!((m.overall_time - weighted).abs() < 1e-12);
+        // PS equalizes utilization at rho.
+        for &u in &m.computer_utilizations {
+            assert!((u - 0.6).abs() < 1e-9);
+        }
+        // Flows conserve the total rate.
+        let total: f64 = m.computer_flows.iter().sum();
+        assert!((total - phi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let other = SystemModel::new(vec![5.0, 5.0], vec![1.0]).unwrap();
+        let p = ProportionalScheme.compute(&other).unwrap();
+        assert!(evaluate_profile(&model, &p).is_err());
+    }
+}

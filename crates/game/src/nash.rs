@@ -1,0 +1,541 @@
+//! The NASH distributed load-balancing algorithm (paper §3).
+//!
+//! Users update their strategies **round-robin**, each playing the exact
+//! best reply ([`crate::best_reply`]) against the other users' current
+//! strategies (a Gauss–Seidel greedy best-reply scheme). The iteration
+//! norm is the paper's
+//!
+//! ```text
+//! norm_l = Σ_j |D_j^{(l)} − D_j^{(l−1)}|
+//! ```
+//!
+//! and the algorithm stops when `norm <= ε`.
+//!
+//! Two initializations from the paper:
+//!
+//! * **NASH_0** ([`Initialization::Zero`]) — start from the empty profile
+//!   (`s = 0`); the first sweep builds strategies one user at a time, each
+//!   seeing only the flows of users that already updated.
+//! * **NASH_P** ([`Initialization::Proportional`]) — start from the
+//!   proportional allocation `s_ji = μ_i / Σ_k μ_k`, which is close to the
+//!   equilibrium and roughly halves the iteration count (Figures 2–3).
+//!
+//! A **Jacobi** update order (all users best-reply simultaneously against
+//! the previous round) is provided for the ablation benches — and the
+//! ablation is decisive: on the paper's Table-1 system Jacobi updates
+//! *diverge* for three or more users (everyone piles onto the same
+//! machines each round), while the paper's round-robin scheme converges
+//! in every configuration tested. A randomized-order variant is also
+//! available; it behaves like round-robin.
+
+use crate::error::GameError;
+use crate::model::SystemModel;
+use crate::response::user_response_times;
+use crate::strategy::{Strategy, StrategyProfile};
+use lb_stats::IterationTrace;
+
+/// Starting point of the best-reply iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initialization {
+    /// NASH_0: the empty profile (`s_ji = 0` for all `j, i`).
+    Zero,
+    /// NASH_P: every user starts proportional to processing rates.
+    Proportional,
+    /// Start from a caller-supplied profile.
+    Custom(StrategyProfile),
+}
+
+/// How users take turns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOrder {
+    /// The paper's scheme: users update one at a time, round-robin, each
+    /// seeing the already-updated strategies of earlier users.
+    GaussSeidel,
+    /// Ablation: all users best-reply simultaneously to the previous
+    /// round's profile. Can overshoot; not guaranteed stable.
+    Jacobi,
+    /// Ablation: sequential updates like Gauss–Seidel, but each sweep
+    /// visits users in a fresh pseudo-random permutation derived from the
+    /// seed (deterministic given the seed).
+    RandomPermutation(u64),
+}
+
+/// Configuration and entry point for the NASH algorithm.
+#[derive(Debug, Clone)]
+pub struct NashSolver {
+    init: Initialization,
+    order: UpdateOrder,
+    tolerance: f64,
+    max_iterations: u32,
+}
+
+impl NashSolver {
+    /// Creates a solver with the paper's defaults: Gauss–Seidel updates,
+    /// tolerance `1e-4`, at most 500 sweeps.
+    pub fn new(init: Initialization) -> Self {
+        Self {
+            init,
+            order: UpdateOrder::GaussSeidel,
+            tolerance: 1e-4,
+            max_iterations: 500,
+        }
+    }
+
+    /// Sets the convergence tolerance ε on the response-time norm.
+    pub fn tolerance(mut self, eps: f64) -> Self {
+        self.tolerance = eps;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn max_iterations(mut self, iters: u32) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Selects Gauss–Seidel (paper) or Jacobi (ablation) updates.
+    pub fn update_order(mut self, order: UpdateOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Runs the best-reply iteration to a Nash equilibrium.
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::DidNotConverge`] when the iteration budget runs out
+    ///   (the partial result is lost; raise `max_iterations`).
+    /// * [`GameError::InfeasibleBestReply`] if an update round leaves some
+    ///   user without capacity (possible only under Jacobi overshoot).
+    pub fn solve(&self, model: &SystemModel) -> Result<NashOutcome, GameError> {
+        let m = model.num_users();
+        let n = model.num_computers();
+
+        // Working rows: None = "not yet initialized" (the NASH_0 state in
+        // which a user contributes no flow).
+        let mut rows: Vec<Option<Strategy>> = match &self.init {
+            Initialization::Zero => vec![None; m],
+            Initialization::Proportional => {
+                let total: f64 = model.computer_rates().iter().sum();
+                let prop = Strategy::new(
+                    model.computer_rates().iter().map(|mu| mu / total).collect(),
+                )?;
+                vec![Some(prop); m]
+            }
+            Initialization::Custom(p) => {
+                if p.num_users() != m || p.num_computers() != n {
+                    return Err(GameError::DimensionMismatch {
+                        expected: m,
+                        actual: p.num_users(),
+                    });
+                }
+                p.strategies().iter().cloned().map(Some).collect()
+            }
+        };
+
+        // D_j of the current profile (0 for uninitialized users, matching
+        // the paper's zero start).
+        let mut prev_d = current_user_times(model, &rows);
+        let mut trace = IterationTrace::new();
+
+        for iter in 0..self.max_iterations {
+            let norm = match self.order {
+                UpdateOrder::GaussSeidel | UpdateOrder::RandomPermutation(_) => {
+                    let order: Vec<usize> = match self.order {
+                        UpdateOrder::RandomPermutation(seed) => {
+                            shuffled_users(m, seed ^ u64::from(iter))
+                        }
+                        _ => (0..m).collect(),
+                    };
+                    let mut norm = 0.0;
+                    for &j in &order {
+                        let br = partial_best_reply(model, &rows, j)?;
+                        rows[j] = Some(br);
+                        let d_new = user_time(model, &rows, j);
+                        norm += (d_new - prev_d[j]).abs();
+                        prev_d[j] = d_new;
+                    }
+                    norm
+                }
+                UpdateOrder::Jacobi => {
+                    let replies: Vec<Strategy> = (0..m)
+                        .map(|j| partial_best_reply(model, &rows, j))
+                        .collect::<Result<_, _>>()?;
+                    for (row, br) in rows.iter_mut().zip(replies) {
+                        *row = Some(br);
+                    }
+                    let mut norm = 0.0;
+                    for (j, prev) in prev_d.iter_mut().enumerate() {
+                        let d_new = user_time(model, &rows, j);
+                        norm += (d_new - *prev).abs();
+                        *prev = d_new;
+                    }
+                    norm
+                }
+            };
+            trace.push(norm);
+            if norm <= self.tolerance {
+                let profile = assemble(rows)?;
+                let user_times = user_response_times(model, &profile)?;
+                return Ok(NashOutcome {
+                    profile,
+                    trace,
+                    iterations: iter + 1,
+                    converged: true,
+                    user_times,
+                });
+            }
+        }
+        Err(GameError::DidNotConverge {
+            iterations: self.max_iterations,
+            final_norm: trace.last().unwrap_or(f64::INFINITY),
+        })
+    }
+}
+
+/// Result of a converged NASH run.
+#[derive(Debug, Clone)]
+pub struct NashOutcome {
+    profile: StrategyProfile,
+    trace: IterationTrace,
+    iterations: u32,
+    converged: bool,
+    user_times: Vec<f64>,
+}
+
+impl NashOutcome {
+    /// The equilibrium strategy profile.
+    pub fn profile(&self) -> &StrategyProfile {
+        &self.profile
+    }
+
+    /// Per-iteration values of the convergence norm (Figure 2's series).
+    pub fn trace(&self) -> &IterationTrace {
+        &self.trace
+    }
+
+    /// Sweeps performed until convergence (Figure 3's metric).
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Whether the tolerance was met (always true for a returned outcome;
+    /// kept explicit for forward compatibility).
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Per-user expected response times `D_j` at the equilibrium.
+    pub fn user_times(&self) -> &[f64] {
+        &self.user_times
+    }
+
+    /// Consumes the outcome, returning the profile.
+    pub fn into_profile(self) -> StrategyProfile {
+        self.profile
+    }
+}
+
+/// Best reply of user `j` against partially initialized rows: users with
+/// `None` rows contribute no flow (the NASH_0 start state).
+fn partial_best_reply(
+    model: &SystemModel,
+    rows: &[Option<Strategy>],
+    j: usize,
+) -> Result<Strategy, GameError> {
+    // Available rates: mu_i minus flows of *other, initialized* users.
+    let mut avail: Vec<f64> = model.computer_rates().to_vec();
+    for (k, row) in rows.iter().enumerate() {
+        if k == j {
+            continue;
+        }
+        if let Some(s) = row {
+            let phi = model.user_rate(k);
+            for (a, f) in avail.iter_mut().zip(s.fractions()) {
+                *a -= f * phi;
+            }
+        }
+    }
+    let phi_j = model.user_rate(j);
+    let flows = crate::best_reply::water_fill_flows(&avail, phi_j).map_err(|e| match e {
+        GameError::InfeasibleBestReply {
+            available, demand, ..
+        } => GameError::InfeasibleBestReply {
+            user: j,
+            available,
+            demand,
+        },
+        other => other,
+    })?;
+    Strategy::new(flows.iter().map(|x| x / phi_j).collect())
+}
+
+/// `D_j` under partially initialized rows (0 for an uninitialized user).
+fn user_time(model: &SystemModel, rows: &[Option<Strategy>], j: usize) -> f64 {
+    let Some(own) = rows[j].as_ref() else {
+        return 0.0;
+    };
+    let mut flows = vec![0.0; model.num_computers()];
+    for (k, row) in rows.iter().enumerate() {
+        if let Some(s) = row {
+            let phi = model.user_rate(k);
+            for (total, f) in flows.iter_mut().zip(s.fractions()) {
+                *total += f * phi;
+            }
+        }
+    }
+    let mut d = 0.0;
+    for (i, &flow) in flows.iter().enumerate() {
+        let s = own.fraction(i);
+        if s > 0.0 {
+            d += s * lb_queueing::mm1::response_time(flow, model.computer_rate(i));
+        }
+    }
+    d
+}
+
+/// Deterministic Fisher–Yates permutation of `0..m` from a seed.
+fn shuffled_users(m: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..m).collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    for i in (1..m).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+fn current_user_times(model: &SystemModel, rows: &[Option<Strategy>]) -> Vec<f64> {
+    (0..rows.len()).map(|j| user_time(model, rows, j)).collect()
+}
+
+fn assemble(rows: Vec<Option<Strategy>>) -> Result<StrategyProfile, GameError> {
+    let rows: Vec<Strategy> = rows
+        .into_iter()
+        .map(|r| {
+            r.ok_or(GameError::InfeasibleStrategy {
+                reason: "user never initialized".into(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    StrategyProfile::new(rows)
+}
+
+/// Convenience: computes the Nash equilibrium with NASH_P defaults.
+///
+/// # Errors
+///
+/// See [`NashSolver::solve`].
+pub fn nash_equilibrium(model: &SystemModel) -> Result<NashOutcome, GameError> {
+    NashSolver::new(Initialization::Proportional).solve(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::epsilon_nash_gap;
+
+    fn small_model() -> SystemModel {
+        SystemModel::new(vec![10.0, 20.0, 50.0], vec![15.0, 25.0]).unwrap()
+    }
+
+    #[test]
+    fn converges_from_both_initializations_to_same_point() {
+        let model = small_model();
+        let a = NashSolver::new(Initialization::Zero)
+            .tolerance(1e-10)
+            .solve(&model)
+            .unwrap();
+        let b = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-10)
+            .solve(&model)
+            .unwrap();
+        assert!(a.converged() && b.converged());
+        let dist = a.profile().max_l1_distance(b.profile()).unwrap();
+        assert!(dist < 1e-4, "equilibria differ by {dist}");
+    }
+
+    #[test]
+    fn outcome_is_epsilon_nash() {
+        let model = small_model();
+        let out = nash_equilibrium(&model).unwrap();
+        let gap = epsilon_nash_gap(&model, out.profile()).unwrap();
+        assert!(gap < 1e-3, "Nash gap {gap}");
+    }
+
+    #[test]
+    fn profile_is_feasible_and_stable() {
+        let model = small_model();
+        let out = nash_equilibrium(&model).unwrap();
+        out.profile().check_stability(&model).unwrap();
+        for j in 0..2 {
+            let sum: f64 = out.profile().strategy(j).fractions().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(out.user_times().len(), 2);
+        assert!(out.user_times().iter().all(|&d| d.is_finite() && d > 0.0));
+    }
+
+    #[test]
+    fn proportional_init_converges_faster_on_table1() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let zero = NashSolver::new(Initialization::Zero)
+            .tolerance(1e-4)
+            .solve(&model)
+            .unwrap();
+        let prop = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-4)
+            .solve(&model)
+            .unwrap();
+        assert!(
+            prop.iterations() < zero.iterations(),
+            "NASH_P ({}) should beat NASH_0 ({})",
+            prop.iterations(),
+            zero.iterations()
+        );
+    }
+
+    #[test]
+    fn trace_decays_to_tolerance() {
+        let model = small_model();
+        let out = NashSolver::new(Initialization::Zero)
+            .tolerance(1e-6)
+            .solve(&model)
+            .unwrap();
+        let trace = out.trace();
+        assert_eq!(trace.len() as u32, out.iterations());
+        assert!(trace.last().unwrap() <= 1e-6);
+        // The norm decays overall (allow small non-monotonicity).
+        assert!(trace.values()[0] > trace.last().unwrap());
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        let model = SystemModel::table1_system(0.9).unwrap();
+        let err = NashSolver::new(Initialization::Zero)
+            .tolerance(1e-12)
+            .max_iterations(2)
+            .solve(&model)
+            .unwrap_err();
+        assert!(matches!(err, GameError::DidNotConverge { iterations: 2, .. }));
+    }
+
+    #[test]
+    fn custom_initialization_works_and_checks_shape() {
+        let model = small_model();
+        let p = StrategyProfile::replicated(Strategy::uniform(3), 2).unwrap();
+        let out = NashSolver::new(Initialization::Custom(p))
+            .solve(&model)
+            .unwrap();
+        assert!(out.converged());
+        let bad = StrategyProfile::replicated(Strategy::uniform(2), 2).unwrap();
+        assert!(NashSolver::new(Initialization::Custom(bad))
+            .solve(&model)
+            .is_err());
+    }
+
+    #[test]
+    fn jacobi_diverges_beyond_two_users_here() {
+        // A key ablation supporting the paper's round-robin design: with
+        // simultaneous (Jacobi) updates all users best-respond to the
+        // same snapshot and pile onto the same machines; on the Table-1
+        // system this oscillates into saturation for m >= 3 while the
+        // paper's Gauss-Seidel scheme converges for every m tested.
+        let model =
+            SystemModel::with_equal_users(SystemModel::table1_rates(), 4, 0.6).unwrap();
+        let err = NashSolver::new(Initialization::Proportional)
+            .update_order(UpdateOrder::Jacobi)
+            .tolerance(1e-4)
+            .max_iterations(2000)
+            .solve(&model)
+            .unwrap_err();
+        assert!(matches!(err, GameError::DidNotConverge { .. }));
+        // Gauss-Seidel on the identical instance converges quickly.
+        let ok = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-4)
+            .solve(&model)
+            .unwrap();
+        assert!(ok.converged());
+    }
+
+    #[test]
+    fn jacobi_reaches_the_same_equilibrium_here() {
+        let model = small_model();
+        let gs = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-10)
+            .solve(&model)
+            .unwrap();
+        let jac = NashSolver::new(Initialization::Proportional)
+            .update_order(UpdateOrder::Jacobi)
+            .tolerance(1e-10)
+            .max_iterations(2000)
+            .solve(&model)
+            .unwrap();
+        let dist = gs.profile().max_l1_distance(jac.profile()).unwrap();
+        assert!(dist < 1e-4, "Jacobi and Gauss-Seidel disagree by {dist}");
+    }
+
+    #[test]
+    fn single_user_equilibrium_is_its_optimum() {
+        // With one user the Nash equilibrium is just the user's optimum.
+        let model = SystemModel::new(vec![10.0, 20.0], vec![12.0]).unwrap();
+        let out = nash_equilibrium(&model).unwrap();
+        let rates = model.computer_rates();
+        let flows: Vec<f64> = out
+            .profile()
+            .strategy(0)
+            .fractions()
+            .iter()
+            .map(|s| s * 12.0)
+            .collect();
+        assert!(crate::best_reply::satisfies_kkt(rates, &flows, 1e-6));
+    }
+
+    #[test]
+    fn random_permutation_order_reaches_the_same_equilibrium() {
+        let model = small_model();
+        let gs = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-10)
+            .solve(&model)
+            .unwrap();
+        for seed in [1u64, 42, 777] {
+            let rp = NashSolver::new(Initialization::Proportional)
+                .update_order(UpdateOrder::RandomPermutation(seed))
+                .tolerance(1e-10)
+                .solve(&model)
+                .unwrap();
+            let dist = gs.profile().max_l1_distance(rp.profile()).unwrap();
+            assert!(dist < 1e-4, "seed {seed}: differs by {dist}");
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_deterministic_per_seed() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let a = NashSolver::new(Initialization::Proportional)
+            .update_order(UpdateOrder::RandomPermutation(9))
+            .solve(&model)
+            .unwrap();
+        let b = NashSolver::new(Initialization::Proportional)
+            .update_order(UpdateOrder::RandomPermutation(9))
+            .solve(&model)
+            .unwrap();
+        assert_eq!(a.iterations(), b.iterations());
+        assert_eq!(a.trace().values(), b.trace().values());
+    }
+
+    #[test]
+    fn many_users_converge_at_high_load() {
+        // The paper observes convergence for up to 32 users; exercise 16
+        // equal users at 80% utilization.
+        let model =
+            SystemModel::with_equal_users(SystemModel::table1_rates(), 16, 0.8).unwrap();
+        let out = nash_equilibrium(&model).unwrap();
+        assert!(out.converged());
+        let gap = epsilon_nash_gap(&model, out.profile()).unwrap();
+        assert!(gap < 1e-2, "gap {gap}");
+    }
+}

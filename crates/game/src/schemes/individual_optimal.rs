@@ -1,0 +1,277 @@
+//! The Individual Optimal Scheme (IOS) baseline — the Wardrop equilibrium
+//! (Kameda, Li, Kim & Zhang 1997).
+//!
+//! Each *job* optimizes its own response time: at equilibrium every used
+//! computer has the same expected response time and no unused computer
+//! would be faster — the infinitesimal-player limit of the paper's game.
+//! For parallel M/M/1 queues the equilibrium has a closed form: with
+//! computers sorted by rate descending and `c` the used count,
+//!
+//! ```text
+//! 1/τ = (Σ_{k<=c} μ_k − Φ) / c ,      λ_i = μ_i − 1/τ  (i <= c)
+//! ```
+//!
+//! where `c` is the largest prefix keeping every `λ_i > 0`. Every user
+//! plays `s_ji = λ_i / Φ`, so IOS is perfectly fair — the property the
+//! paper highlights ("the advantage of this scheme is that it provides a
+//! fair allocation"). The original IOS used an inefficient iterative
+//! procedure; [`wardrop_iterative`] implements a flow-deviation variant
+//! for cross-checking the closed form (DESIGN.md substitution #4).
+
+use super::LoadBalancingScheme;
+use crate::error::GameError;
+use crate::model::SystemModel;
+use crate::strategy::{Strategy, StrategyProfile};
+
+/// The IOS baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndividualOptimalScheme;
+
+/// Closed-form Wardrop-equilibrium aggregate flows for parallel M/M/1
+/// computers with rates `mu` and total demand `phi`.
+///
+/// # Examples
+///
+/// ```
+/// use lb_game::schemes::wardrop_flows;
+/// let flows = wardrop_flows(&[4.0, 8.0], 6.0).unwrap();
+/// // Used computers feel identical response times.
+/// let t0 = 1.0 / (4.0 - flows[0]);
+/// let t1 = 1.0 / (8.0 - flows[1]);
+/// assert!((t0 - t1).abs() < 1e-9);
+/// ```
+///
+/// # Errors
+///
+/// [`GameError::InvalidRate`] for a non-positive demand;
+/// [`GameError::Overloaded`] when `phi >= Σ μ`.
+pub fn wardrop_flows(mu: &[f64], phi: f64) -> Result<Vec<f64>, GameError> {
+    if !phi.is_finite() || phi <= 0.0 {
+        return Err(GameError::InvalidRate {
+            name: "phi",
+            value: phi,
+        });
+    }
+    let total: f64 = mu.iter().sum();
+    if phi >= total {
+        return Err(GameError::Overloaded {
+            total_arrival_rate: phi,
+            total_capacity: total,
+        });
+    }
+    let mut order: Vec<usize> = (0..mu.len()).collect();
+    order.sort_by(|&p, &q| mu[q].partial_cmp(&mu[p]).expect("finite").then(p.cmp(&q)));
+
+    // Shrink the used prefix until every used computer keeps positive flow.
+    let mut c = order.len();
+    let mut prefix_sum: f64 = total;
+    loop {
+        let residual = (prefix_sum - phi) / c as f64; // = 1/tau
+        let mu_last = mu[order[c - 1]];
+        if mu_last > residual || c == 1 {
+            let mut flows = vec![0.0; mu.len()];
+            for &i in &order[..c] {
+                flows[i] = (mu[i] - residual).max(0.0);
+            }
+            return Ok(flows);
+        }
+        prefix_sum -= mu_last;
+        c -= 1;
+    }
+}
+
+/// Iterative computation of the Wardrop equilibrium by bisection on the
+/// common response time τ: for a candidate τ, the only flows compatible
+/// with "every used computer feels exactly τ" are
+/// `λ_i(τ) = max(0, μ_i − 1/τ)`, whose total is increasing in τ; bisect
+/// until the total meets `phi`. A genuinely different method from the
+/// sort-based closed form, used to cross-check it (and standing in for
+/// the "inefficient iterative procedure" the paper attributes to the
+/// original IOS).
+///
+/// # Errors
+///
+/// As for [`wardrop_flows`], plus [`GameError::DidNotConverge`] if the
+/// conservation residual is not within `tol · phi` after `max_iters`
+/// bisection steps.
+pub fn wardrop_iterative(
+    mu: &[f64],
+    phi: f64,
+    tol: f64,
+    max_iters: u32,
+) -> Result<Vec<f64>, GameError> {
+    if !phi.is_finite() || phi <= 0.0 {
+        return Err(GameError::InvalidRate {
+            name: "phi",
+            value: phi,
+        });
+    }
+    let total: f64 = mu.iter().sum();
+    if phi >= total {
+        return Err(GameError::Overloaded {
+            total_arrival_rate: phi,
+            total_capacity: total,
+        });
+    }
+    let flows_at = |tau: f64| -> Vec<f64> {
+        mu.iter().map(|&m| (m - 1.0 / tau).max(0.0)).collect()
+    };
+    let total_at = |tau: f64| -> f64 { flows_at(tau).iter().sum() };
+
+    // Bracket tau: at tau = 1/mu_max the total is 0 < phi; grow the upper
+    // end until the total exceeds phi (exists because total -> sum(mu)).
+    let mu_max = mu.iter().cloned().fold(0.0, f64::max);
+    let mut lo = 1.0 / mu_max;
+    let mut hi = 2.0 * lo;
+    while total_at(hi) < phi {
+        hi *= 2.0;
+    }
+    for _ in 0..max_iters {
+        let mid = 0.5 * (lo + hi);
+        let t = total_at(mid);
+        if (t - phi).abs() <= tol * phi {
+            // Rescale the used flows so conservation is exact.
+            let mut flows = flows_at(mid);
+            let sum: f64 = flows.iter().sum();
+            if sum > 0.0 {
+                for f in &mut flows {
+                    *f *= phi / sum;
+                }
+            }
+            return Ok(flows);
+        }
+        if t < phi {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(GameError::DidNotConverge {
+        iterations: max_iters,
+        final_norm: (total_at(0.5 * (lo + hi)) - phi).abs(),
+    })
+}
+
+impl LoadBalancingScheme for IndividualOptimalScheme {
+    fn name(&self) -> &'static str {
+        "IOS"
+    }
+
+    fn compute(&self, model: &SystemModel) -> Result<StrategyProfile, GameError> {
+        let flows = wardrop_flows(model.computer_rates(), model.total_arrival_rate())?;
+        let phi = model.total_arrival_rate();
+        let strategy = Strategy::new(flows.iter().map(|l| l / phi).collect())?;
+        StrategyProfile::replicated(strategy, model.num_users())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::user_response_times;
+    use lb_stats::jain_index;
+
+    #[test]
+    fn used_computers_have_equal_response_times() {
+        let mu = SystemModel::table1_rates();
+        let phi = 0.6 * 510.0;
+        let flows = wardrop_flows(&mu, phi).unwrap();
+        let times: Vec<f64> = flows
+            .iter()
+            .zip(&mu)
+            .filter(|(&l, _)| l > 0.0)
+            .map(|(&l, &m)| 1.0 / (m - l))
+            .collect();
+        assert!(!times.is_empty());
+        let t0 = times[0];
+        for &t in &times {
+            assert!((t - t0).abs() < 1e-9, "unequal used times: {t} vs {t0}");
+        }
+        // Wardrop condition for unused computers: joining them is no better.
+        for (&l, &m) in flows.iter().zip(&mu) {
+            if l == 0.0 {
+                assert!(1.0 / m >= t0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_and_positivity() {
+        let mu = [10.0, 20.0, 50.0, 100.0];
+        for &phi in &[1.0, 40.0, 120.0, 179.0] {
+            let flows = wardrop_flows(&mu, phi).unwrap();
+            let sum: f64 = flows.iter().sum();
+            assert!((sum - phi).abs() < 1e-9);
+            for (&l, &m) in flows.iter().zip(&mu) {
+                assert!(l >= 0.0 && l < m);
+            }
+        }
+    }
+
+    #[test]
+    fn light_load_routes_to_fastest_only() {
+        let flows = wardrop_flows(&[10.0, 100.0], 5.0).unwrap();
+        assert_eq!(flows[0], 0.0);
+        assert!((flows[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_system_splits_evenly() {
+        let flows = wardrop_flows(&[8.0, 8.0, 8.0], 12.0).unwrap();
+        for &l in &flows {
+            assert!((l - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_demand() {
+        assert!(wardrop_flows(&[1.0], 0.0).is_err());
+        assert!(wardrop_flows(&[1.0, 2.0], 3.0).is_err());
+        assert!(wardrop_flows(&[1.0, 2.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn iterative_matches_closed_form() {
+        let mu = SystemModel::table1_rates();
+        let phi = 0.6 * 510.0;
+        let exact = wardrop_flows(&mu, phi).unwrap();
+        let iterated = wardrop_iterative(&mu, phi, 1e-12, 200).unwrap();
+        for (a, b) in exact.iter().zip(&iterated) {
+            assert!(
+                (a - b).abs() < 1e-6 * phi,
+                "flow mismatch: closed {a} vs iterative {b}"
+            );
+        }
+        // Tighter check on the equilibrium property itself.
+        let times: Vec<f64> = iterated
+            .iter()
+            .zip(&mu)
+            .filter(|(&l, _)| l > 1e-6)
+            .map(|(&l, &m)| 1.0 / (m - l))
+            .collect();
+        let t0 = times[0];
+        for &t in &times {
+            assert!((t - t0).abs() < 1e-6, "iterative times unequal: {t} vs {t0}");
+        }
+    }
+
+    #[test]
+    fn scheme_is_perfectly_fair() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let p = IndividualOptimalScheme.compute(&model).unwrap();
+        let d = user_response_times(&model, &p).unwrap();
+        assert!((jain_index(&d).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ios_at_least_as_slow_as_gos() {
+        use crate::response::overall_response_time;
+        use crate::schemes::GlobalOptimalScheme;
+        let model = SystemModel::table1_system(0.5).unwrap();
+        let ios = IndividualOptimalScheme.compute(&model).unwrap();
+        let gos = GlobalOptimalScheme::default().compute(&model).unwrap();
+        let d_ios = overall_response_time(&model, &ios).unwrap();
+        let d_gos = overall_response_time(&model, &gos).unwrap();
+        assert!(d_ios >= d_gos - 1e-9, "IOS {d_ios} beat GOS {d_gos}");
+    }
+}

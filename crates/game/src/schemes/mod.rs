@@ -1,0 +1,129 @@
+//! The static load-balancing schemes compared in the paper (§4.2).
+//!
+//! All schemes produce a [`StrategyProfile`] for a [`SystemModel`] behind
+//! the common [`LoadBalancingScheme`] trait:
+//!
+//! * [`ProportionalScheme`] (PS, Chow & Kohler 1979) — allocate in
+//!   proportion to processing rates; perfectly fair, load-oblivious.
+//! * [`GlobalOptimalScheme`] (GOS, Kim & Kameda 1992) — minimize the
+//!   system-wide expected response time; socially optimal, unfair.
+//! * [`IndividualOptimalScheme`] (IOS, Kameda et al. 1997) — the Wardrop
+//!   equilibrium where each *job* individually optimizes; fair but
+//!   inefficient at moderate loads.
+//! * [`NashScheme`] — the paper's contribution: the Nash equilibrium
+//!   among *users*, computed by the NASH best-reply algorithm.
+
+mod global_optimal;
+mod individual_optimal;
+mod proportional;
+mod stackelberg;
+
+pub use global_optimal::{Decomposition, GlobalOptimalScheme};
+pub use individual_optimal::{wardrop_flows, wardrop_iterative, IndividualOptimalScheme};
+pub use proportional::ProportionalScheme;
+pub use stackelberg::StackelbergScheme;
+
+use crate::error::GameError;
+use crate::model::SystemModel;
+use crate::nash::{Initialization, NashSolver};
+use crate::strategy::StrategyProfile;
+
+/// A static load-balancing scheme: a rule mapping a system model to a
+/// strategy profile.
+pub trait LoadBalancingScheme {
+    /// Short scheme name as used in the paper's figures (e.g. `"NASH"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes the scheme's strategy profile for the model.
+    ///
+    /// # Errors
+    ///
+    /// Scheme-specific; all return [`GameError`].
+    fn compute(&self, model: &SystemModel) -> Result<StrategyProfile, GameError>;
+}
+
+/// The paper's NASH scheme as a [`LoadBalancingScheme`], using the NASH_P
+/// initialization by default.
+#[derive(Debug, Clone)]
+pub struct NashScheme {
+    solver: NashSolver,
+}
+
+impl NashScheme {
+    /// NASH with a custom solver configuration.
+    pub fn with_solver(solver: NashSolver) -> Self {
+        Self { solver }
+    }
+}
+
+impl Default for NashScheme {
+    fn default() -> Self {
+        Self {
+            solver: NashSolver::new(Initialization::Proportional),
+        }
+    }
+}
+
+impl LoadBalancingScheme for NashScheme {
+    fn name(&self) -> &'static str {
+        "NASH"
+    }
+
+    fn compute(&self, model: &SystemModel) -> Result<StrategyProfile, GameError> {
+        Ok(self.solver.solve(model)?.into_profile())
+    }
+}
+
+/// Every scheme the paper compares, in its plotting order, with GOS using
+/// the paper-like sequential decomposition.
+pub fn paper_schemes() -> Vec<Box<dyn LoadBalancingScheme>> {
+    vec![
+        Box::new(NashScheme::default()),
+        Box::new(GlobalOptimalScheme::default()),
+        Box::new(IndividualOptimalScheme),
+        Box::new(ProportionalScheme),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::overall_response_time;
+
+    #[test]
+    fn all_schemes_produce_feasible_profiles() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        for scheme in paper_schemes() {
+            let p = scheme
+                .compute(&model)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", scheme.name()));
+            p.check_stability(&model)
+                .unwrap_or_else(|e| panic!("{} unstable: {e}", scheme.name()));
+            assert_eq!(p.num_users(), 10);
+            assert_eq!(p.num_computers(), 16);
+        }
+    }
+
+    #[test]
+    fn scheme_names_match_paper() {
+        let names: Vec<&str> = paper_schemes().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["NASH", "GOS", "IOS", "PS"]);
+    }
+
+    #[test]
+    fn gos_minimizes_overall_time() {
+        let model = SystemModel::table1_system(0.5).unwrap();
+        let schemes = paper_schemes();
+        let gos = schemes[1].compute(&model).unwrap();
+        let d_gos = overall_response_time(&model, &gos).unwrap();
+        for scheme in &schemes {
+            let p = scheme.compute(&model).unwrap();
+            let d = overall_response_time(&model, &p).unwrap();
+            assert!(
+                d_gos <= d + 1e-9,
+                "{} beats GOS: {d} < {d_gos}",
+                scheme.name()
+            );
+        }
+    }
+}

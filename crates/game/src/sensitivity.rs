@@ -1,0 +1,175 @@
+//! Equilibrium sensitivity analysis — the analytic side of the paper's
+//! "uncertainty" future work.
+//!
+//! If the processing rates `μ_i` are only estimates, how much do the
+//! equilibrium response times move when an estimate is off? This module
+//! computes finite-difference derivatives of the Nash-equilibrium
+//! quantities with respect to each computer's rate, warm-starting every
+//! perturbed re-solve from the base equilibrium (see
+//! [`crate::dynamics`]), which makes the whole Jacobian affordable.
+
+use crate::dynamics::remap_profile;
+use crate::error::GameError;
+use crate::metrics::evaluate_profile;
+use crate::model::SystemModel;
+use crate::nash::{Initialization, NashSolver};
+
+/// Finite-difference sensitivities of the Nash equilibrium.
+#[derive(Debug, Clone)]
+pub struct SensitivityReport {
+    /// `d D_j* / d μ_i` — per-user equilibrium response-time derivative
+    /// with respect to each computer's rate (rows: users, cols:
+    /// computers).
+    pub user_time_by_rate: Vec<Vec<f64>>,
+    /// `d D* / d μ_i` — overall equilibrium response-time derivative.
+    pub overall_by_rate: Vec<f64>,
+    /// The relative perturbation used.
+    pub relative_step: f64,
+}
+
+impl SensitivityReport {
+    /// The computer whose rate improvement helps the *system* most
+    /// (most negative derivative).
+    pub fn most_valuable_computer(&self) -> usize {
+        self.overall_by_rate
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite derivatives"))
+            .map(|(i, _)| i)
+            .expect("non-empty system")
+    }
+}
+
+/// Computes the equilibrium sensitivity Jacobian by central differences
+/// with relative step `relative_step` (e.g. `1e-3`).
+///
+/// # Errors
+///
+/// Propagates solver failures; [`GameError::InvalidRate`] for a
+/// non-positive step.
+pub fn equilibrium_sensitivity(
+    model: &SystemModel,
+    tolerance: f64,
+    relative_step: f64,
+) -> Result<SensitivityReport, GameError> {
+    if !relative_step.is_finite() || relative_step <= 0.0 {
+        return Err(GameError::InvalidRate {
+            name: "relative_step",
+            value: relative_step,
+        });
+    }
+    let base = NashSolver::new(Initialization::Proportional)
+        .tolerance(tolerance)
+        .max_iterations(5000)
+        .solve(model)?;
+    let base_profile = base.into_profile();
+
+    let m = model.num_users();
+    let n = model.num_computers();
+    let mut user_time_by_rate = vec![vec![0.0; n]; m];
+    let mut overall_by_rate = vec![0.0; n];
+
+    for i in 0..n {
+        let mu_i = model.computer_rate(i);
+        let h = relative_step * mu_i;
+        let solve_at = |mu_value: f64| -> Result<(Vec<f64>, f64), GameError> {
+            let mut rates = model.computer_rates().to_vec();
+            rates[i] = mu_value;
+            let perturbed = SystemModel::new(rates, model.user_rates().to_vec())?;
+            let warm = remap_profile(&base_profile, &perturbed)?;
+            let out = NashSolver::new(Initialization::Custom(warm))
+                .tolerance(tolerance)
+                .max_iterations(5000)
+                .solve(&perturbed)?;
+            let metrics = evaluate_profile(&perturbed, out.profile())?;
+            Ok((metrics.user_times, metrics.overall_time))
+        };
+        let (up_users, up_overall) = solve_at(mu_i + h)?;
+        let (dn_users, dn_overall) = solve_at(mu_i - h)?;
+        for j in 0..m {
+            user_time_by_rate[j][i] = (up_users[j] - dn_users[j]) / (2.0 * h);
+        }
+        overall_by_rate[i] = (up_overall - dn_overall) / (2.0 * h);
+    }
+
+    Ok(SensitivityReport {
+        user_time_by_rate,
+        overall_by_rate,
+        relative_step,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_step() {
+        let model = SystemModel::new(vec![10.0, 20.0], vec![9.0]).unwrap();
+        assert!(equilibrium_sensitivity(&model, 1e-8, 0.0).is_err());
+        assert!(equilibrium_sensitivity(&model, 1e-8, -0.1).is_err());
+    }
+
+    #[test]
+    fn faster_computers_never_hurt_the_system() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let report = equilibrium_sensitivity(&model, 1e-9, 1e-3).unwrap();
+        for (i, &d) in report.overall_by_rate.iter().enumerate() {
+            assert!(
+                d <= 1e-6,
+                "raising mu_{i} worsens the equilibrium?! dD/dmu = {d}"
+            );
+        }
+        assert_eq!(report.user_time_by_rate.len(), 10);
+        assert_eq!(report.user_time_by_rate[0].len(), 16);
+    }
+
+    #[test]
+    fn unused_computers_have_negligible_sensitivity() {
+        // At 10% load the slow computers carry no equilibrium flow; a
+        // marginal rate change there must be ~irrelevant.
+        let model = SystemModel::table1_system(0.1).unwrap();
+        let report = equilibrium_sensitivity(&model, 1e-10, 1e-3).unwrap();
+        let scale = report
+            .overall_by_rate
+            .iter()
+            .map(|d| d.abs())
+            .fold(0.0, f64::max);
+        for (i, &mu) in model.computer_rates().iter().enumerate() {
+            if mu == 10.0 {
+                assert!(
+                    report.overall_by_rate[i].abs() < 0.05 * scale.max(1e-12),
+                    "idle computer {i} has sensitivity {}",
+                    report.overall_by_rate[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_closed_form_for_a_single_queue() {
+        // One computer, one user: D* = 1/(mu - phi), dD/dmu = -1/(mu-phi)^2.
+        let model = SystemModel::new(vec![10.0], vec![6.0]).unwrap();
+        let report = equilibrium_sensitivity(&model, 1e-12, 1e-4).unwrap();
+        let exact = -1.0 / (4.0 * 4.0);
+        assert!(
+            (report.overall_by_rate[0] - exact).abs() < 1e-4,
+            "got {}, exact {exact}",
+            report.overall_by_rate[0]
+        );
+    }
+
+    #[test]
+    fn most_valuable_computer_is_a_bottleneck() {
+        // At medium load the heavily used fast machines are where extra
+        // capacity helps most.
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let report = equilibrium_sensitivity(&model, 1e-9, 1e-3).unwrap();
+        let best = report.most_valuable_computer();
+        assert!(
+            model.computer_rate(best) >= 50.0,
+            "most valuable is computer {best} with rate {}",
+            model.computer_rate(best)
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests on the game-theoretic kernels (crate-level; the
+//! workspace-level `tests/properties.rs` covers the cross-scheme
+//! invariants).
+
+use lb_game::best_reply::{satisfies_kkt, split_cost, water_fill_flows};
+use lb_game::model::SystemModel;
+use lb_game::schemes::{wardrop_flows, StackelbergScheme};
+use lb_game::strategy::{Strategy as UserStrategy, StrategyProfile};
+use proptest::prelude::*;
+
+fn arb_rates() -> impl proptest::strategy::Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..200.0, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn water_filling_uses_a_rate_threshold(rates in arb_rates(), frac in 0.01f64..0.95) {
+        // The optimal support is "all computers at least as fast as the
+        // slowest used one" — a threshold structure in available rate.
+        let demand = rates.iter().sum::<f64>() * frac;
+        let flows = water_fill_flows(&rates, demand).unwrap();
+        let slowest_used = flows
+            .iter()
+            .zip(&rates)
+            .filter(|(&x, _)| x > 0.0)
+            .map(|(_, &a)| a)
+            .fold(f64::INFINITY, f64::min);
+        for (&x, &a) in flows.iter().zip(&rates) {
+            if a > slowest_used {
+                prop_assert!(x > 0.0, "faster computer unused: rate {a} vs threshold {slowest_used}");
+            }
+        }
+    }
+
+    #[test]
+    fn water_filling_cost_is_monotone_in_demand(rates in arb_rates(), f1 in 0.01f64..0.9, f2 in 0.01f64..0.9) {
+        let total: f64 = rates.iter().sum();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let c_lo = split_cost(&rates, &water_fill_flows(&rates, total * lo).unwrap());
+        let c_hi = split_cost(&rates, &water_fill_flows(&rates, total * hi).unwrap());
+        prop_assert!(c_lo <= c_hi + 1e-9, "cost not monotone: {c_lo} vs {c_hi}");
+    }
+
+    #[test]
+    fn water_filling_is_scale_equivariant(rates in arb_rates(), frac in 0.05f64..0.9, scale in 0.1f64..10.0) {
+        // Scaling all rates and the demand scales the flows.
+        let demand = rates.iter().sum::<f64>() * frac;
+        let base = water_fill_flows(&rates, demand).unwrap();
+        let scaled_rates: Vec<f64> = rates.iter().map(|a| a * scale).collect();
+        let scaled = water_fill_flows(&scaled_rates, demand * scale).unwrap();
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((s - b * scale).abs() < 1e-6 * (1.0 + s.abs()));
+        }
+    }
+
+    #[test]
+    fn wardrop_satisfies_the_equilibrium_inequalities(rates in arb_rates(), frac in 0.01f64..0.95) {
+        let phi = rates.iter().sum::<f64>() * frac;
+        let flows = wardrop_flows(&rates, phi).unwrap();
+        let used_time = flows
+            .iter()
+            .zip(&rates)
+            .filter(|(&l, _)| l > 0.0)
+            .map(|(&l, &m)| 1.0 / (m - l))
+            .fold(0.0f64, f64::max);
+        for (&l, &m) in flows.iter().zip(&rates) {
+            if l > 0.0 {
+                prop_assert!((1.0 / (m - l) - used_time).abs() < 1e-6 * used_time);
+            } else {
+                prop_assert!(1.0 / m >= used_time - 1e-9, "unused computer is strictly better");
+            }
+        }
+    }
+
+    #[test]
+    fn wardrop_never_beats_the_social_optimum(rates in arb_rates(), frac in 0.01f64..0.95) {
+        let phi = rates.iter().sum::<f64>() * frac;
+        let wardrop = wardrop_flows(&rates, phi).unwrap();
+        let optimal = water_fill_flows(&rates, phi).unwrap();
+        prop_assert!(
+            split_cost(&rates, &optimal) <= split_cost(&rates, &wardrop) + 1e-9
+        );
+        prop_assert!(satisfies_kkt(&rates, &optimal, 1e-5));
+    }
+
+    #[test]
+    fn stackelberg_cost_is_sandwiched(rates in prop::collection::vec(1.0f64..100.0, 2..8), frac in 0.1f64..0.9, alpha in 0.0f64..1.0) {
+        // For any alpha, LLF + Wardrop followers is between the optimum
+        // and the pure Wardrop cost.
+        let users: Vec<f64> = vec![rates.iter().sum::<f64>() * frac];
+        let model = SystemModel::new(rates.clone(), users).unwrap();
+        let st = StackelbergScheme::new(alpha).unwrap();
+        let p = lb_game::schemes::LoadBalancingScheme::compute(&st, &model).unwrap();
+        let d = lb_game::response::overall_response_time(&model, &p).unwrap();
+        let phi = model.total_arrival_rate();
+        let d_opt = split_cost(&rates, &water_fill_flows(&rates, phi).unwrap());
+        let d_wardrop = split_cost(&rates, &wardrop_flows(&rates, phi).unwrap());
+        prop_assert!(d >= d_opt - 1e-9, "beats the optimum: {d} < {d_opt}");
+        prop_assert!(d <= d_wardrop + 1e-9, "worse than Wardrop: {d} > {d_wardrop}");
+    }
+
+    #[test]
+    fn strategy_profile_flows_match_manual_sum(
+        fractions in prop::collection::vec(0.01f64..1.0, 2..6),
+        phis in prop::collection::vec(0.1f64..5.0, 1..4),
+    ) {
+        // Build a model large enough to be stable and a replicated
+        // normalized strategy; flows must equal phi-weighted fractions.
+        let n = fractions.len();
+        let sum: f64 = fractions.iter().sum();
+        let normalized: Vec<f64> = fractions.iter().map(|f| f / sum).collect();
+        let capacity_needed: f64 = phis.iter().sum::<f64>() * 2.0 + 1.0;
+        let rates = vec![capacity_needed; n];
+        let model = SystemModel::new(rates, phis.clone()).unwrap();
+        let profile = StrategyProfile::replicated(
+            UserStrategy::new(normalized.clone()).unwrap(),
+            phis.len(),
+        )
+        .unwrap();
+        let flows = profile.computer_flows(&model).unwrap();
+        let phi_total: f64 = phis.iter().sum();
+        for (i, &f) in flows.iter().enumerate() {
+            prop_assert!((f - normalized[i] * phi_total).abs() < 1e-9 * (1.0 + f));
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Flow vectors: job-rate allocations across computers with the paper's
+//! feasibility constraints.
+//!
+//! The paper's constraints on a user strategy (and, in aggregate, on total
+//! flows) are:
+//!
+//! * **Positivity** — every component is `>= 0`;
+//! * **Conservation** — components sum to the allocated total rate;
+//! * **Stability** — the flow at each computer stays strictly below its
+//!   processing rate.
+//!
+//! [`FlowVector`] packages an allocation in *rate* units (jobs/sec) together
+//! with validated constructors and the functionals used everywhere above it
+//! (total response time, per-queue utilization).
+
+use crate::error::QueueingError;
+use crate::mm1;
+use crate::FEASIBILITY_EPS;
+
+/// An allocation of job flow (jobs per unit time) across `n` computers.
+///
+/// # Examples
+///
+/// ```
+/// use lb_queueing::FlowVector;
+/// let f = FlowVector::new(vec![1.0, 2.0, 0.0]).unwrap();
+/// assert_eq!(f.total(), 3.0);
+/// assert_eq!(f.support(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowVector {
+    flows: Vec<f64>,
+    total: f64,
+}
+
+impl FlowVector {
+    /// Builds a flow vector from per-computer rates, validating positivity.
+    /// Tiny negative values within [`FEASIBILITY_EPS`] are clamped to zero.
+    ///
+    /// # Errors
+    ///
+    /// * [`QueueingError::EmptySystem`] for an empty vector.
+    /// * [`QueueingError::NegativeFlow`] for a component below `-eps`.
+    /// * [`QueueingError::InvalidRate`] for non-finite components.
+    pub fn new(flows: Vec<f64>) -> Result<Self, QueueingError> {
+        if flows.is_empty() {
+            return Err(QueueingError::EmptySystem);
+        }
+        let mut clamped = flows;
+        for (i, x) in clamped.iter_mut().enumerate() {
+            if !x.is_finite() {
+                return Err(QueueingError::InvalidRate {
+                    name: "flow",
+                    value: *x,
+                });
+            }
+            if *x < 0.0 {
+                if *x < -FEASIBILITY_EPS {
+                    return Err(QueueingError::NegativeFlow {
+                        index: i,
+                        value: *x,
+                    });
+                }
+                *x = 0.0;
+            }
+        }
+        let total = clamped.iter().sum();
+        Ok(Self {
+            flows: clamped,
+            total,
+        })
+    }
+
+    /// Builds a flow vector and additionally checks conservation against an
+    /// expected total rate (up to a tolerance scaled by the magnitude of the
+    /// total).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FlowVector::new`] raises, plus
+    /// [`QueueingError::ConservationViolated`].
+    pub fn with_total(flows: Vec<f64>, expected_total: f64) -> Result<Self, QueueingError> {
+        let v = Self::new(flows)?;
+        let tol = FEASIBILITY_EPS * (1.0 + expected_total.abs());
+        if (v.total - expected_total).abs() > tol.max(1e-7 * expected_total.abs()) {
+            return Err(QueueingError::ConservationViolated {
+                sum: v.total,
+                expected: expected_total,
+            });
+        }
+        Ok(v)
+    }
+
+    /// A zero flow vector of dimension `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::EmptySystem`] when `n == 0`.
+    pub fn zeros(n: usize) -> Result<Self, QueueingError> {
+        Self::new(vec![0.0; n])
+    }
+
+    /// Number of computers (dimension).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the vector has dimension zero (never true for a constructed
+    /// value; provided for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Flow at computer `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.flows[i]
+    }
+
+    /// All per-computer flows.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.flows
+    }
+
+    /// Total allocated rate (sum of components).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Indices of computers receiving strictly positive flow.
+    pub fn support(&self) -> Vec<usize> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Checks the stability constraint against processing rates `mu`:
+    /// every component must stay strictly below its computer's rate.
+    ///
+    /// # Errors
+    ///
+    /// * [`QueueingError::DimensionMismatch`] on length mismatch.
+    /// * [`QueueingError::Unstable`] naming the first overloaded computer's
+    ///   flow and rate.
+    pub fn check_stability(&self, mu: &[f64]) -> Result<(), QueueingError> {
+        if mu.len() != self.flows.len() {
+            return Err(QueueingError::DimensionMismatch {
+                expected: self.flows.len(),
+                actual: mu.len(),
+            });
+        }
+        for (&f, &m) in self.flows.iter().zip(mu) {
+            if f >= m {
+                return Err(QueueingError::Unstable {
+                    arrival_rate: f,
+                    capacity: m,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate expected response time of jobs routed by this flow vector
+    /// through computers of rates `mu`, i.e. the time-average over jobs:
+    ///
+    /// ```text
+    /// T = (1/Λ) · Σ_i λ_i / (μ_i − λ_i),     Λ = Σ_i λ_i
+    /// ```
+    ///
+    /// Returns `0` for a zero flow vector and `+∞` if any used computer is
+    /// saturated.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::DimensionMismatch`] on length mismatch.
+    pub fn mean_response_time(&self, mu: &[f64]) -> Result<f64, QueueingError> {
+        if mu.len() != self.flows.len() {
+            return Err(QueueingError::DimensionMismatch {
+                expected: self.flows.len(),
+                actual: mu.len(),
+            });
+        }
+        if self.total == 0.0 {
+            return Ok(0.0);
+        }
+        let mut acc = 0.0;
+        for (&f, &m) in self.flows.iter().zip(mu) {
+            if f > 0.0 {
+                acc += f * mm1::response_time(f, m);
+            }
+        }
+        Ok(acc / self.total)
+    }
+
+    /// Per-computer utilizations `λ_i/μ_i`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::DimensionMismatch`] on length mismatch.
+    pub fn utilizations(&self, mu: &[f64]) -> Result<Vec<f64>, QueueingError> {
+        if mu.len() != self.flows.len() {
+            return Err(QueueingError::DimensionMismatch {
+                expected: self.flows.len(),
+                actual: mu.len(),
+            });
+        }
+        Ok(self.flows.iter().zip(mu).map(|(&f, &m)| f / m).collect())
+    }
+
+    /// Adds another flow vector componentwise (e.g. aggregating users).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::DimensionMismatch`] on length mismatch.
+    pub fn add(&self, other: &FlowVector) -> Result<FlowVector, QueueingError> {
+        if other.len() != self.len() {
+            return Err(QueueingError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+            });
+        }
+        FlowVector::new(
+            self.flows
+                .iter()
+                .zip(&other.flows)
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// Scales every component by `factor >= 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::InvalidRate`] for a negative or non-finite factor.
+    pub fn scale(&self, factor: f64) -> Result<FlowVector, QueueingError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(QueueingError::InvalidRate {
+                name: "factor",
+                value: factor,
+            });
+        }
+        FlowVector::new(self.flows.iter().map(|x| x * factor).collect())
+    }
+
+    /// L1 distance to another flow vector, `Σ_i |λ_i − λ'_i|`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::DimensionMismatch`] on length mismatch.
+    pub fn l1_distance(&self, other: &FlowVector) -> Result<f64, QueueingError> {
+        if other.len() != self.len() {
+            return Err(QueueingError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+            });
+        }
+        Ok(self
+            .flows
+            .iter()
+            .zip(&other.flows)
+            .map(|(a, b)| (a - b).abs())
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_negative() {
+        assert!(matches!(FlowVector::new(vec![]), Err(QueueingError::EmptySystem)));
+        assert!(matches!(
+            FlowVector::new(vec![1.0, -0.5]),
+            Err(QueueingError::NegativeFlow { index: 1, .. })
+        ));
+        assert!(FlowVector::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn clamps_tiny_negatives() {
+        let f = FlowVector::new(vec![1.0, -1e-12]).unwrap();
+        assert_eq!(f.get(1), 0.0);
+    }
+
+    #[test]
+    fn conservation_check() {
+        assert!(FlowVector::with_total(vec![1.0, 2.0], 3.0).is_ok());
+        assert!(matches!(
+            FlowVector::with_total(vec![1.0, 2.0], 4.0),
+            Err(QueueingError::ConservationViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn support_and_total() {
+        let f = FlowVector::new(vec![0.0, 2.0, 0.0, 1.0]).unwrap();
+        assert_eq!(f.support(), vec![1, 3]);
+        assert_eq!(f.total(), 3.0);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn stability_check_detects_overload() {
+        let f = FlowVector::new(vec![1.0, 5.0]).unwrap();
+        assert!(f.check_stability(&[2.0, 6.0]).is_ok());
+        assert!(matches!(
+            f.check_stability(&[2.0, 5.0]),
+            Err(QueueingError::Unstable { .. })
+        ));
+        assert!(matches!(
+            f.check_stability(&[2.0]),
+            Err(QueueingError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_response_time_weights_by_flow() {
+        // Two queues: flow 1 at mu=2 (T=1), flow 3 at mu=6 (T=1/3).
+        let f = FlowVector::new(vec![1.0, 3.0]).unwrap();
+        let t = f.mean_response_time(&[2.0, 6.0]).unwrap();
+        let expected = (1.0 * 1.0 + 3.0 * (1.0 / 3.0)) / 4.0;
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_response_time_zero_flow_is_zero() {
+        let f = FlowVector::zeros(3).unwrap();
+        assert_eq!(f.mean_response_time(&[1.0, 1.0, 1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mean_response_time_saturated_is_infinite() {
+        let f = FlowVector::new(vec![2.0]).unwrap();
+        assert!(f.mean_response_time(&[2.0]).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn add_scale_distance() {
+        let a = FlowVector::new(vec![1.0, 2.0]).unwrap();
+        let b = FlowVector::new(vec![0.5, 0.5]).unwrap();
+        let sum = a.add(&b).unwrap();
+        assert_eq!(sum.as_slice(), &[1.5, 2.5]);
+        let doubled = a.scale(2.0).unwrap();
+        assert_eq!(doubled.as_slice(), &[2.0, 4.0]);
+        assert!((a.l1_distance(&b).unwrap() - 2.0).abs() < 1e-12);
+        assert!(a.scale(-1.0).is_err());
+        let c = FlowVector::new(vec![1.0]).unwrap();
+        assert!(a.add(&c).is_err());
+        assert!(a.l1_distance(&c).is_err());
+    }
+
+    #[test]
+    fn utilizations_match_definition() {
+        let f = FlowVector::new(vec![1.0, 3.0]).unwrap();
+        let u = f.utilizations(&[4.0, 6.0]).unwrap();
+        assert!((u[0] - 0.25).abs() < 1e-12);
+        assert!((u[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! A bank of heterogeneous M/M/1 queues in parallel — the "distributed
+//! system" of the paper (Figure 1).
+//!
+//! [`ParallelQueues`] owns the vector of processing rates `μ_1 … μ_n` and
+//! provides the aggregate functionals used by every load-balancing scheme:
+//! total capacity, utilization under a total offered rate, the system
+//! expected response time under a [`FlowVector`], and the classic
+//! *speed-skewness* heterogeneity measure used in the paper's §4.2.3.
+
+use crate::error::QueueingError;
+use crate::flow::FlowVector;
+
+/// A parallel bank of `n` heterogeneous M/M/1 computers.
+///
+/// Rates are stored in the caller's order; helpers expose a
+/// descending-by-rate index permutation, which is what the paper's
+/// water-filling algorithms need.
+///
+/// # Examples
+///
+/// ```
+/// use lb_queueing::ParallelQueues;
+/// let sys = ParallelQueues::new(vec![10.0, 20.0, 50.0]).unwrap();
+/// assert_eq!(sys.total_capacity(), 80.0);
+/// assert_eq!(sys.speed_skewness(), 5.0);
+/// assert_eq!(sys.descending_order(), vec![2, 1, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelQueues {
+    mu: Vec<f64>,
+    total: f64,
+}
+
+impl ParallelQueues {
+    /// Builds the bank from per-computer processing rates.
+    ///
+    /// # Errors
+    ///
+    /// * [`QueueingError::EmptySystem`] for an empty rate vector.
+    /// * [`QueueingError::InvalidRate`] for a non-positive or non-finite
+    ///   rate.
+    pub fn new(mu: Vec<f64>) -> Result<Self, QueueingError> {
+        if mu.is_empty() {
+            return Err(QueueingError::EmptySystem);
+        }
+        for &m in &mu {
+            if !m.is_finite() || m <= 0.0 {
+                return Err(QueueingError::InvalidRate {
+                    name: "mu",
+                    value: m,
+                });
+            }
+        }
+        let total = mu.iter().sum();
+        Ok(Self { mu, total })
+    }
+
+    /// Number of computers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// Always false for a constructed bank; for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mu.is_empty()
+    }
+
+    /// Processing rate of computer `i`.
+    #[inline]
+    pub fn rate(&self, i: usize) -> f64 {
+        self.mu[i]
+    }
+
+    /// All processing rates, in caller order.
+    #[inline]
+    pub fn rates(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// Aggregate capacity `Σ_i μ_i`.
+    #[inline]
+    pub fn total_capacity(&self) -> f64 {
+        self.total
+    }
+
+    /// System utilization `ρ = Φ / Σ μ_i` for a total offered rate `Φ`
+    /// (paper §4.2.2).
+    #[inline]
+    pub fn system_utilization(&self, total_arrival_rate: f64) -> f64 {
+        total_arrival_rate / self.total
+    }
+
+    /// The total arrival rate that produces system utilization `rho`
+    /// (inverse of [`Self::system_utilization`]).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::InvalidProbability`] unless `0 <= rho < 1`.
+    pub fn arrival_rate_for_utilization(&self, rho: f64) -> Result<f64, QueueingError> {
+        if !rho.is_finite() || !(0.0..1.0).contains(&rho) {
+            return Err(QueueingError::InvalidProbability { value: rho });
+        }
+        Ok(rho * self.total)
+    }
+
+    /// Speed skewness: `max_i μ_i / min_i μ_i` (paper §4.2.3's
+    /// heterogeneity measure).
+    pub fn speed_skewness(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0_f64;
+        for &m in &self.mu {
+            min = min.min(m);
+            max = max.max(m);
+        }
+        max / min
+    }
+
+    /// Indices sorted by processing rate, fastest first; ties broken by
+    /// original index so the order is deterministic.
+    pub fn descending_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.mu.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.mu[b]
+                .partial_cmp(&self.mu[a])
+                .expect("rates are finite")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Checks that a total offered rate keeps the system stable
+    /// (`Φ < Σ μ_i`, the paper's standing assumption).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::Unstable`] when `Φ >= Σ μ_i`.
+    pub fn check_offered_rate(&self, total_arrival_rate: f64) -> Result<(), QueueingError> {
+        if total_arrival_rate.partial_cmp(&self.total) != Some(std::cmp::Ordering::Less) {
+            return Err(QueueingError::Unstable {
+                arrival_rate: total_arrival_rate,
+                capacity: self.total,
+            });
+        }
+        Ok(())
+    }
+
+    /// System expected response time under an aggregate flow allocation
+    /// (delegates to [`FlowVector::mean_response_time`]).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::DimensionMismatch`] on length mismatch.
+    pub fn mean_response_time(&self, flows: &FlowVector) -> Result<f64, QueueingError> {
+        flows.mean_response_time(&self.mu)
+    }
+
+    /// Builds the *proportional* aggregate allocation of a total rate
+    /// `Φ`: `λ_i = Φ · μ_i / Σ μ_k`. This is the flow pattern of the
+    /// paper's PS baseline; it keeps every computer at identical
+    /// utilization `ρ`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::InvalidRate`] for a negative or non-finite rate.
+    pub fn proportional_flows(&self, total_arrival_rate: f64) -> Result<FlowVector, QueueingError> {
+        if !total_arrival_rate.is_finite() || total_arrival_rate < 0.0 {
+            return Err(QueueingError::InvalidRate {
+                name: "total_arrival_rate",
+                value: total_arrival_rate,
+            });
+        }
+        FlowVector::new(
+            self.mu
+                .iter()
+                .map(|m| total_arrival_rate * m / self.total)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_rates() -> Vec<f64> {
+        // The paper's Table 1: 6 computers at 10 jobs/s, 5 at 20, 3 at 50,
+        // 2 at 100.
+        let mut v = vec![10.0; 6];
+        v.extend(vec![20.0; 5]);
+        v.extend(vec![50.0; 3]);
+        v.extend(vec![100.0; 2]);
+        v
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(ParallelQueues::new(vec![]).is_err());
+        assert!(ParallelQueues::new(vec![1.0, 0.0]).is_err());
+        assert!(ParallelQueues::new(vec![1.0, -3.0]).is_err());
+        assert!(ParallelQueues::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn table1_capacity_and_skewness() {
+        let sys = ParallelQueues::new(table1_rates()).unwrap();
+        assert_eq!(sys.len(), 16);
+        assert!((sys.total_capacity() - 510.0).abs() < 1e-12);
+        assert!((sys.speed_skewness() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_round_trip() {
+        let sys = ParallelQueues::new(table1_rates()).unwrap();
+        let phi = sys.arrival_rate_for_utilization(0.6).unwrap();
+        assert!((phi - 306.0).abs() < 1e-9);
+        assert!((sys.system_utilization(phi) - 0.6).abs() < 1e-12);
+        assert!(sys.arrival_rate_for_utilization(1.0).is_err());
+        assert!(sys.arrival_rate_for_utilization(-0.1).is_err());
+    }
+
+    #[test]
+    fn descending_order_is_stable() {
+        let sys = ParallelQueues::new(vec![20.0, 50.0, 20.0, 100.0]).unwrap();
+        assert_eq!(sys.descending_order(), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn offered_rate_check() {
+        let sys = ParallelQueues::new(vec![2.0, 3.0]).unwrap();
+        assert!(sys.check_offered_rate(4.9).is_ok());
+        assert!(sys.check_offered_rate(5.0).is_err());
+        assert!(sys.check_offered_rate(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn proportional_flows_equalize_utilization() {
+        let sys = ParallelQueues::new(vec![10.0, 20.0, 50.0]).unwrap();
+        let f = sys.proportional_flows(40.0).unwrap();
+        assert!((f.total() - 40.0).abs() < 1e-9);
+        let u = f.utilizations(sys.rates()).unwrap();
+        for x in u {
+            assert!((x - 0.5).abs() < 1e-12);
+        }
+        assert!(sys.proportional_flows(-1.0).is_err());
+    }
+
+    #[test]
+    fn mean_response_time_delegates() {
+        let sys = ParallelQueues::new(vec![2.0, 2.0]).unwrap();
+        let f = FlowVector::new(vec![1.0, 1.0]).unwrap();
+        assert!((sys.mean_response_time(&f).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! The replication driver: the paper's "each run was replicated five
+//! times with different random number streams and the results averaged
+//! over replications".
+
+use crate::scenario::{run_replication_with_sink, SimulationConfig};
+use lb_game::error::GameError;
+use lb_game::model::SystemModel;
+use lb_game::strategy::StrategyProfile;
+use lb_stats::{jain_index, P2Quantile, ReplicationPlan, ReplicationSet, SampleSummary};
+
+/// Cross-replication estimates for a simulated scheme.
+#[derive(Debug, Clone)]
+pub struct SimulatedMetrics {
+    /// Per-user mean response times with confidence intervals.
+    pub user_summaries: Vec<SampleSummary>,
+    /// System-wide (job-averaged) mean response time summary.
+    pub system_summary: SampleSummary,
+    /// Jain fairness index of the cross-replication per-user means.
+    pub fairness: f64,
+    /// Whether every metric met the plan's relative-standard-error bound
+    /// (the paper keeps this under 5%).
+    pub precise: bool,
+    /// Worst relative standard error observed.
+    pub worst_relative_error: f64,
+    /// Replications performed.
+    pub replications: u32,
+    /// Cross-replication mean of the per-replication p95 response time
+    /// (P² streaming estimate) — the tail the mean hides.
+    pub system_p95: f64,
+}
+
+impl SimulatedMetrics {
+    /// Cross-replication per-user mean response times.
+    pub fn user_means(&self) -> Vec<f64> {
+        self.user_summaries.iter().map(|s| s.mean).collect()
+    }
+}
+
+/// Simulates `profile` on `model` under a replication plan.
+///
+/// # Errors
+///
+/// Propagates scenario errors (shape mismatches, saturated profiles).
+pub fn simulate_profile(
+    model: &SystemModel,
+    profile: &StrategyProfile,
+    plan: &ReplicationPlan,
+    config: SimulationConfig,
+) -> Result<SimulatedMetrics, GameError> {
+    let m = model.num_users();
+    let mut names: Vec<String> = (0..m).map(|j| format!("user{j}")).collect();
+    names.push("system".into());
+    let mut set = ReplicationSet::new(names, plan.confidence);
+
+    let mut p95_acc = 0.0;
+    for r in 0..plan.replications {
+        let seed = plan.seed_for(r);
+        let mut p95 = P2Quantile::new(0.95);
+        let result =
+            run_replication_with_sink(model, profile, config, seed, |_, resp| {
+                p95.push(resp);
+            })?;
+        let mut values = result.user_means.clone();
+        values.push(result.system_mean);
+        set.record(&values);
+        p95_acc += p95.estimate().unwrap_or(f64::NAN);
+    }
+    let system_p95 = p95_acc / f64::from(plan.replications);
+
+    let summaries = set
+        .summaries()
+        .expect("at least one replication was recorded");
+    let (user_summaries, system_summary) = {
+        let mut s = summaries;
+        let system = s.pop().expect("system metric present");
+        (s, system)
+    };
+    let user_means: Vec<f64> = user_summaries.iter().map(|s| s.mean).collect();
+    Ok(SimulatedMetrics {
+        fairness: jain_index(&user_means).unwrap_or(f64::NAN),
+        precise: set.meets_precision(plan.max_relative_error),
+        worst_relative_error: set.worst_relative_error(),
+        user_summaries,
+        system_summary,
+        replications: plan.replications,
+        system_p95,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_game::schemes::{LoadBalancingScheme, ProportionalScheme};
+
+    #[test]
+    fn replications_aggregate_and_gate_precision() {
+        let model = SystemModel::new(vec![10.0, 20.0], vec![6.0, 6.0]).unwrap();
+        let profile = ProportionalScheme.compute(&model).unwrap();
+        let plan = ReplicationPlan {
+            replications: 3,
+            ..ReplicationPlan::paper()
+        };
+        let metrics =
+            simulate_profile(&model, &profile, &plan, SimulationConfig::quick()).unwrap();
+        assert_eq!(metrics.replications, 3);
+        assert_eq!(metrics.user_summaries.len(), 2);
+        // PS is perfectly fair analytically; empirically close to 1.
+        assert!(metrics.fairness > 0.99, "fairness {}", metrics.fairness);
+        // 60k jobs x 3 replications is plenty for 5% precision here.
+        assert!(
+            metrics.precise,
+            "worst rel err {}",
+            metrics.worst_relative_error
+        );
+        // The p95 tail sits well above the mean (exponential-ish sojourns
+        // put p95 near 3x the mean for a single M/M/1).
+        assert!(
+            metrics.system_p95 > 1.5 * metrics.system_summary.mean,
+            "p95 {} vs mean {}",
+            metrics.system_p95,
+            metrics.system_summary.mean
+        );
+        // CI covers the analytic value.
+        let analytic = lb_game::metrics::evaluate_profile(&model, &profile).unwrap();
+        for (s, t) in metrics.user_summaries.iter().zip(&analytic.user_times) {
+            let widened = 3.0 * s.half_width.max(0.02 * t);
+            assert!(
+                (s.mean - t).abs() <= widened,
+                "user mean {} vs theory {t}",
+                s.mean
+            );
+        }
+    }
+}

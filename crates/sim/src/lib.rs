@@ -1,0 +1,37 @@
+//! # lb-sim — simulating the load-balanced distributed system
+//!
+//! Binds the game model (`lb-game`) to the discrete-event engine
+//! (`lb-des`) exactly as the paper's §4.1 describes: "jobs arriving at the
+//! system are distributed to the computers according to the specified load
+//! balancing scheme; jobs which have been dispatched to a particular
+//! computer are run-to-completion in FCFS order; each computer is modeled
+//! as an M/M/1 queueing system".
+//!
+//! * [`scenario`] — one replication: Poisson job sources per user, a
+//!   probabilistic dispatcher implementing the strategy profile, FCFS
+//!   stations per computer, warmup-aware response-time monitors.
+//! * [`harness`] — the replication driver (the paper's five runs with
+//!   different random streams), producing per-user means with confidence
+//!   intervals and the empirical fairness index.
+//! * [`validate`] — compares empirical means against the analytic M/M/1
+//!   predictions of `lb-game::metrics` (used by tests to certify the
+//!   whole stack end to end).
+//! * [`pools`] — the multicore variant: M/M/c pools simulated with
+//!   multi-server stations, validating the numeric pool-game equilibria.
+//! * [`bursty`] — correlated (MMPP) arrivals, the strongest departure
+//!   from the paper's Poisson assumption.
+//! * [`policies`] — dynamic (state-aware) dispatch: JSQ, power-of-d,
+//!   shortest-expected-delay vs the paper's static profiles.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bursty;
+pub mod harness;
+pub mod policies;
+pub mod pools;
+pub mod scenario;
+pub mod validate;
+
+pub use harness::{simulate_profile, SimulatedMetrics};
+pub use scenario::{DistributionFamily, SimulationConfig, SimulationResult};

@@ -1,0 +1,253 @@
+//! Streaming quantile estimation with the P² algorithm (Jain &
+//! Chlamtac 1985 — the same R. Jain as the fairness index).
+//!
+//! Response-time *tails* (p95/p99) matter to users at least as much as
+//! means; storing millions of observations to sort them is wasteful. P²
+//! maintains five markers whose heights approximate the target quantile
+//! with O(1) memory, adjusting marker positions by parabolic
+//! interpolation.
+
+/// Streaming estimator of a single quantile `p ∈ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use lb_stats::P2Quantile;
+/// let mut q = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     q.push(f64::from(i));
+/// }
+/// let median = q.estimate().unwrap();
+/// assert!((median - 501.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: u64,
+    /// First five observations, used for initialization.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1` (configuration error).
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
+        Self {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+
+        // Find the cell k containing x and clamp extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for pos in self.positions.iter_mut().skip(k + 1) {
+            *pos += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                let new_height = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + sign / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = if sign > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate. Before five observations it falls back
+    /// to the exact order statistic of the seen values; `None` if empty.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            let idx = ((sorted.len() as f64 - 1.0) * self.p).round() as usize;
+            return Some(sorted[idx]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "(0,1)")]
+    fn rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn empty_and_small_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.push(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.push(1.0);
+        q.push(2.0);
+        // Median of {1,2,3} is 2.
+        assert_eq!(q.estimate(), Some(2.0));
+        assert_eq!(q.count(), 3);
+    }
+
+    /// Deterministic uniform pseudo-random stream.
+    fn stream(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.max(1);
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let mut q = P2Quantile::new(0.5);
+        let mut rnd = stream(42);
+        for _ in 0..100_000 {
+            q.push(rnd());
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - 0.5).abs() < 0.01, "median estimate {m}");
+    }
+
+    #[test]
+    fn p95_of_exponential_converges() {
+        // Exponential(1): p95 = -ln(0.05) ~ 2.9957.
+        let mut q = P2Quantile::new(0.95);
+        let mut rnd = stream(7);
+        for _ in 0..200_000 {
+            q.push(-(1.0f64 - rnd()).ln());
+        }
+        let est = q.estimate().unwrap();
+        let exact = -(0.05f64).ln();
+        assert!(
+            (est - exact).abs() / exact < 0.03,
+            "p95 estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn tracks_exact_quantile_on_a_permutation() {
+        // Feed 1..=1001 shuffled deterministically; p25 ≈ 250.
+        let mut values: Vec<f64> = (1..=1001).map(f64::from).collect();
+        let mut rnd = stream(99);
+        for i in (1..values.len()).rev() {
+            let j = (rnd() * (i + 1) as f64) as usize;
+            values.swap(i, j);
+        }
+        let mut q = P2Quantile::new(0.25);
+        for v in values {
+            q.push(v);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 250.0).abs() < 15.0, "p25 estimate {est}");
+    }
+
+    #[test]
+    fn different_quantiles_are_ordered() {
+        let mut q10 = P2Quantile::new(0.10);
+        let mut q50 = P2Quantile::new(0.50);
+        let mut q90 = P2Quantile::new(0.90);
+        let mut rnd = stream(5);
+        for _ in 0..50_000 {
+            let x = rnd() * rnd(); // skewed
+            q10.push(x);
+            q50.push(x);
+            q90.push(x);
+        }
+        let (a, b, c) = (
+            q10.estimate().unwrap(),
+            q50.estimate().unwrap(),
+            q90.estimate().unwrap(),
+        );
+        assert!(a < b && b < c, "quantiles out of order: {a} {b} {c}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the statistics substrate.
+
+use lb_stats::tdist::{t_cdf, t_quantile};
+use lb_stats::{jain_index, BatchMeans, SampleSummary, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn welford_matches_two_pass(data in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let w: Welford = data.iter().copied().collect();
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() <= 1e-9 * (1.0 + mean.abs()));
+        if data.len() > 1 {
+            let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+            prop_assert!((w.sample_variance() - var).abs() <= 1e-6 * (1.0 + var));
+        }
+        prop_assert_eq!(w.count(), data.len() as u64);
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(w.min(), min);
+        prop_assert_eq!(w.max(), max);
+    }
+
+    #[test]
+    fn welford_merge_is_associative_enough(
+        a in prop::collection::vec(-1e3f64..1e3, 0..60),
+        b in prop::collection::vec(-1e3f64..1e3, 0..60),
+        c in prop::collection::vec(-1e3f64..1e3, 0..60),
+    ) {
+        // (a + b) + c equals a + (b + c) within fp tolerance.
+        let wa: Welford = a.iter().copied().collect();
+        let wb: Welford = b.iter().copied().collect();
+        let wc: Welford = c.iter().copied().collect();
+        let mut left = wa;
+        left.merge(&wb);
+        left.merge(&wc);
+        let mut bc = wb;
+        bc.merge(&wc);
+        let mut right: Welford = a.iter().copied().collect();
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9 * (1.0 + left.mean().abs()));
+        prop_assert!((left.sample_variance() - right.sample_variance()).abs() < 1e-6 * (1.0 + left.sample_variance()));
+    }
+
+    #[test]
+    fn jain_index_bounds_and_invariance(values in prop::collection::vec(0.01f64..1e4, 1..40), scale in 0.01f64..100.0) {
+        let m = values.len() as f64;
+        let idx = jain_index(&values).unwrap();
+        prop_assert!(idx >= 1.0 / m - 1e-12);
+        prop_assert!(idx <= 1.0 + 1e-12);
+        // Scale invariance.
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let idx2 = jain_index(&scaled).unwrap();
+        prop_assert!((idx - idx2).abs() < 1e-9);
+        // Permutation invariance.
+        let mut rev = values.clone();
+        rev.reverse();
+        prop_assert!((jain_index(&rev).unwrap() - idx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_interval_contains_the_sample_mean(
+        data in prop::collection::vec(-1e3f64..1e3, 2..50),
+        conf in 0.5f64..0.999,
+    ) {
+        let s = SampleSummary::from_slice(&data, conf).unwrap();
+        prop_assert!(s.contains(s.mean));
+        prop_assert!(s.ci_low() <= s.mean && s.mean <= s.ci_high());
+        prop_assert!(s.half_width >= 0.0);
+    }
+
+    #[test]
+    fn t_quantile_is_monotone_and_symmetric(df in 1.0f64..100.0, p in 0.001f64..0.499) {
+        let lo = t_quantile(p, df);
+        let hi = t_quantile(1.0 - p, df);
+        prop_assert!((lo + hi).abs() < 1e-6 * (1.0 + hi.abs()), "symmetry: {lo} vs {hi}");
+        prop_assert!(lo < 0.0 && hi > 0.0);
+        // CDF round trip.
+        prop_assert!((t_cdf(hi, df) - (1.0 - p)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn batch_means_grand_mean_matches_complete_batches(
+        data in prop::collection::vec(-1e3f64..1e3, 1..300),
+        batch in 1u64..20,
+    ) {
+        let mut bm = BatchMeans::new(batch);
+        for &x in &data {
+            bm.push(x);
+        }
+        let complete = (data.len() as u64 / batch) as usize * batch as usize;
+        if complete > 0 {
+            let expected = data[..complete].iter().sum::<f64>() / complete as f64;
+            prop_assert!((bm.mean() - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+        } else {
+            prop_assert_eq!(bm.batches(), 0);
+        }
+    }
+}

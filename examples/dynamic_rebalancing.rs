@@ -1,0 +1,78 @@
+//! Dynamic load balancing — the paper's future-work scenario. The system
+//! parameters change over a day (demand waves, a computer going down for
+//! maintenance, users joining), and the balancer re-equilibrates after
+//! every change, warm-starting from the previous Nash equilibrium.
+//!
+//! ```text
+//! cargo run --release --example dynamic_rebalancing
+//! ```
+
+use nash_lb::game::dynamics::{DynamicBalancer, Restart};
+use nash_lb::game::metrics::evaluate_profile;
+use nash_lb::game::model::{paper_user_fractions, SystemModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut balancer = DynamicBalancer::new(SystemModel::table1_system(0.4)?, 1e-5)?;
+    println!(
+        "initial equilibrium at 40% load: {} sweeps\n",
+        balancer.history()[0].iterations
+    );
+    println!(
+        "{:<44} {:>6} {:>6} {:>10} {:>9}",
+        "event", "warm", "cold", "mean D (s)", "fairness"
+    );
+
+    let events: Vec<(&str, SystemModel)> = vec![
+        (
+            "morning ramp-up (load 40% -> 65%)",
+            SystemModel::table1_system(0.65)?,
+        ),
+        ("lunch dip (65% -> 55%)", SystemModel::table1_system(0.55)?),
+        ("an 11th user joins (+8% demand)", {
+            let mut fr = paper_user_fractions();
+            fr.push(0.08);
+            SystemModel::with_utilization(SystemModel::table1_rates(), &fr, 0.6)?
+        }),
+        ("one fast computer down for maintenance", {
+            let mut rates = SystemModel::table1_rates();
+            rates.pop(); // drop one 100 jobs/s machine
+            let mut fr = paper_user_fractions();
+            fr.push(0.08);
+            SystemModel::with_utilization(rates, &fr, 0.6)?
+        }),
+        ("evening peak (60% -> 80%)", {
+            let mut rates = SystemModel::table1_rates();
+            rates.pop();
+            let mut fr = paper_user_fractions();
+            fr.push(0.08);
+            SystemModel::with_utilization(rates, &fr, 0.8)?
+        }),
+    ];
+
+    for (label, model) in events {
+        // Measure the cold restart on a throwaway copy for comparison.
+        let mut cold_probe = DynamicBalancer::new(balancer.model().clone(), 1e-5)?;
+        let cold = cold_probe.update(model.clone(), Restart::Cold)?;
+        let warm = balancer.update(model, Restart::Warm)?;
+        let metrics = evaluate_profile(balancer.model(), balancer.equilibrium())?;
+        println!(
+            "{label:<44} {:>6} {:>6} {:>10.4} {:>9.4}",
+            warm.iterations, cold.iterations, metrics.overall_time, metrics.fairness
+        );
+    }
+
+    let warm_total: u32 = balancer
+        .history()
+        .iter()
+        .skip(1)
+        .map(|r| r.iterations)
+        .sum();
+    println!(
+        "\nwarm restarts used {warm_total} sweeps across {} events. The win is\n\
+         largest for small drifts (see `experiments ext-dynamics`, ~2x) and\n\
+         fades for big reconfigurations, where the old equilibrium is no\n\
+         longer close — exactly the behaviour convergence theory predicts.",
+        balancer.history().len() - 1
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! When does game-theoretic load balancing matter? Sweep the speed
+//! skewness of the computer pool (the paper's §4.2.3) and watch the gap
+//! between the selfish schemes and the social optimum.
+//!
+//! ```text
+//! cargo run --release --example heterogeneity
+//! ```
+
+use nash_lb::experiments::fig6;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let points = fig6::run(None)?;
+    println!("2 fast + 14 slow computers, 10 users, 60% utilization\n");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "skew", "NASH (s)", "GOS (s)", "IOS (s)", "PS (s)", "NASH/GOS", "NASH fair."
+    );
+    for p in &points {
+        let nash = p.scheme("NASH");
+        let gos = p.scheme("GOS");
+        println!(
+            "{:>5.0} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12.4} {:>12.4}",
+            p.skew,
+            nash.overall_time,
+            gos.overall_time,
+            p.scheme("IOS").overall_time,
+            p.scheme("PS").overall_time,
+            nash.overall_time / gos.overall_time,
+            nash.fairness,
+        );
+    }
+    println!(
+        "\ntakeaway: as heterogeneity grows, the Nash equilibrium closes in on the\n\
+         social optimum while remaining user-optimal and decentralized — the\n\
+         proportional heuristic keeps overloading the slow machines."
+    );
+    Ok(())
+}

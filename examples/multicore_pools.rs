@@ -1,0 +1,78 @@
+//! The game on modern hardware: computers as multicore pools (M/M/c).
+//! There is no closed-form best reply against Erlang-C latencies, so the
+//! numeric generic-latency solver drives the same greedy best-reply
+//! dynamics — and a multi-server discrete-event simulation checks the
+//! result.
+//!
+//! ```text
+//! cargo run --release --example multicore_pools
+//! ```
+
+use nash_lb::game::latency::Latency;
+use nash_lb::game::multicore::PoolSystem;
+use nash_lb::sim::pools::run_pool_replication;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table-1 capacity (510 jobs/s), two ways:
+    let users: Vec<f64> = nash_lb::game::model::paper_user_fractions()
+        .iter()
+        .map(|q| q * 0.6 * 510.0)
+        .collect();
+
+    let architectures = vec![
+        (
+            "16 single-core computers (the paper's model)",
+            PoolSystem::new(
+                nash_lb::game::model::SystemModel::table1_rates()
+                    .iter()
+                    .map(|&mu| (mu, 1))
+                    .collect(),
+                users.clone(),
+            )?,
+        ),
+        (
+            "4 multicore pools (6x10, 5x20, 3x50, 2x100)",
+            PoolSystem::new(
+                vec![(10.0, 6), (20.0, 5), (50.0, 3), (100.0, 2)],
+                users.clone(),
+            )?,
+        ),
+        (
+            "1 big 51-core pool (10 jobs/s per core)",
+            PoolSystem::new(vec![(10.0, 51)], users)?,
+        ),
+    ];
+
+    println!(
+        "{:<46} {:>8} {:>10} {:>12} {:>10}",
+        "architecture", "sweeps", "NASH D (s)", "sim D (s)", "fairness"
+    );
+    for (label, sys) in architectures {
+        let nash = sys.nash(1e-5, 500, 1200)?;
+        let d = sys.overall_time(&nash.flows);
+        let sim = run_pool_replication(&sys, &nash.flows, 200_000, 0.1, 7)?;
+        let fairness =
+            nash_lb::stats::jain_index(&nash.user_times).unwrap_or(f64::NAN);
+        println!(
+            "{label:<46} {:>8} {:>10.4} {:>12.4} {:>10.4}",
+            nash.sweeps, d, sim.system_mean, fairness
+        );
+        // Show how loaded each pool ends up.
+        let totals = sys.pool_totals(&nash.flows);
+        let util: Vec<String> = totals
+            .iter()
+            .zip(sys.pools())
+            .map(|(t, p)| format!("{:.0}%", 100.0 * t / p.capacity()))
+            .collect();
+        println!("{:<46} pool utilizations: [{}]", "", util.join(", "));
+    }
+    println!(
+        "\nsame capacity, very different equilibria: consolidating each speed\n\
+         class behind a shared queue (resource pooling) nearly halves the\n\
+         paper's response time — but the 51-slow-core pool shows the limit:\n\
+         with almost no queueing left, the 0.1 s per-core service time itself\n\
+         becomes the floor. Pooling fights queueing variance; it cannot buy\n\
+         single-job speed."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Sweep the system load on a custom cluster and print the Figure-4-style
+//! comparison, including each scheme's price of anarchy.
+//!
+//! ```text
+//! cargo run --release --example utilization_sweep [rho_percent ...]
+//! ```
+
+use nash_lb::game::equilibrium::price_of_anarchy;
+use nash_lb::game::metrics::evaluate_profile;
+use nash_lb::game::model::SystemModel;
+use nash_lb::game::schemes::{
+    GlobalOptimalScheme, IndividualOptimalScheme, LoadBalancingScheme, NashScheme,
+    ProportionalScheme,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A custom cluster: 4 big nodes, 8 mid nodes, 8 small nodes, shared
+    // by 6 users with unequal demands.
+    let mut rates = vec![80.0; 4];
+    rates.extend(vec![30.0; 8]);
+    rates.extend(vec![10.0; 8]);
+    let fractions = [0.3, 0.25, 0.15, 0.12, 0.1, 0.08];
+
+    let sweep: Vec<f64> = {
+        let args: Vec<f64> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse::<f64>().map(|p| p / 100.0))
+            .collect::<Result<_, _>>()?;
+        if args.is_empty() {
+            vec![0.2, 0.4, 0.6, 0.8, 0.9]
+        } else {
+            args
+        }
+    };
+
+    println!(
+        "cluster: {} computers, capacity {:.0} jobs/s, 6 users\n",
+        rates.len(),
+        rates.iter().sum::<f64>()
+    );
+    println!(
+        "{:>6} {:>11} {:>11} {:>11} {:>11} {:>10} {:>10}",
+        "util%", "NASH (s)", "GOS (s)", "IOS (s)", "PS (s)", "PoA(NASH)", "PoA(PS)"
+    );
+    for &rho in &sweep {
+        let model = SystemModel::with_utilization(rates.clone(), &fractions, rho)?;
+        let nash = NashScheme::default().compute(&model)?;
+        let gos = GlobalOptimalScheme::default().compute(&model)?;
+        let ios = IndividualOptimalScheme.compute(&model)?;
+        let ps = ProportionalScheme.compute(&model)?;
+        let d = |p| evaluate_profile(&model, p).map(|m| m.overall_time);
+        println!(
+            "{:>6.0} {:>11.4} {:>11.4} {:>11.4} {:>11.4} {:>10.4} {:>10.4}",
+            rho * 100.0,
+            d(&nash)?,
+            d(&gos)?,
+            d(&ios)?,
+            d(&ps)?,
+            price_of_anarchy(&model, &nash, &gos)?,
+            price_of_anarchy(&model, &ps, &gos)?,
+        );
+    }
+    println!("\nPoA = scheme's mean response time relative to the social optimum (GOS).");
+    Ok(())
+}

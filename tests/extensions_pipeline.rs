@@ -1,0 +1,58 @@
+//! End-to-end runs of the analytic extension experiments through the
+//! public `nash_lb::experiments` API (the simulation-heavy extensions are
+//! covered by crate-level tests at reduced budgets).
+
+use nash_lb::experiments::beyond;
+
+#[test]
+fn stackelberg_sweep_brackets_nash() {
+    let (points, nash, gos) = beyond::stackelberg_sweep().unwrap();
+    assert_eq!(points.len(), 11);
+    assert!(points[0].overall_time > nash, "alpha=0 should trail NASH");
+    assert!((points[10].overall_time - gos).abs() < 1e-9);
+    // The rendered table has a row per alpha.
+    assert_eq!(beyond::render_stackelberg(&points, nash, gos).len(), 11);
+    // Find the smallest alpha that matches NASH: it should take a
+    // nontrivial centrally-controlled share.
+    let crossover = points
+        .iter()
+        .find(|p| p.overall_time <= nash)
+        .expect("alpha=1 matches GOS <= NASH");
+    assert!(
+        crossover.alpha >= 0.1,
+        "a leader needs real traffic share, got alpha {}",
+        crossover.alpha
+    );
+}
+
+#[test]
+fn warm_start_report_is_complete() {
+    let steps = beyond::warm_start_dynamics().unwrap();
+    assert_eq!(steps.len(), 7);
+    let warm: u32 = steps.iter().map(|s| s.warm_iterations).sum();
+    let cold: u32 = steps.iter().map(|s| s.cold_iterations).sum();
+    assert!(warm < cold);
+    assert_eq!(beyond::render_dynamics(&steps).len(), 7);
+}
+
+#[test]
+fn poa_sweep_is_rendered_and_bounded() {
+    let points = beyond::poa_vs_utilization().unwrap();
+    assert_eq!(points.len(), 9);
+    for p in &points {
+        assert!(p.poa_nash >= 1.0 - 1e-9 && p.poa_nash < 1.2);
+        assert!(p.poa_wardrop >= p.poa_nash - 1e-9);
+    }
+    assert_eq!(beyond::render_poa(&points).len(), 9);
+}
+
+#[test]
+fn observation_noise_is_monotonically_harmful_at_the_extremes() {
+    let points = beyond::observation_noise().unwrap();
+    assert_eq!(points.len(), 5);
+    let exact = points[0].relative_gap;
+    let worst = points.last().unwrap().relative_gap;
+    assert!(exact < 1e-2);
+    assert!(worst > exact, "noise should enlarge the Nash gap");
+    assert_eq!(beyond::render_noise(&points).len(), 5);
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) on the core invariants of the game:
+//! feasibility and optimality of best replies, equilibrium quality of the
+//! NASH outcome, social optimality of GOS, and the fairness guarantees of
+//! PS/IOS — over randomly drawn systems.
+
+use nash_lb::game::best_reply::{satisfies_kkt, split_cost, water_fill_flows};
+use nash_lb::game::equilibrium::epsilon_nash_gap;
+use nash_lb::game::metrics::evaluate_profile;
+use nash_lb::game::model::SystemModel;
+use nash_lb::game::nash::{Initialization, NashSolver};
+use nash_lb::game::response::overall_response_time;
+use nash_lb::game::schemes::{
+    GlobalOptimalScheme, IndividualOptimalScheme, LoadBalancingScheme, ProportionalScheme,
+};
+use proptest::prelude::*;
+
+/// A random stable system: 1..=8 computers, 1..=6 users, utilization in
+/// (5%, 90%).
+fn arb_system() -> impl Strategy<Value = SystemModel> {
+    (
+        prop::collection::vec(1.0f64..100.0, 1..=8),
+        prop::collection::vec(0.05f64..1.0, 1..=6),
+        0.05f64..0.9,
+    )
+        .prop_map(|(rates, fractions, rho)| {
+            SystemModel::with_utilization(rates, &fractions, rho)
+                .expect("construction is valid for rho < 1")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn water_filling_is_feasible_and_kkt_optimal(
+        rates in prop::collection::vec(0.5f64..200.0, 1..=10),
+        frac in 0.01f64..0.99,
+    ) {
+        let capacity: f64 = rates.iter().sum();
+        let demand = capacity * frac;
+        let flows = water_fill_flows(&rates, demand).unwrap();
+        let total: f64 = flows.iter().sum();
+        prop_assert!((total - demand).abs() < 1e-6 * demand.max(1.0));
+        for (x, a) in flows.iter().zip(&rates) {
+            prop_assert!(*x >= 0.0 && x < a);
+        }
+        prop_assert!(satisfies_kkt(&rates, &flows, 1e-5));
+    }
+
+    #[test]
+    fn water_filling_beats_random_feasible_splits(
+        rates in prop::collection::vec(1.0f64..100.0, 2..=6),
+        frac in 0.05f64..0.9,
+        weights in prop::collection::vec(0.01f64..1.0, 6),
+    ) {
+        let capacity: f64 = rates.iter().sum();
+        let demand = capacity * frac;
+        let opt = water_fill_flows(&rates, demand).unwrap();
+        // A random feasible competitor: flows proportional to random
+        // weights times capacity, clamped into stability by mixing with
+        // the proportional split.
+        let wsum: f64 = weights[..rates.len()].iter().sum();
+        let mix = 0.5;
+        let competitor: Vec<f64> = rates
+            .iter()
+            .zip(&weights[..rates.len()])
+            .map(|(&a, &w)| {
+                mix * demand * w / wsum + (1.0 - mix) * demand * a / capacity
+            })
+            .collect();
+        // Only compare when the competitor is stable.
+        if competitor.iter().zip(&rates).all(|(x, a)| x < a) {
+            prop_assert!(
+                split_cost(&rates, &opt) <= split_cost(&rates, &competitor) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn nash_outcome_is_feasible_epsilon_equilibrium(model in arb_system()) {
+        let out = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-7)
+            .max_iterations(5000)
+            .solve(&model)
+            .unwrap();
+        out.profile().check_stability(&model).unwrap();
+        let gap = epsilon_nash_gap(&model, out.profile()).unwrap();
+        let scale: f64 = out.user_times().iter().cloned().fold(0.0, f64::max);
+        prop_assert!(gap <= 1e-3 * scale.max(1e-3), "gap {gap} at scale {scale}");
+    }
+
+    #[test]
+    fn gos_is_socially_optimal_among_all_schemes(model in arb_system()) {
+        let gos = GlobalOptimalScheme::default().compute(&model).unwrap();
+        let d_gos = overall_response_time(&model, &gos).unwrap();
+        let nash = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-6)
+            .max_iterations(5000)
+            .solve(&model)
+            .unwrap();
+        let others = vec![
+            nash.into_profile(),
+            IndividualOptimalScheme.compute(&model).unwrap(),
+            ProportionalScheme.compute(&model).unwrap(),
+        ];
+        for p in others {
+            let d = overall_response_time(&model, &p).unwrap();
+            prop_assert!(d_gos <= d + 1e-7 * d.abs().max(1.0), "GOS {d_gos} vs {d}");
+        }
+    }
+
+    #[test]
+    fn ps_and_ios_are_perfectly_fair_everywhere(model in arb_system()) {
+        for scheme in [
+            Box::new(ProportionalScheme) as Box<dyn LoadBalancingScheme>,
+            Box::new(IndividualOptimalScheme),
+        ] {
+            let p = scheme.compute(&model).unwrap();
+            let m = evaluate_profile(&model, &p).unwrap();
+            prop_assert!((m.fairness - 1.0).abs() < 1e-9, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn nash_fairness_dominates_gos_fairness(model in arb_system()) {
+        let nash = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-7)
+            .max_iterations(5000)
+            .solve(&model)
+            .unwrap();
+        let m_nash = evaluate_profile(&model, nash.profile()).unwrap();
+        let gos = GlobalOptimalScheme::default().compute(&model).unwrap();
+        let m_gos = evaluate_profile(&model, &gos).unwrap();
+        // Nash never does materially worse than sequential GOS on fairness.
+        prop_assert!(m_nash.fairness >= m_gos.fairness - 1e-6);
+    }
+
+    #[test]
+    fn profile_flows_conserve_total_arrival_rate(model in arb_system()) {
+        for scheme in [
+            Box::new(ProportionalScheme) as Box<dyn LoadBalancingScheme>,
+            Box::new(IndividualOptimalScheme),
+            Box::new(GlobalOptimalScheme::default()),
+        ] {
+            let p = scheme.compute(&model).unwrap();
+            let flows = p.computer_flows(&model).unwrap();
+            let total: f64 = flows.iter().sum();
+            prop_assert!(
+                (total - model.total_arrival_rate()).abs()
+                    < 1e-6 * model.total_arrival_rate(),
+                "{} conservation",
+                scheme.name()
+            );
+        }
+    }
+}

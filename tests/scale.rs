@@ -1,0 +1,89 @@
+//! Scale tests: the algorithms on systems far larger than the paper's
+//! 16×10 configuration — the regime a downstream user of the library
+//! actually cares about.
+
+use nash_lb::game::best_reply::{satisfies_kkt, water_fill_flows};
+use nash_lb::game::equilibrium::epsilon_nash_gap;
+use nash_lb::game::model::SystemModel;
+use nash_lb::game::nash::{nash_equilibrium, Initialization, NashSolver};
+use nash_lb::game::schemes::{
+    GlobalOptimalScheme, IndividualOptimalScheme, LoadBalancingScheme, ProportionalScheme,
+};
+
+/// A 256-computer heterogeneous bank cycling the Table-1 speed classes.
+fn big_rates() -> Vec<f64> {
+    const CLASSES: [f64; 4] = [10.0, 20.0, 50.0, 100.0];
+    (0..256).map(|i| CLASSES[i % 4]).collect()
+}
+
+#[test]
+fn water_filling_handles_thousands_of_computers() {
+    let rates: Vec<f64> = (0..4096).map(|i| 1.0 + (i % 97) as f64).collect();
+    let capacity: f64 = rates.iter().sum();
+    let flows = water_fill_flows(&rates, 0.7 * capacity).unwrap();
+    let total: f64 = flows.iter().sum();
+    assert!((total - 0.7 * capacity).abs() < 1e-6 * capacity);
+    assert!(satisfies_kkt(&rates, &flows, 1e-5));
+}
+
+#[test]
+fn nash_converges_on_a_256_computer_64_user_system() {
+    let model = SystemModel::with_equal_users(big_rates(), 64, 0.7).unwrap();
+    let out = NashSolver::new(Initialization::Proportional)
+        .tolerance(1e-4)
+        .max_iterations(5000)
+        .solve(&model)
+        .unwrap();
+    assert!(out.converged());
+    out.profile().check_stability(&model).unwrap();
+    let gap = epsilon_nash_gap(&model, out.profile()).unwrap();
+    let scale: f64 = out.user_times().iter().cloned().fold(0.0, f64::max);
+    assert!(gap < 1e-3 * scale.max(1e-6), "gap {gap}");
+}
+
+#[test]
+fn all_schemes_scale_and_keep_their_ordering() {
+    let model = SystemModel::with_equal_users(big_rates(), 32, 0.6).unwrap();
+    let d = |p: &nash_lb::game::strategy::StrategyProfile| {
+        nash_lb::game::response::overall_response_time(&model, p).unwrap()
+    };
+    let nash = nash_equilibrium(&model).unwrap();
+    let gos = GlobalOptimalScheme::default().compute(&model).unwrap();
+    let ios = IndividualOptimalScheme.compute(&model).unwrap();
+    let ps = ProportionalScheme.compute(&model).unwrap();
+    let (d_nash, d_gos, d_ios, d_ps) = (d(nash.profile()), d(&gos), d(&ios), d(&ps));
+    assert!(d_gos <= d_nash && d_nash <= d_ios + 1e-12 && d_ios <= d_ps + 1e-12);
+}
+
+#[test]
+fn heavily_asymmetric_users_are_handled() {
+    // One whale user plus many tiny ones.
+    let mut fractions = vec![0.7];
+    fractions.extend(vec![0.3 / 29.0; 29]);
+    let model =
+        SystemModel::with_utilization(SystemModel::table1_rates(), &fractions, 0.7).unwrap();
+    let out = nash_equilibrium(&model).unwrap();
+    let gap = epsilon_nash_gap(&model, out.profile()).unwrap();
+    assert!(gap < 1e-3, "gap {gap}");
+    // The whale, forced onto slow machines, has the worst time.
+    let times = out.user_times();
+    let whale = times[0];
+    for &t in &times[1..] {
+        assert!(whale >= t - 1e-9, "whale {whale} vs minnow {t}");
+    }
+}
+
+#[test]
+fn near_saturation_still_converges() {
+    let model = SystemModel::table1_system(0.985).unwrap();
+    let out = NashSolver::new(Initialization::Proportional)
+        .tolerance(1e-3)
+        .max_iterations(20_000)
+        .solve(&model)
+        .unwrap();
+    assert!(out.converged());
+    out.profile().check_stability(&model).unwrap();
+    // All computers must be in use this close to capacity.
+    let flows = out.profile().computer_flows(&model).unwrap();
+    assert!(flows.iter().all(|&f| f > 0.0));
+}
