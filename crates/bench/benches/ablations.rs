@@ -114,8 +114,8 @@ fn bench_ring_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_ring_scaling");
     group.sample_size(10);
     for m in [2usize, 8, 32] {
-        let model = SystemModel::with_equal_users(SystemModel::table1_rates(), m, 0.6)
-            .expect("valid");
+        let model =
+            SystemModel::with_equal_users(SystemModel::table1_rates(), m, 0.6).expect("valid");
         group.bench_function(format!("{m}_users"), |b| {
             b.iter(|| {
                 DistributedNash::new()

@@ -37,5 +37,9 @@ fn bench_gradient_vs_closed_form(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_water_filling_scaling, bench_gradient_vs_closed_form);
+criterion_group!(
+    benches,
+    bench_water_filling_scaling,
+    bench_gradient_vs_closed_form
+);
 criterion_main!(benches);

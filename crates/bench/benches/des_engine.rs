@@ -94,13 +94,15 @@ fn bench_simulation_throughput(c: &mut Criterion) {
         };
         group.throughput(Throughput::Elements(jobs));
         group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, _| {
-            b.iter(|| {
-                run_replication(black_box(&model), black_box(&profile), config, 42).unwrap()
-            });
+            b.iter(|| run_replication(black_box(&model), black_box(&profile), config, 42).unwrap());
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_calendar_ablation, bench_simulation_throughput);
+criterion_group!(
+    benches,
+    bench_calendar_ablation,
+    bench_simulation_throughput
+);
 criterion_main!(benches);

@@ -34,8 +34,7 @@ fn bench_fig3_user_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_nash_vs_users");
     group.sample_size(10);
     for m in [4usize, 8, 16, 32] {
-        let model =
-            SystemModel::with_equal_users(SystemModel::table1_rates(), m, 0.6).unwrap();
+        let model = SystemModel::with_equal_users(SystemModel::table1_rates(), m, 0.6).unwrap();
         group.bench_with_input(BenchmarkId::new("NASH_P", m), &m, |b, _| {
             b.iter(|| {
                 NashSolver::new(Initialization::Proportional)

@@ -34,8 +34,7 @@ pub fn scaled_rates(n: usize) -> Vec<f64> {
 ///
 /// Panics on invalid parameters (bench configuration error).
 pub fn scaled_model(n: usize, m: usize, rho: f64) -> SystemModel {
-    SystemModel::with_equal_users(scaled_rates(n), m, rho)
-        .expect("valid bench configuration")
+    SystemModel::with_equal_users(scaled_rates(n), m, rho).expect("valid bench configuration")
 }
 
 #[cfg(test)]

@@ -214,7 +214,9 @@ mod tests {
         let mut x: u64 = 0x12345;
         let mut times = Vec::new();
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let time = (x >> 11) as f64 / (1u64 << 53) as f64 * 1e6;
             times.push(time);
             cal.schedule(t(time), time);

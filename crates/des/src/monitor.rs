@@ -173,7 +173,7 @@ mod tests {
         q.update(t(0.0), 1); // [0,2): 1
         q.update(t(2.0), 3); // [2,3): 3
         q.update(t(3.0), 0); // [3,5): 0
-        // Mean over [0,5] = (2*1 + 1*3 + 2*0)/5 = 1.
+                             // Mean over [0,5] = (2*1 + 1*3 + 2*0)/5 = 1.
         assert!((q.mean(t(5.0)) - 1.0).abs() < 1e-12);
     }
 
@@ -182,7 +182,7 @@ mod tests {
         let mut q = QueueLengthMonitor::new(t(10.0));
         q.update(t(0.0), 4); // entirely pre-warmup
         q.update(t(12.0), 0); // [10,12): 4
-        // Mean over [10,14] = (2*4 + 2*0)/4 = 2.
+                              // Mean over [10,14] = (2*4 + 2*0)/4 = 2.
         assert!((q.mean(t(14.0)) - 2.0).abs() < 1e-12);
     }
 

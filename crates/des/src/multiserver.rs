@@ -142,8 +142,14 @@ mod tests {
     #[test]
     fn fills_servers_before_queueing() {
         let mut st = MultiServerStation::new(2);
-        assert_eq!(st.arrive(job(1, 0.0, 5.0), t(0.0)), PoolArrival::StartService(t(5.0)));
-        assert_eq!(st.arrive(job(2, 1.0, 5.0), t(1.0)), PoolArrival::StartService(t(6.0)));
+        assert_eq!(
+            st.arrive(job(1, 0.0, 5.0), t(0.0)),
+            PoolArrival::StartService(t(5.0))
+        );
+        assert_eq!(
+            st.arrive(job(2, 1.0, 5.0), t(1.0)),
+            PoolArrival::StartService(t(6.0))
+        );
         assert_eq!(st.arrive(job(3, 2.0, 1.0), t(2.0)), PoolArrival::Queued);
         assert_eq!(st.busy_servers(), 2);
         assert_eq!(st.jobs_present(), 3);
@@ -259,7 +265,10 @@ mod tests {
         let theory = lb_stats_free_erlang_c(lambda, mu, c);
         let measured = monitor.system_mean();
         let rel = (measured - theory).abs() / theory;
-        assert!(rel < 0.05, "measured {measured} vs Erlang-C {theory} (rel {rel:.3})");
+        assert!(
+            rel < 0.05,
+            "measured {measured} vs Erlang-C {theory} (rel {rel:.3})"
+        );
     }
 
     /// Minimal local Erlang-C (duplicated to avoid a dev-dependency on

@@ -105,14 +105,8 @@ impl RngStream {
     pub fn sample(&mut self, dist: &Distribution) -> f64 {
         match *dist {
             Distribution::Exponential { rate } => self.exponential(rate),
-            Distribution::Erlang { k, rate } => {
-                (0..k).map(|_| self.exponential(rate)).sum()
-            }
-            Distribution::HyperExponential {
-                p,
-                rate_a,
-                rate_b,
-            } => {
+            Distribution::Erlang { k, rate } => (0..k).map(|_| self.exponential(rate)).sum(),
+            Distribution::HyperExponential { p, rate_a, rate_b } => {
                 if self.uniform01() < p {
                     self.exponential(rate_a)
                 } else {
@@ -171,9 +165,7 @@ impl Distribution {
         match *self {
             Distribution::Exponential { rate } => 1.0 / rate,
             Distribution::Erlang { k, rate } => f64::from(k) / rate,
-            Distribution::HyperExponential { p, rate_a, rate_b } => {
-                p / rate_a + (1.0 - p) / rate_b
-            }
+            Distribution::HyperExponential { p, rate_a, rate_b } => p / rate_a + (1.0 - p) / rate_b,
             Distribution::Deterministic { value } => value,
         }
     }
@@ -292,9 +284,7 @@ mod tests {
     fn distribution_means_are_exact() {
         assert!((Distribution::Exponential { rate: 4.0 }.mean() - 0.25).abs() < 1e-12);
         assert!((Distribution::Erlang { k: 3, rate: 6.0 }.mean() - 0.5).abs() < 1e-12);
-        assert!(
-            (Distribution::Deterministic { value: 1.5 }.mean() - 1.5).abs() < 1e-12
-        );
+        assert!((Distribution::Deterministic { value: 1.5 }.mean() - 1.5).abs() < 1e-12);
         let h = Distribution::HyperExponential {
             p: 0.5,
             rate_a: 1.0,
@@ -316,7 +306,11 @@ mod tests {
         assert_eq!(det.scv(), 0.0);
         assert!((erl.scv() - 0.25).abs() < 1e-12);
         assert_eq!(exp.scv(), 1.0);
-        assert!(hyp.scv() > 1.0, "hyperexponential must have SCV > 1, got {}", hyp.scv());
+        assert!(
+            hyp.scv() > 1.0,
+            "hyperexponential must have SCV > 1, got {}",
+            hyp.scv()
+        );
     }
 
     #[test]

@@ -170,7 +170,11 @@ mod tests {
             samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
         assert!((mean - 1.0 / 3.0).abs() < 0.01);
         // Exponential: variance = mean^2.
-        assert!((var / (mean * mean) - 1.0).abs() < 0.05, "SCV {}", var / (mean * mean));
+        assert!(
+            (var / (mean * mean) - 1.0).abs() < 0.05,
+            "SCV {}",
+            var / (mean * mean)
+        );
     }
 
     #[test]
@@ -196,8 +200,7 @@ mod tests {
             }
             let n = counts.len() as f64;
             let mean: f64 = counts.iter().sum::<f64>() / n;
-            let var: f64 =
-                counts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+            let var: f64 = counts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
             var / mean
         };
         let mut bursty = MmppSource::balanced(5.0, 1.9, 8.0, rng(11));

@@ -144,10 +144,7 @@ impl FcfsStation {
         if t == 0.0 {
             return 0.0;
         }
-        let in_progress = self
-            .busy_since
-            .map(|s| now.since(s))
-            .unwrap_or(0.0);
+        let in_progress = self.busy_since.map(|s| now.since(s)).unwrap_or(0.0);
         (self.busy_time + in_progress) / t
     }
 

@@ -103,6 +103,18 @@ impl LoadBoard {
     pub fn row(&self, j: usize) -> Vec<f64> {
         self.flows.read()[j].clone()
     }
+
+    /// Zeroes user `j`'s row. The runtime calls this when it declares a
+    /// user failed: a dead user sends no jobs, so its flow must stop
+    /// loading the computers before the survivors re-converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index.
+    pub fn clear_row(&self, j: usize) {
+        assert!(j < self.users, "user index {j}");
+        self.flows.write()[j].fill(0.0);
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +159,22 @@ mod tests {
     #[should_panic(expected = "row length")]
     fn publish_checks_shape() {
         LoadBoard::new(1, 2).publish(0, &[1.0]);
+    }
+
+    #[test]
+    fn clear_row_removes_a_failed_users_load() {
+        let b = LoadBoard::new(2, 2);
+        b.publish(0, &[1.0, 2.0]);
+        b.publish(1, &[0.5, 0.5]);
+        b.clear_row(0);
+        assert_eq!(b.row(0), vec![0.0, 0.0]);
+        assert_eq!(b.total_flows(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "user index")]
+    fn clear_row_checks_index() {
+        LoadBoard::new(1, 1).clear_row(1);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Deterministic fault injection for the token ring.
+//!
+//! Distributed failure modes are miserable to test when they depend on
+//! timing. A [`FaultPlan`] makes them reproducible: it maps
+//! `(user, round)` pairs to a [`FaultAction`] that the user thread
+//! executes when it holds the token at that round. Because the token
+//! serializes the ring, a plan produces the same failure at the same
+//! point of the computation on every run — crash tests become ordinary
+//! deterministic unit tests.
+//!
+//! The actions cover the classic failure taxonomy for this protocol:
+//!
+//! * crash faults — [`FaultAction::PanicHoldingToken`] (the token dies
+//!   with the thread) and [`FaultAction::PanicAfterForward`] (the thread
+//!   dies but the token survives, so the failure is discovered later by
+//!   the predecessor's failed send);
+//! * omission faults — [`FaultAction::DropToken`] (the user processes
+//!   the round but never forwards);
+//! * timing faults — [`FaultAction::DelayForward`] (a slow participant,
+//!   possibly slower than the failure detector's patience);
+//! * state faults — [`FaultAction::StaleRound`] (the user best-responds
+//!   to its previous observation instead of re-reading the board, so it
+//!   publishes flows computed from stale information).
+
+use std::time::Duration;
+
+/// What a user does when it holds the token at a planned `(user, round)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic immediately on receiving the token, before processing the
+    /// round. The token is lost; only the coordinator's timeout can
+    /// recover the ring.
+    PanicHoldingToken,
+    /// Process the round and forward the token normally, then panic. The
+    /// token survives, so the ring keeps running until someone tries to
+    /// send to the dead thread and splices around it via `next2`.
+    PanicAfterForward,
+    /// Process the round but silently discard the token instead of
+    /// forwarding it. Indistinguishable from a crash to the rest of the
+    /// ring.
+    DropToken,
+    /// Sleep for the given duration before forwarding the token. A delay
+    /// longer than the round timeout makes the failure detector declare
+    /// this user dead even though it is merely slow — the classic
+    /// false-positive of timeout-based detection.
+    DelayForward(Duration),
+    /// Best-respond to the previous round's cached observation instead of
+    /// re-reading the board, then publish those (stale) flows.
+    StaleRound,
+}
+
+/// A deterministic schedule of injected faults, keyed by `(user, round)`.
+///
+/// Build one with the chained constructors and hand it to
+/// `DistributedNash::fault_plan`:
+///
+/// ```
+/// use lb_distributed::fault::FaultPlan;
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new()
+///     .panic_at(2, 5)
+///     .delay_at(0, 3, Duration::from_millis(10))
+///     .stale_at(1, 4);
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<(usize, u32, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the default for every run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary action for `user` at `round`.
+    pub fn with(mut self, user: usize, round: u32, action: FaultAction) -> Self {
+        self.faults.push((user, round, action));
+        self
+    }
+
+    /// `user` panics while holding the token at `round`.
+    pub fn panic_at(self, user: usize, round: u32) -> Self {
+        self.with(user, round, FaultAction::PanicHoldingToken)
+    }
+
+    /// `user` forwards the token at `round`, then panics.
+    pub fn panic_after_forward_at(self, user: usize, round: u32) -> Self {
+        self.with(user, round, FaultAction::PanicAfterForward)
+    }
+
+    /// `user` silently drops the token at `round`.
+    pub fn drop_token_at(self, user: usize, round: u32) -> Self {
+        self.with(user, round, FaultAction::DropToken)
+    }
+
+    /// `user` sleeps for `delay` before forwarding at `round`.
+    pub fn delay_at(self, user: usize, round: u32, delay: Duration) -> Self {
+        self.with(user, round, FaultAction::DelayForward(delay))
+    }
+
+    /// `user` publishes from a stale observation at `round`.
+    pub fn stale_at(self, user: usize, round: u32) -> Self {
+        self.with(user, round, FaultAction::StaleRound)
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The action planned for `user` at `round`, if any. When several
+    /// actions collide on the same `(user, round)`, the first one added
+    /// wins.
+    pub fn action(&self, user: usize, round: u32) -> Option<FaultAction> {
+        self.faults
+            .iter()
+            .find(|&&(u, r, _)| u == user && r == round)
+            .map(|&(_, _, a)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_has_no_actions() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.action(0, 0), None);
+    }
+
+    #[test]
+    fn actions_are_keyed_by_user_and_round() {
+        let p = FaultPlan::new()
+            .panic_at(1, 3)
+            .drop_token_at(2, 0)
+            .delay_at(0, 1, Duration::from_millis(5))
+            .stale_at(1, 4)
+            .panic_after_forward_at(3, 2);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.action(1, 3), Some(FaultAction::PanicHoldingToken));
+        assert_eq!(p.action(2, 0), Some(FaultAction::DropToken));
+        assert_eq!(
+            p.action(0, 1),
+            Some(FaultAction::DelayForward(Duration::from_millis(5)))
+        );
+        assert_eq!(p.action(1, 4), Some(FaultAction::StaleRound));
+        assert_eq!(p.action(3, 2), Some(FaultAction::PanicAfterForward));
+        assert_eq!(p.action(1, 0), None);
+        assert_eq!(p.action(4, 3), None);
+    }
+
+    #[test]
+    fn first_action_wins_on_collision() {
+        let p = FaultPlan::new().drop_token_at(0, 0).panic_at(0, 0);
+        assert_eq!(p.action(0, 0), Some(FaultAction::DropToken));
+    }
+}

@@ -12,24 +12,36 @@
 //! token ring, and a shared load board standing in for the computers'
 //! observable run-queue state:
 //!
-//! * [`messages`] — the token protocol.
+//! * [`messages`] — the token protocol (with repair epochs and ring
+//!   reconfiguration).
 //! * [`board`] — the shared per-user flow board users observe and update.
 //! * [`observer`] — how users estimate available rates from the board
 //!   (exact, or with multiplicative noise modeling run-queue sampling
 //!   error).
-//! * [`runtime`] — thread spawning, the ring, termination, and result
-//!   collection.
+//! * [`fault`] — deterministic fault injection: crash, token-drop, delay
+//!   and stale-observation faults keyed by `(user, round)`.
+//! * [`runtime`] — thread spawning, the ring, failure detection and
+//!   repair, termination, and result collection.
+//!
+//! The runtime is fault-tolerant: every receive has a timeout, a lost
+//! token is detected by the coordinator and regenerated under a new
+//! epoch, dead users are spliced out of the ring and their load cleared
+//! from the board, and the survivors re-converge on the residual
+//! capacity. See the [`runtime`] module docs for the failure model.
 //!
 //! The integration tests verify the threaded runtime reaches the same
-//! equilibrium as the sequential solver.
+//! equilibrium as the sequential solver, and that it survives injected
+//! crashes.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod board;
+pub mod fault;
 pub mod messages;
 pub mod observer;
 pub mod runtime;
 
+pub use fault::{FaultAction, FaultPlan};
 pub use observer::ObservationModel;
 pub use runtime::{DistributedNash, DistributedOutcome};

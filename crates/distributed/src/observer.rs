@@ -29,6 +29,7 @@ pub enum ObservationModel {
 pub struct Observer {
     model: ObservationModel,
     state: u64,
+    last: Option<Vec<f64>>,
 }
 
 impl Observer {
@@ -41,14 +42,26 @@ impl Observer {
                 splitmix(seed ^ (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).max(1)
             }
         };
-        Self { model, state }
+        Self {
+            model,
+            state,
+            last: None,
+        }
+    }
+
+    /// The observation model this observer applies.
+    pub fn model(&self) -> ObservationModel {
+        self.model
     }
 
     /// Estimates the available rates `a_i = μ_i − other_flows_i`, applying
-    /// the model's observation error.
+    /// the model's observation error. The estimate is cached and stays
+    /// available through [`Observer::last_observation`] — a fault-injected
+    /// "stale" round replays it instead of sampling the board again.
     pub fn observe(&mut self, mu: &[f64], other_flows: &[f64]) -> Vec<f64> {
         debug_assert_eq!(mu.len(), other_flows.len());
-        mu.iter()
+        let estimate: Vec<f64> = mu
+            .iter()
             .zip(other_flows)
             .map(|(&m, &f)| {
                 let truth = m - f;
@@ -60,7 +73,14 @@ impl Observer {
                     }
                 }
             })
-            .collect()
+            .collect();
+        self.last = Some(estimate.clone());
+        estimate
+    }
+
+    /// The most recent estimate returned by [`Observer::observe`], if any.
+    pub fn last_observation(&self) -> Option<&[f64]> {
+        self.last.as_deref()
     }
 
     /// Approximate standard normal from twelve uniforms (Irwin–Hall).
@@ -90,6 +110,17 @@ mod tests {
         let mut o = Observer::new(ObservationModel::Exact, 3);
         let a = o.observe(&[10.0, 20.0], &[4.0, 0.0]);
         assert_eq!(a, vec![6.0, 20.0]);
+    }
+
+    #[test]
+    fn last_observation_caches_the_latest_estimate() {
+        let mut o = Observer::new(ObservationModel::Exact, 0);
+        assert!(o.last_observation().is_none());
+        o.observe(&[10.0], &[4.0]);
+        assert_eq!(o.last_observation(), Some(&[6.0][..]));
+        o.observe(&[10.0], &[1.0]);
+        assert_eq!(o.last_observation(), Some(&[9.0][..]));
+        assert_eq!(o.model(), ObservationModel::Exact);
     }
 
     #[test]

@@ -1,25 +1,61 @@
-//! The threaded token-ring runtime for the distributed NASH algorithm.
+//! The fault-tolerant threaded token-ring runtime for the distributed
+//! NASH algorithm.
 //!
 //! One OS thread per user, connected in a ring by unbounded crossbeam
 //! channels. The control token ([`crate::messages::Token`]) circulates
 //! round-robin exactly as in the paper's pseudocode; strategies are
 //! *never* exchanged — users observe each other only through the shared
 //! [`crate::board::LoadBoard`], matching the paper's run-queue-inspection
-//! model. The ring tail (user `m−1`) owns the convergence test and
-//! initiates a final terminate lap; every user then reports its strategy
-//! to the coordinator and exits.
+//! model. The ring tail (the highest-indexed live user) owns the
+//! convergence test and initiates a final terminate lap; every user then
+//! reports its strategy to the coordinator and exits.
+//!
+//! # Failure model
+//!
+//! Unlike the paper's idealized protocol, this runtime survives crash,
+//! omission and timing faults (injectable deterministically via
+//! [`crate::fault::FaultPlan`]):
+//!
+//! * every receive — user and coordinator alike — carries a timeout, so a
+//!   lost token can never hang the run;
+//! * every token forward is announced to the coordinator, which tracks
+//!   the expected holder; when no progress happens for
+//!   [`DistributedNash::round_timeout`], the holder is declared failed,
+//!   its board row is zeroed, the ring is spliced around it, and the
+//!   token is regenerated under a new *epoch* (stale tokens from the old
+//!   epoch are dropped on receipt);
+//! * each user also keeps a channel to its successor's successor: when a
+//!   forward fails because the successor's thread is gone, the user
+//!   splices around it immediately and tells the coordinator, without
+//!   waiting for the timeout;
+//! * survivors then re-converge on the residual capacity, and the
+//!   [`DistributedOutcome`] names the failed users instead of discarding
+//!   the partial result.
+//!
+//! The failure detector is timeout-based and therefore *not* perfect: a
+//! user that is merely slower than `round_timeout` (e.g. a
+//! [`crate::fault::FaultAction::DelayForward`] longer than the patience)
+//! is declared failed, shut down, and excluded like a real crash. That is
+//! the standard trade-off of synchronous-detector designs; pick a
+//! `round_timeout` comfortably above the per-round compute time.
 
 use crate::board::LoadBoard;
-use crate::messages::{FinalReport, Termination, Token};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::messages::{FinalReport, Reconfigure, RingMsg, Termination, Token};
 use crate::observer::{ObservationModel, Observer};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};
 use lb_game::best_reply::water_fill_flows;
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::strategy::{Strategy, StrategyProfile};
 use lb_stats::IterationTrace;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often an idle user thread wakes up to check the stop flag.
+const IDLE_CHECK: Duration = Duration::from_millis(50);
 
 /// Initial board state, mirroring the paper's two NASH variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,17 +73,23 @@ pub struct DistributedNash {
     observation: ObservationModel,
     tolerance: f64,
     max_rounds: u32,
+    round_timeout: Duration,
+    run_deadline: Option<Duration>,
+    faults: Arc<FaultPlan>,
 }
 
 impl DistributedNash {
     /// Paper defaults: NASH_P start, exact observation, ε = 1e-4, at most
-    /// 500 rounds.
+    /// 500 rounds, a 5 s token timeout, no overall deadline, no faults.
     pub fn new() -> Self {
         Self {
             init: RingInit::Proportional,
             observation: ObservationModel::Exact,
             tolerance: 1e-4,
             max_rounds: 500,
+            round_timeout: Duration::from_secs(5),
+            run_deadline: None,
+            faults: Arc::new(FaultPlan::new()),
         }
     }
 
@@ -75,15 +117,62 @@ impl DistributedNash {
         self
     }
 
-    /// Runs the ring to termination and collects the outcome.
+    /// Sets the failure detector's patience: if the coordinator sees no
+    /// ring progress for this long, it declares the expected token holder
+    /// failed and regenerates the token. Must exceed the per-round
+    /// compute time by a healthy margin.
+    pub fn round_timeout(mut self, timeout: Duration) -> Self {
+        self.round_timeout = timeout;
+        self
+    }
+
+    /// Sets a hard wall-clock deadline for the whole run. When it
+    /// expires, `run` returns [`GameError::RingTimeout`] instead of
+    /// continuing to repair.
+    pub fn run_deadline(mut self, deadline: Duration) -> Self {
+        self.run_deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (see
+    /// [`crate::fault`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Arc::new(plan);
+        self
+    }
+
+    /// Runs the ring to termination and collects the outcome, treating an
+    /// exhausted round budget as an error (the historical behavior).
     ///
     /// # Errors
     ///
-    /// * [`GameError::DidNotConverge`] when the round budget ran out (the
-    ///   assembled profile is discarded, as in the sequential solver).
-    /// * Channel failures surface as [`GameError::InfeasibleStrategy`]
-    ///   (they indicate a crashed user thread).
+    /// * [`GameError::DidNotConverge`] when the round budget ran out.
+    /// * [`GameError::RingTimeout`] when the deadline expired or no users
+    ///   survived to produce a result.
+    /// * [`GameError::InfeasibleStrategy`] on protocol violations
+    ///   (duplicate or missing reports).
     pub fn run(&self, model: &SystemModel) -> Result<DistributedOutcome, GameError> {
+        let outcome = self.run_to_outcome(model)?;
+        if outcome.termination() == Termination::Exhausted {
+            return Err(GameError::DidNotConverge {
+                iterations: outcome.rounds(),
+                final_norm: outcome.trace().last().unwrap_or(f64::INFINITY),
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Runs the ring to termination and returns the outcome even when
+    /// the round budget was exhausted ([`Termination::Exhausted`]), so
+    /// callers can inspect the partial state instead of discarding it.
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::RingTimeout`] when the deadline expired or no users
+    ///   survived to produce a result.
+    /// * [`GameError::InfeasibleStrategy`] on protocol violations
+    ///   (duplicate or missing reports).
+    pub fn run_to_outcome(&self, model: &SystemModel) -> Result<DistributedOutcome, GameError> {
         let m = model.num_users();
         let n = model.num_computers();
         let board = Arc::new(LoadBoard::new(m, n));
@@ -119,36 +208,48 @@ impl DistributedNash {
                         .filter(|(_, &x)| x > 0.0)
                         .map(|(i, &x)| {
                             x / phi
-                                * lb_queueing::mm1::response_time(
-                                    totals[i],
-                                    model.computer_rate(i),
-                                )
+                                * lb_queueing::mm1::response_time(totals[i], model.computer_rate(i))
                         })
                         .sum()
                 })
                 .collect()
         };
 
-        // Ring channels: user j receives on rx[j], sends to tx[(j+1)%m].
-        let (txs, rxs): (Vec<Sender<Token>>, Vec<Receiver<Token>>) =
-            (0..m).map(|_| unbounded()).unzip();
-        let (report_tx, report_rx) = unbounded::<ThreadResult>();
+        // Ring channels: user j receives on rxs[j], sends to txs[(j+1)%m].
+        // The receivers move into the threads — the coordinator must not
+        // hold clones, so that a dead user makes sends to it fail and the
+        // fast splice path can trigger.
+        let mut rxs: Vec<Option<Receiver<RingMsg>>> = Vec::with_capacity(m);
+        let mut txs: Vec<Sender<RingMsg>> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        let (event_tx, event_rx) = unbounded::<Event>();
+        let stop = Arc::new(AtomicBool::new(false));
 
         let mut handles = Vec::with_capacity(m);
-        for j in 0..m {
+        for (j, rx) in rxs.iter_mut().enumerate() {
             let ctx = UserContext {
                 user: j,
                 is_tail: j == m - 1,
+                epoch: 0,
                 mu: model.computer_rates().to_vec(),
                 phi: model.user_rate(j),
                 board: Arc::clone(&board),
-                rx: rxs[j].clone(),
+                rx: rx.take().expect("receiver moved twice"),
+                next_id: (j + 1) % m,
                 next: txs[(j + 1) % m].clone(),
-                report: report_tx.clone(),
+                next2_id: (j + 2) % m,
+                next2: txs[(j + 2) % m].clone(),
+                events: event_tx.clone(),
                 observer: Observer::new(self.observation, j),
                 tolerance: self.tolerance,
                 max_rounds: self.max_rounds,
                 initial_d: initial_d[j],
+                faults: Arc::clone(&self.faults),
+                stop: Arc::clone(&stop),
             };
             handles.push(
                 thread::Builder::new()
@@ -157,51 +258,67 @@ impl DistributedNash {
                     .expect("failed to spawn user thread"),
             );
         }
-        drop(report_tx);
+        drop(event_tx);
 
-        // Inject the token at user 0.
-        txs[0]
-            .send(Token::initial())
-            .map_err(|_| ring_broken("token injection"))?;
+        let mut coord = Coordinator {
+            m,
+            board: Arc::clone(&board),
+            txs,
+            events: event_rx,
+            alive: vec![true; m],
+            failed: Vec::new(),
+            reports: (0..m).map(|_| None).collect(),
+            epoch: 0,
+            holder: 0,
+            mirror: Vec::new(),
+            termination: None,
+            round_timeout: self.round_timeout,
+        };
+        coord.inject(0, Token::initial());
+        let driven = coord.drive(self.run_deadline);
 
-        // Collect all reports plus the tail's trace.
-        let mut reports: Vec<Option<FinalReport>> = (0..m).map(|_| None).collect();
-        let mut trace_info: Option<(Vec<f64>, Termination)> = None;
-        for _ in 0..m {
-            let msg = report_rx.recv().map_err(|_| ring_broken("report"))?;
-            if let Some(t) = msg.trace {
-                trace_info = Some(t);
-            }
-            let user = msg.report.user;
-            reports[user] = Some(msg.report);
+        // Teardown runs on every path, success or error: raise the stop
+        // flag, nudge any parked threads, and reap them all (panicked
+        // threads return Err from join — that is the expected fate of
+        // fault-injected users, so it is ignored).
+        stop.store(true, Ordering::Relaxed);
+        for tx in &coord.txs {
+            let _ = tx.send(RingMsg::Shutdown);
         }
         for h in handles {
-            h.join().map_err(|_| ring_broken("join"))?;
+            let _ = h.join();
         }
+        driven?;
 
-        let (trace, termination) = trace_info.ok_or_else(|| ring_broken("missing trace"))?;
-        let rounds = trace.len() as u32;
-        if termination == Termination::Exhausted {
-            return Err(GameError::DidNotConverge {
-                iterations: rounds,
-                final_norm: trace.last().copied().unwrap_or(f64::INFINITY),
-            });
-        }
-
-        let mut rows = Vec::with_capacity(m);
-        let mut user_times = Vec::with_capacity(m);
+        let termination = coord
+            .termination
+            .expect("coordinator loop ended without termination");
+        let rounds = coord.mirror.len() as u32;
+        let mut rows = Vec::new();
+        let mut user_times = Vec::new();
+        let mut survivors = Vec::new();
         let mut total_updates = 0;
-        for r in reports.into_iter().map(Option::unwrap) {
+        for (j, slot) in coord.reports.iter_mut().enumerate() {
+            if !coord.alive[j] {
+                continue;
+            }
+            let r = slot.take().ok_or_else(|| GameError::InfeasibleStrategy {
+                reason: format!("missing final report from user {j}"),
+            })?;
             rows.push(Strategy::new(r.fractions)?);
             user_times.push(r.response_time);
             total_updates += r.updates;
+            survivors.push(j);
         }
         Ok(DistributedOutcome {
             profile: StrategyProfile::new(rows)?,
-            trace: trace.into_iter().collect(),
+            trace: coord.mirror.iter().copied().collect(),
             rounds,
             user_times,
             total_updates,
+            failed: coord.failed.clone(),
+            survivors,
+            termination,
         })
     }
 }
@@ -212,7 +329,9 @@ impl Default for DistributedNash {
     }
 }
 
-/// Outcome of a converged distributed run.
+/// Outcome of a distributed run (converged, exhausted, or repaired after
+/// failures — see [`DistributedOutcome::termination`] and
+/// [`DistributedOutcome::failed_users`]).
 #[derive(Debug, Clone)]
 pub struct DistributedOutcome {
     profile: StrategyProfile,
@@ -220,10 +339,15 @@ pub struct DistributedOutcome {
     rounds: u32,
     user_times: Vec<f64>,
     total_updates: u32,
+    failed: Vec<usize>,
+    survivors: Vec<usize>,
+    termination: Termination,
 }
 
 impl DistributedOutcome {
-    /// The equilibrium profile assembled from the users' reports.
+    /// The equilibrium profile assembled from the *surviving* users'
+    /// reports, one row per entry of [`DistributedOutcome::survivors`]
+    /// in ascending user index.
     pub fn profile(&self) -> &StrategyProfile {
         &self.profile
     }
@@ -238,7 +362,8 @@ impl DistributedOutcome {
         self.rounds
     }
 
-    /// Each user's final self-reported `D_j`.
+    /// Each surviving user's final self-reported `D_j` (aligned with
+    /// [`DistributedOutcome::survivors`]).
     pub fn user_times(&self) -> &[f64] {
         &self.user_times
     }
@@ -247,26 +372,261 @@ impl DistributedOutcome {
     pub fn total_updates(&self) -> u32 {
         self.total_updates
     }
+
+    /// Users declared failed during the run, in detection order.
+    pub fn failed_users(&self) -> &[usize] {
+        &self.failed
+    }
+
+    /// Users that survived to report, in ascending index order.
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+
+    /// How the ring terminated.
+    pub fn termination(&self) -> Termination {
+        self.termination
+    }
+
+    /// Whether the final completed round met the convergence tolerance.
+    pub fn converged(&self) -> bool {
+        self.termination == Termination::Converged
+    }
 }
 
-struct ThreadResult {
-    report: FinalReport,
-    trace: Option<(Vec<f64>, Termination)>,
+/// Progress reports from user threads to the coordinator. Every token
+/// forward is announced, so the coordinator always knows which user
+/// should be holding the token — that user is the suspect when the ring
+/// goes quiet.
+enum Event {
+    /// A user handed the token to `to`.
+    Forwarded { to: usize, epoch: u32 },
+    /// The tail completed a round with this norm (and possibly decided
+    /// termination).
+    RoundComplete {
+        norm: f64,
+        termination: Termination,
+        epoch: u32,
+    },
+    /// A forward to `skipped` failed because its thread is gone; the
+    /// sender spliced around it.
+    Spliced { skipped: usize, epoch: u32 },
+    /// A user's final report from the terminate lap.
+    Report(FinalReport),
+}
+
+struct Coordinator {
+    m: usize,
+    board: Arc<LoadBoard>,
+    txs: Vec<Sender<RingMsg>>,
+    events: Receiver<Event>,
+    alive: Vec<bool>,
+    failed: Vec<usize>,
+    reports: Vec<Option<FinalReport>>,
+    epoch: u32,
+    holder: usize,
+    mirror: Vec<f64>,
+    termination: Option<Termination>,
+    round_timeout: Duration,
+}
+
+impl Coordinator {
+    /// The event loop: applies progress events, detects token loss via
+    /// timeout, and repairs the ring until every surviving user has
+    /// reported.
+    fn drive(&mut self, run_deadline: Option<Duration>) -> Result<(), GameError> {
+        let started = Instant::now();
+        let deadline = run_deadline.map(|d| started + d);
+        loop {
+            if self.termination.is_some() && self.all_alive_reported() {
+                return Ok(());
+            }
+            let wait = match deadline {
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return Err(self.deadline_error(started));
+                    }
+                    self.round_timeout.min(dl - now)
+                }
+                None => self.round_timeout,
+            };
+            match self.events.recv_timeout(wait) {
+                Ok(ev) => self.apply(ev)?,
+                Err(RecvTimeoutError::Timeout) => {
+                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                        return Err(self.deadline_error(started));
+                    }
+                    self.repair_token_loss()?;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every user thread is gone. Anyone who did not
+                    // report is failed; if some did, salvage the partial
+                    // outcome, otherwise the run is unrecoverable.
+                    for j in 0..self.m {
+                        if self.alive[j] && self.reports[j].is_none() {
+                            self.declare_failed(j);
+                        }
+                    }
+                    if self.termination.is_some() && self.reports.iter().any(Option::is_some) {
+                        continue;
+                    }
+                    return Err(GameError::RingTimeout {
+                        round: self.mirror.len() as u32,
+                        waited_ms: started.elapsed().as_millis() as u64,
+                        reason: format!(
+                            "all user threads exited before the run completed; failed users: {:?}",
+                            self.failed
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, ev: Event) -> Result<(), GameError> {
+        match ev {
+            Event::Forwarded { to, epoch } if epoch == self.epoch => self.holder = to,
+            Event::RoundComplete {
+                norm,
+                termination,
+                epoch,
+            } if epoch == self.epoch => {
+                self.mirror.push(norm);
+                if termination != Termination::Continue {
+                    self.termination = Some(termination);
+                }
+            }
+            Event::Spliced { skipped, epoch } if epoch == self.epoch => {
+                if self.alive[skipped] {
+                    self.declare_failed(skipped);
+                    self.reconfigure();
+                }
+            }
+            Event::Report(r) => {
+                let user = r.user;
+                if self.reports[user].is_some() {
+                    return Err(GameError::InfeasibleStrategy {
+                        reason: format!("duplicate final report from user {user}"),
+                    });
+                }
+                self.reports[user] = Some(r);
+            }
+            // Events stamped with an old epoch come from a user that was
+            // (rightly or wrongly) declared failed; its token is stale.
+            Event::Forwarded { .. } | Event::RoundComplete { .. } | Event::Spliced { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// No progress for a full `round_timeout`: the expected holder took
+    /// the token down with it. Kill it, splice, and regenerate the token
+    /// under a fresh epoch.
+    fn repair_token_loss(&mut self) -> Result<(), GameError> {
+        let suspect = self.holder;
+        self.declare_failed(suspect);
+        let ring = self.alive_ring();
+        if ring.is_empty() {
+            return Err(GameError::RingTimeout {
+                round: self.mirror.len() as u32,
+                waited_ms: self.round_timeout.as_millis() as u64,
+                reason: format!("token lost at user {suspect}; no users survive"),
+            });
+        }
+        self.epoch += 1;
+        self.reconfigure();
+        let round = self.mirror.len() as u32;
+        match self.termination {
+            // The terminate lap was interrupted. Reports are collected in
+            // ring order, so the users still owed one form a suffix of
+            // the live ring — restart the lap at the first of them.
+            Some(term) => {
+                if let Some(&target) = ring.iter().find(|&&j| self.reports[j].is_none()) {
+                    let mut token = Token::regenerated(round, self.epoch);
+                    token.terminate = term;
+                    self.inject(target, token);
+                }
+            }
+            // Restart the interrupted round from the top of the live
+            // ring, exactly as a fresh Gauss–Seidel sweep of the reduced
+            // system.
+            None => self.inject(ring[0], Token::regenerated(round, self.epoch)),
+        }
+        Ok(())
+    }
+
+    fn declare_failed(&mut self, j: usize) {
+        if !self.alive[j] {
+            return;
+        }
+        self.alive[j] = false;
+        self.failed.push(j);
+        self.board.clear_row(j);
+        // If the thread is merely slow rather than dead, this tells it to
+        // exit without reporting once it wakes up.
+        let _ = self.txs[j].send(RingMsg::Shutdown);
+    }
+
+    /// Sends every live user its post-splice topology: successor,
+    /// successor's successor, and whether it is now the tail.
+    fn reconfigure(&mut self) {
+        let ring = self.alive_ring();
+        let k = ring.len();
+        for (pos, &j) in ring.iter().enumerate() {
+            let next_id = ring[(pos + 1) % k];
+            let next2_id = ring[(pos + 2) % k];
+            let _ = self.txs[j].send(RingMsg::Reconfigure(Reconfigure {
+                epoch: self.epoch,
+                next_id,
+                next: self.txs[next_id].clone(),
+                next2_id,
+                next2: self.txs[next2_id].clone(),
+                is_tail: pos == k - 1,
+            }));
+        }
+    }
+
+    fn inject(&mut self, target: usize, token: Token) {
+        self.holder = target;
+        let _ = self.txs[target].send(RingMsg::Token(token));
+    }
+
+    fn alive_ring(&self) -> Vec<usize> {
+        (0..self.m).filter(|&j| self.alive[j]).collect()
+    }
+
+    fn all_alive_reported(&self) -> bool {
+        (0..self.m).all(|j| !self.alive[j] || self.reports[j].is_some())
+    }
+
+    fn deadline_error(&self, started: Instant) -> GameError {
+        GameError::RingTimeout {
+            round: self.mirror.len() as u32,
+            waited_ms: started.elapsed().as_millis() as u64,
+            reason: "run deadline exceeded".into(),
+        }
+    }
 }
 
 struct UserContext {
     user: usize,
     is_tail: bool,
+    epoch: u32,
     mu: Vec<f64>,
     phi: f64,
     board: Arc<LoadBoard>,
-    rx: Receiver<Token>,
-    next: Sender<Token>,
-    report: Sender<ThreadResult>,
+    rx: Receiver<RingMsg>,
+    next_id: usize,
+    next: Sender<RingMsg>,
+    next2_id: usize,
+    next2: Sender<RingMsg>,
+    events: Sender<Event>,
     observer: Observer,
     tolerance: f64,
     max_rounds: u32,
     initial_d: f64,
+    faults: Arc<FaultPlan>,
+    stop: Arc<AtomicBool>,
 }
 
 fn user_main(mut ctx: UserContext) {
@@ -274,67 +634,179 @@ fn user_main(mut ctx: UserContext) {
     // coordinator (0 for the unseeded NASH_0 start).
     let mut prev_d = ctx.initial_d;
     let mut updates = 0_u32;
+    // A token whose forward failed in both directions, parked until the
+    // coordinator sends us the repaired topology.
+    let mut pending: Option<Token> = None;
 
-    while let Ok(mut token) = ctx.rx.recv() {
-        match token.terminate {
-            Termination::Continue => {
-                // Observe, best-respond, publish.
-                let others = ctx.board.flows_excluding(ctx.user);
-                let avail = ctx.observer.observe(&ctx.mu, &others);
-                match water_fill_flows(&avail, ctx.phi) {
-                    Ok(flows) => {
-                        ctx.board.publish(ctx.user, &flows);
-                        updates += 1;
-                    }
-                    Err(_) => {
-                        // A (noisy) observation made the subproblem look
-                        // infeasible; keep the current strategy this round.
-                    }
+    loop {
+        let msg = match ctx.rx.recv_timeout(IDLE_CHECK) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    return;
                 }
-                let d = response_time_from_board(&ctx);
-                token.norm_acc += (d - prev_d).abs();
-                prev_d = d;
-
-                if ctx.is_tail {
-                    let norm = token.norm_acc;
-                    token.trace.push(norm);
-                    token.round += 1;
-                    token.norm_acc = 0.0;
-                    if norm <= ctx.tolerance {
-                        token.terminate = Termination::Converged;
-                    } else if token.round >= ctx.max_rounds {
-                        token.terminate = Termination::Exhausted;
-                    }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        match msg {
+            RingMsg::Shutdown => return,
+            RingMsg::Reconfigure(rc) => {
+                if rc.epoch < ctx.epoch {
+                    continue;
                 }
-                if ctx.next.send(token).is_err() {
-                    return; // ring collapsed; coordinator will notice
+                ctx.epoch = rc.epoch;
+                ctx.next_id = rc.next_id;
+                ctx.next = rc.next;
+                ctx.next2_id = rc.next2_id;
+                ctx.next2 = rc.next2;
+                ctx.is_tail = rc.is_tail;
+                if let Some(token) = pending.take() {
+                    // Only forward the parked token if the coordinator
+                    // spliced in-place; after an epoch bump it already
+                    // regenerated a replacement.
+                    if token.epoch == ctx.epoch {
+                        forward_token(&mut ctx, &mut pending, token);
+                    }
                 }
             }
-            term => {
-                // Terminate lap: report and (unless tail) forward.
-                let row = ctx.board.row(ctx.user);
-                let fractions: Vec<f64> = row.iter().map(|x| x / ctx.phi).collect();
-                let trace = if ctx.is_tail {
-                    Some((token.trace.clone(), term))
-                } else {
-                    None
-                };
-                let _ = ctx.report.send(ThreadResult {
-                    report: FinalReport {
-                        user: ctx.user,
-                        fractions,
-                        response_time: prev_d,
-                        updates,
-                    },
-                    trace,
-                });
-                if !ctx.is_tail {
-                    let _ = ctx.next.send(token);
+            RingMsg::Token(token) => {
+                if token.epoch != ctx.epoch {
+                    continue; // stale token from before a repair
                 }
-                return;
+                if handle_token(&mut ctx, &mut pending, token, &mut prev_d, &mut updates) {
+                    return;
+                }
             }
         }
     }
+}
+
+/// Processes one token. Returns `true` when the user has reported and
+/// must exit.
+fn handle_token(
+    ctx: &mut UserContext,
+    pending: &mut Option<Token>,
+    mut token: Token,
+    prev_d: &mut f64,
+    updates: &mut u32,
+) -> bool {
+    match token.terminate {
+        Termination::Continue => {
+            let fault = ctx.faults.action(ctx.user, token.round);
+            match fault {
+                Some(FaultAction::PanicHoldingToken) => panic!(
+                    "injected fault: user {} panics at round {} holding the token",
+                    ctx.user, token.round
+                ),
+                Some(FaultAction::DropToken) => return false,
+                _ => {}
+            }
+
+            // Observe, best-respond, publish. A stale-round fault replays
+            // the previous observation instead of re-reading the board.
+            let avail = match fault {
+                Some(FaultAction::StaleRound) => {
+                    ctx.observer.last_observation().map(<[f64]>::to_vec)
+                }
+                _ => None,
+            };
+            let avail = avail.unwrap_or_else(|| {
+                let others = ctx.board.flows_excluding(ctx.user);
+                ctx.observer.observe(&ctx.mu, &others)
+            });
+            match water_fill_flows(&avail, ctx.phi) {
+                Ok(flows) => {
+                    ctx.board.publish(ctx.user, &flows);
+                    *updates += 1;
+                }
+                Err(_) => {
+                    // A (noisy or stale) observation made the subproblem
+                    // look infeasible; keep the current strategy.
+                }
+            }
+            let d = response_time_from_board(ctx);
+            token.norm_acc += (d - *prev_d).abs();
+            *prev_d = d;
+
+            if ctx.is_tail {
+                let norm = token.norm_acc;
+                token.round += 1;
+                token.norm_acc = 0.0;
+                if norm <= ctx.tolerance {
+                    token.terminate = Termination::Converged;
+                } else if token.round >= ctx.max_rounds {
+                    token.terminate = Termination::Exhausted;
+                }
+                let _ = ctx.events.send(Event::RoundComplete {
+                    norm,
+                    termination: token.terminate,
+                    epoch: ctx.epoch,
+                });
+            }
+            if let Some(FaultAction::DelayForward(delay)) = fault {
+                thread::sleep(delay);
+            }
+            let round = token.round;
+            forward_token(ctx, pending, token);
+            if fault == Some(FaultAction::PanicAfterForward) {
+                panic!(
+                    "injected fault: user {} panics after forwarding at round {round}",
+                    ctx.user
+                );
+            }
+            false
+        }
+        _ => {
+            // Terminate lap: report and (unless tail) forward.
+            let row = ctx.board.row(ctx.user);
+            let fractions: Vec<f64> = row.iter().map(|x| x / ctx.phi).collect();
+            let _ = ctx.events.send(Event::Report(FinalReport {
+                user: ctx.user,
+                fractions,
+                response_time: *prev_d,
+                updates: *updates,
+            }));
+            if !ctx.is_tail {
+                forward_token(ctx, pending, token);
+            }
+            true
+        }
+    }
+}
+
+/// Forwards the token to the successor, splicing around dead threads via
+/// the successor's successor. Announces every hop (and every splice) to
+/// the coordinator; if both forwards fail the token is parked until a
+/// `Reconfigure` arrives.
+fn forward_token(ctx: &mut UserContext, pending: &mut Option<Token>, token: Token) {
+    let _ = ctx.events.send(Event::Forwarded {
+        to: ctx.next_id,
+        epoch: ctx.epoch,
+    });
+    let token = match ctx.next.send(RingMsg::Token(token)) {
+        Ok(()) => return,
+        Err(SendError(RingMsg::Token(t))) => t,
+        Err(_) => return,
+    };
+    let _ = ctx.events.send(Event::Spliced {
+        skipped: ctx.next_id,
+        epoch: ctx.epoch,
+    });
+    let _ = ctx.events.send(Event::Forwarded {
+        to: ctx.next2_id,
+        epoch: ctx.epoch,
+    });
+    let token = match ctx.next2.send(RingMsg::Token(token)) {
+        Ok(()) => return,
+        Err(SendError(RingMsg::Token(t))) => t,
+        Err(_) => return,
+    };
+    let _ = ctx.events.send(Event::Spliced {
+        skipped: ctx.next2_id,
+        epoch: ctx.epoch,
+    });
+    *pending = Some(token);
 }
 
 /// The user's actual expected response time given the *true* board state.
@@ -349,12 +821,6 @@ fn response_time_from_board(ctx: &UserContext) -> f64 {
         }
     }
     d
-}
-
-fn ring_broken(stage: &str) -> GameError {
-    GameError::InfeasibleStrategy {
-        reason: format!("distributed ring failed during {stage}"),
-    }
 }
 
 #[cfg(test)]
@@ -375,6 +841,9 @@ mod tests {
         assert!(gap < 1e-3, "gap {gap}");
         assert!(out.rounds() > 0);
         assert_eq!(out.user_times().len(), 2);
+        assert!(out.converged());
+        assert!(out.failed_users().is_empty());
+        assert_eq!(out.survivors(), &[0, 1]);
     }
 
     #[test]
@@ -425,7 +894,26 @@ mod tests {
             .max_rounds(2)
             .run(&m)
             .unwrap_err();
-        assert!(matches!(err, GameError::DidNotConverge { iterations: 2, .. }));
+        assert!(matches!(
+            err,
+            GameError::DidNotConverge { iterations: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn run_to_outcome_keeps_the_exhausted_partial_state() {
+        let m = SystemModel::table1_system(0.9).unwrap();
+        let out = DistributedNash::new()
+            .init(RingInit::Zero)
+            .tolerance(1e-12)
+            .max_rounds(2)
+            .run_to_outcome(&m)
+            .unwrap();
+        assert_eq!(out.termination(), Termination::Exhausted);
+        assert!(!out.converged());
+        assert_eq!(out.rounds(), 2);
+        // The partial profile is still a feasible strategy profile.
+        assert_eq!(out.profile().num_users(), m.num_users());
     }
 
     #[test]
@@ -442,8 +930,7 @@ mod tests {
             .unwrap();
         // With 2% observation noise the profile is still a loose eps-Nash.
         let gap = epsilon_nash_gap(&m, out.profile()).unwrap();
-        let d_avg: f64 =
-            out.user_times().iter().sum::<f64>() / out.user_times().len() as f64;
+        let d_avg: f64 = out.user_times().iter().sum::<f64>() / out.user_times().len() as f64;
         assert!(gap < 0.25 * d_avg, "gap {gap} vs avg time {d_avg}");
     }
 

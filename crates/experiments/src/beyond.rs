@@ -77,7 +77,10 @@ pub fn service_robustness(
         ("deterministic", DistributionFamily::Deterministic),
         ("erlang-4", DistributionFamily::Erlang { k: 4 }),
         ("exponential", DistributionFamily::Exponential),
-        ("hyperexp-4", DistributionFamily::HyperExponential { scv: 4.0 }),
+        (
+            "hyperexp-4",
+            DistributionFamily::HyperExponential { scv: 4.0 },
+        ),
     ];
     let plan = ReplicationPlan {
         replications,
@@ -160,10 +163,7 @@ pub fn stackelberg_sweep() -> Result<(Vec<StackelbergPoint>, f64, f64), GameErro
         });
     }
     let nash = overall_response_time(&model, &NashScheme::default().compute(&model)?)?;
-    let gos = overall_response_time(
-        &model,
-        &GlobalOptimalScheme::default().compute(&model)?,
-    )?;
+    let gos = overall_response_time(&model, &GlobalOptimalScheme::default().compute(&model)?)?;
     Ok((points, nash, gos))
 }
 
@@ -286,8 +286,7 @@ pub fn observation_noise() -> Result<Vec<NoisePoint>, GameError> {
         };
         let gap = epsilon_nash_gap(&model, &profile)?;
         let metrics = evaluate_profile(&model, &profile)?;
-        let mean_d: f64 =
-            metrics.user_times.iter().sum::<f64>() / metrics.user_times.len() as f64;
+        let mean_d: f64 = metrics.user_times.iter().sum::<f64>() / metrics.user_times.len() as f64;
         points.push(NoisePoint {
             rel_std,
             rounds,
@@ -405,7 +404,10 @@ pub fn arrival_burstiness(
         ("deterministic", DistributionFamily::Deterministic),
         ("erlang-4", DistributionFamily::Erlang { k: 4 }),
         ("poisson", DistributionFamily::Exponential),
-        ("hyperexp-4", DistributionFamily::HyperExponential { scv: 4.0 }),
+        (
+            "hyperexp-4",
+            DistributionFamily::HyperExponential { scv: 4.0 },
+        ),
     ];
     let plan = ReplicationPlan {
         replications,
@@ -585,7 +587,13 @@ pub fn tail_latency(target_jobs: u64, replications: u32) -> Result<Vec<TailRow>,
 pub fn render_tails(rows: &[TailRow]) -> Table {
     let mut t = Table::new(
         "Extension 9: tail latency at rho=60% (mean vs p95)",
-        vec!["scheme", "mean D", "SCV (analytic)", "p95 (sim)", "p95/mean"],
+        vec![
+            "scheme",
+            "mean D",
+            "SCV (analytic)",
+            "p95 (sim)",
+            "p95/mean",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -630,7 +638,10 @@ pub fn multicore_pooling(target_jobs: u64) -> Result<Vec<PoolingRow>, GameError>
     };
     // (a) The paper's architecture: 16 independent single-core computers.
     let separate = PoolSystem::new(
-        SystemModel::table1_rates().iter().map(|&mu| (mu, 1)).collect(),
+        SystemModel::table1_rates()
+            .iter()
+            .map(|&mu| (mu, 1))
+            .collect(),
         user_rates.clone(),
     )?;
     // (b) Same capacity, consolidated: one pool per speed class.
@@ -640,8 +651,10 @@ pub fn multicore_pooling(target_jobs: u64) -> Result<Vec<PoolingRow>, GameError>
     )?;
 
     let mut rows = Vec::new();
-    for (label, sys) in [("16x single-core (paper)", &separate), ("4 pools (multicore)", &pooled)]
-    {
+    for (label, sys) in [
+        ("16x single-core (paper)", &separate),
+        ("4 pools (multicore)", &pooled),
+    ] {
         let nash = sys.nash(1e-5, 500, 1200)?;
         let nash_time = sys.overall_time(&nash.flows);
         let opt = sys.social_optimum(8000)?;
@@ -650,9 +663,7 @@ pub fn multicore_pooling(target_jobs: u64) -> Result<Vec<PoolingRow>, GameError>
             opt.iter()
                 .zip(sys.pools())
                 .filter(|(&t, _)| t > 0.0)
-                .map(|(&t, p)| {
-                    t * lb_game::latency::Latency::response_time(p, t)
-                })
+                .map(|(&t, p)| t * lb_game::latency::Latency::response_time(p, t))
                 .sum::<f64>()
                 / phi
         };
@@ -781,17 +792,18 @@ mod tests {
         let points = poa_vs_utilization().unwrap();
         for p in &points {
             assert!(p.poa_nash >= 1.0 - 1e-9, "PoA below 1 at {}", p.x);
-            assert!(p.poa_nash <= p.poa_wardrop + 1e-9, "finite-player Nash should beat Wardrop at {}", p.x);
+            assert!(
+                p.poa_nash <= p.poa_wardrop + 1e-9,
+                "finite-player Nash should beat Wardrop at {}",
+                p.x
+            );
             assert!(p.poa_nash < 1.2, "PoA {} too large at {}", p.poa_nash, p.x);
         }
         // The interesting shape: Wardrop anarchy cost peaks at medium-high
         // load (~70%) and shrinks toward both extremes (at low load all
         // schemes ride the fast machines; near saturation everything is
         // forced to use everything).
-        let peak = points
-            .iter()
-            .map(|p| p.poa_wardrop)
-            .fold(0.0, f64::max);
+        let peak = points.iter().map(|p| p.poa_wardrop).fold(0.0, f64::max);
         assert!(peak > points[0].poa_wardrop + 0.05);
         assert!(peak > points.last().unwrap().poa_wardrop + 0.05);
     }
@@ -856,8 +868,18 @@ mod tests {
             );
         }
         // NASH keeps a lower p95 than PS, not just a lower mean.
-        let p95 = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap().simulated_p95;
-        assert!(p95("NASH") < p95("PS"), "NASH {} vs PS {}", p95("NASH"), p95("PS"));
+        let p95 = |name: &str| {
+            rows.iter()
+                .find(|r| r.scheme == name)
+                .unwrap()
+                .simulated_p95
+        };
+        assert!(
+            p95("NASH") < p95("PS"),
+            "NASH {} vs PS {}",
+            p95("NASH"),
+            p95("PS")
+        );
     }
 
     #[test]
@@ -878,7 +900,13 @@ mod tests {
         // Simulated values confirm the numeric equilibria.
         for r in &rows {
             let rel = (r.simulated_nash - r.nash_time).abs() / r.nash_time;
-            assert!(rel < 0.08, "{}: sim {} vs {}", r.architecture, r.simulated_nash, r.nash_time);
+            assert!(
+                rel < 0.08,
+                "{}: sim {} vs {}",
+                r.architecture,
+                r.simulated_nash,
+                r.nash_time
+            );
         }
     }
 

@@ -72,16 +72,13 @@ fn run(opts: &Options) -> Result<(), String> {
                 emit(&fig6::render_fairness(&points), &opts.out, "fig6_fairness")?;
             }
             "ext-service" => {
-                let rows = beyond::service_robustness(
-                    opts.jobs.min(300_000),
-                    opts.replications.min(3),
-                )
-                .map_err(|e| e.to_string())?;
+                let rows =
+                    beyond::service_robustness(opts.jobs.min(300_000), opts.replications.min(3))
+                        .map_err(|e| e.to_string())?;
                 emit(&beyond::render_robustness(&rows), &opts.out, "ext_service")?;
             }
             "ext-stackelberg" => {
-                let (points, nash, gos) =
-                    beyond::stackelberg_sweep().map_err(|e| e.to_string())?;
+                let (points, nash, gos) = beyond::stackelberg_sweep().map_err(|e| e.to_string())?;
                 emit(
                     &beyond::render_stackelberg(&points, nash, gos),
                     &opts.out,
@@ -97,8 +94,8 @@ fn run(opts: &Options) -> Result<(), String> {
                 emit(&beyond::render_noise(&points), &opts.out, "ext_noise")?;
             }
             "ext-multicore" => {
-                let rows = beyond::multicore_pooling(opts.jobs.min(400_000))
-                    .map_err(|e| e.to_string())?;
+                let rows =
+                    beyond::multicore_pooling(opts.jobs.min(400_000)).map_err(|e| e.to_string())?;
                 emit(&beyond::render_pooling(&rows), &opts.out, "ext_multicore")?;
             }
             "ext-poa" => {
@@ -106,24 +103,23 @@ fn run(opts: &Options) -> Result<(), String> {
                 emit(&beyond::render_poa(&points), &opts.out, "ext_poa")?;
             }
             "ext-burstiness" => {
-                let rows = beyond::arrival_burstiness(
-                    opts.jobs.min(300_000),
-                    opts.replications.min(3),
-                )
-                .map_err(|e| e.to_string())?;
-                emit(&beyond::render_burstiness(&rows), &opts.out, "ext_burstiness")?;
+                let rows =
+                    beyond::arrival_burstiness(opts.jobs.min(300_000), opts.replications.min(3))
+                        .map_err(|e| e.to_string())?;
+                emit(
+                    &beyond::render_burstiness(&rows),
+                    &opts.out,
+                    "ext_burstiness",
+                )?;
             }
             "ext-policies" => {
-                let rows = beyond::dynamic_policies(opts.jobs.min(300_000))
-                    .map_err(|e| e.to_string())?;
+                let rows =
+                    beyond::dynamic_policies(opts.jobs.min(300_000)).map_err(|e| e.to_string())?;
                 emit(&beyond::render_policies(&rows), &opts.out, "ext_policies")?;
             }
             "ext-tails" => {
-                let rows = beyond::tail_latency(
-                    opts.jobs.min(300_000),
-                    opts.replications.min(3),
-                )
-                .map_err(|e| e.to_string())?;
+                let rows = beyond::tail_latency(opts.jobs.min(300_000), opts.replications.min(3))
+                    .map_err(|e| e.to_string())?;
                 emit(&beyond::render_tails(&rows), &opts.out, "ext_tails")?;
             }
             other => return Err(format!("unknown command `{other}`\n{}", cli::usage())),

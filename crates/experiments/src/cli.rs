@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn usage_names_every_command() {
         let u = usage();
-        for c in expand_command("all").iter().chain(expand_command("ext").iter()) {
+        for c in expand_command("all")
+            .iter()
+            .chain(expand_command("ext").iter())
+        {
             assert!(u.contains(c), "usage missing {c}");
         }
     }

@@ -249,7 +249,10 @@ mod tests {
         let ps = p.scheme("PS").overall_time;
         assert!((nash - gos).abs() / gos < 0.02);
         assert!((ios - gos).abs() / gos < 0.02);
-        assert!(ps > 1.5 * gos, "PS ({ps}) should be far worse than GOS ({gos})");
+        assert!(
+            ps > 1.5 * gos,
+            "PS ({ps}) should be far worse than GOS ({gos})"
+        );
     }
 
     #[test]
@@ -283,7 +286,11 @@ mod tests {
         for p in sweep() {
             assert!((p.scheme("PS").fairness - 1.0).abs() < 1e-9);
             assert!((p.scheme("IOS").fairness - 1.0).abs() < 1e-9);
-            assert!(p.scheme("NASH").fairness > 0.95, "NASH fairness at {}", p.rho);
+            assert!(
+                p.scheme("NASH").fairness > 0.95,
+                "NASH fairness at {}",
+                p.rho
+            );
             assert!(p.scheme("GOS").fairness <= 1.0 + 1e-12);
         }
         // GOS fairness degrades as load grows (paper: ~1 at low, ~0.92 high).

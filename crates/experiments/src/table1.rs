@@ -43,11 +43,11 @@ pub fn classes() -> Vec<ComputerClass> {
 pub fn render() -> Table {
     let cls = classes();
     let mut header = vec!["quantity".to_string()];
-    header.extend(cls.iter().map(|c| format!("class {}", c.relative_rate as u64)));
-    let mut t = Table::new(
-        "Table 1: system configuration".to_string(),
-        header,
+    header.extend(
+        cls.iter()
+            .map(|c| format!("class {}", c.relative_rate as u64)),
     );
+    let mut t = Table::new("Table 1: system configuration".to_string(), header);
     let mut rel = vec!["relative processing rate".to_string()];
     rel.extend(cls.iter().map(|c| format!("{}", c.relative_rate as u64)));
     t.row(rel);
@@ -68,7 +68,12 @@ mod tests {
     fn classes_match_the_paper() {
         let c = classes();
         assert_eq!(c.len(), 4);
-        let expected = [(1.0, 6, 10.0), (2.0, 5, 20.0), (5.0, 3, 50.0), (10.0, 2, 100.0)];
+        let expected = [
+            (1.0, 6, 10.0),
+            (2.0, 5, 20.0),
+            (5.0, 3, 50.0),
+            (10.0, 2, 100.0),
+        ];
         for (cls, (rel, count, rate)) in c.iter().zip(expected) {
             assert_eq!(cls.relative_rate, rel);
             assert_eq!(cls.count, count);

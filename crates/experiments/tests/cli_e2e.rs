@@ -21,7 +21,11 @@ fn table1_prints_and_writes_csv() {
         .args(["table1", "--out", out.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("Table 1"));
     assert!(stdout.contains("processing rate"));
@@ -41,7 +45,10 @@ fn fig3_csv_has_the_user_sweep() {
     assert!(output.status.success());
     let csv = std::fs::read_to_string(out.join("fig3.csv")).unwrap();
     let mut lines = csv.lines();
-    assert_eq!(lines.next().unwrap(), "users,NASH_0 iterations,NASH_P iterations");
+    assert_eq!(
+        lines.next().unwrap(),
+        "users,NASH_0 iterations,NASH_P iterations"
+    );
     // 8 sweep points, each with NASH_P < NASH_0.
     let rows: Vec<&str> = lines.collect();
     assert_eq!(rows.len(), 8);

@@ -90,8 +90,14 @@ mod tests {
     #[test]
     fn prediction_matches_closed_form() {
         // From 1.0 to 1e-4 at rate 0.5: ceil(ln(1e-4)/ln(0.5)) = 14.
-        assert_eq!(ConvergenceReport::predict_iterations(1.0, 1e-4, 0.5), Some(14));
-        assert_eq!(ConvergenceReport::predict_iterations(1e-5, 1e-4, 0.5), Some(0));
+        assert_eq!(
+            ConvergenceReport::predict_iterations(1.0, 1e-4, 0.5),
+            Some(14)
+        );
+        assert_eq!(
+            ConvergenceReport::predict_iterations(1e-5, 1e-4, 0.5),
+            Some(0)
+        );
         assert_eq!(ConvergenceReport::predict_iterations(1.0, 1e-4, 1.0), None);
         assert_eq!(ConvergenceReport::predict_iterations(0.0, 1e-4, 0.5), None);
     }

@@ -106,12 +106,14 @@ impl DynamicBalancer {
     ///
     /// Propagates model/solver failures; on error the balancer keeps its
     /// previous state.
-    pub fn update(&mut self, new_model: SystemModel, restart: Restart) -> Result<Rebalance, GameError> {
+    pub fn update(
+        &mut self,
+        new_model: SystemModel,
+        restart: Restart,
+    ) -> Result<Rebalance, GameError> {
         let init = match restart {
             Restart::Cold => Initialization::Proportional,
-            Restart::Warm => {
-                Initialization::Custom(remap_profile(&self.equilibrium, &new_model)?)
-            }
+            Restart::Warm => Initialization::Custom(remap_profile(&self.equilibrium, &new_model)?),
         };
         let outcome: NashOutcome = NashSolver::new(init)
             .tolerance(self.tolerance)
@@ -216,20 +218,16 @@ mod tests {
         let mut fractions = lb_fractions();
         fractions.push(0.08);
         let joined =
-            SystemModel::with_utilization(SystemModel::table1_rates(), &fractions, 0.65)
-                .unwrap();
+            SystemModel::with_utilization(SystemModel::table1_rates(), &fractions, 0.65).unwrap();
         b.update(joined, Restart::Warm).unwrap();
         assert_eq!(b.equilibrium().num_users(), 11);
         let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
         assert!(gap < 1e-4);
 
         // Two users leave: 9 users.
-        let left = SystemModel::with_utilization(
-            SystemModel::table1_rates(),
-            &lb_fractions()[..9],
-            0.55,
-        )
-        .unwrap();
+        let left =
+            SystemModel::with_utilization(SystemModel::table1_rates(), &lb_fractions()[..9], 0.55)
+                .unwrap();
         b.update(left, Restart::Warm).unwrap();
         assert_eq!(b.equilibrium().num_users(), 9);
         let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();

@@ -36,10 +36,7 @@ use crate::strategy::StrategyProfile;
 /// # Errors
 ///
 /// Shape mismatches and infeasible best replies propagate.
-pub fn epsilon_nash_gap(
-    model: &SystemModel,
-    profile: &StrategyProfile,
-) -> Result<f64, GameError> {
+pub fn epsilon_nash_gap(model: &SystemModel, profile: &StrategyProfile) -> Result<f64, GameError> {
     let mut gap: f64 = 0.0;
     let mut work = profile.clone();
     for j in 0..model.num_users() {
@@ -148,6 +145,9 @@ mod tests {
         let gos = GlobalOptimalScheme::default().compute(&m).unwrap();
         let poa_nash = price_of_anarchy(&m, nash.profile(), &gos).unwrap();
         let poa_ps = price_of_anarchy(&m, &ps, &gos).unwrap();
-        assert!(poa_ps > poa_nash, "PS {poa_ps} should trail NASH {poa_nash}");
+        assert!(
+            poa_ps > poa_nash,
+            "PS {poa_ps} should trail NASH {poa_nash}"
+        );
     }
 }

@@ -56,6 +56,16 @@ pub enum GameError {
         /// Final value of the convergence norm.
         final_norm: f64,
     },
+    /// A distributed ring stalled: the token was lost (or a deadline
+    /// expired) and the run could not be repaired into a result.
+    RingTimeout {
+        /// Rounds the ring had completed when it stalled.
+        round: u32,
+        /// How long the coordinator waited before giving up, in ms.
+        waited_ms: u64,
+        /// What the coordinator was waiting for when it gave up.
+        reason: String,
+    },
     /// An error bubbled up from the queueing substrate.
     Queueing(QueueingError),
 }
@@ -92,6 +102,14 @@ impl fmt::Display for GameError {
             } => write!(
                 f,
                 "did not converge after {iterations} iterations (norm {final_norm})"
+            ),
+            Self::RingTimeout {
+                round,
+                waited_ms,
+                reason,
+            } => write!(
+                f,
+                "distributed ring timed out at round {round} after {waited_ms} ms: {reason}"
             ),
             Self::Queueing(e) => write!(f, "queueing error: {e}"),
         }
@@ -144,6 +162,11 @@ mod tests {
             GameError::DidNotConverge {
                 iterations: 100,
                 final_norm: 0.5,
+            },
+            GameError::RingTimeout {
+                round: 3,
+                waited_ms: 250,
+                reason: "token lost at user 1".into(),
             },
             GameError::Queueing(QueueingError::EmptySystem),
         ];

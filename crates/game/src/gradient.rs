@@ -128,7 +128,9 @@ pub fn minimize_general_split(
         .zip(base)
         .map(|(l, &b)| (l.capacity() - b).max(0.0))
         .collect();
-    let usable: Vec<usize> = (0..latencies.len()).filter(|&i| headroom[i] > 0.0).collect();
+    let usable: Vec<usize> = (0..latencies.len())
+        .filter(|&i| headroom[i] > 0.0)
+        .collect();
     let total_headroom: f64 = usable.iter().map(|&i| headroom[i]).sum();
     if total_headroom <= demand {
         return Err(GameError::InfeasibleBestReply {
@@ -177,10 +179,7 @@ pub fn minimize_general_split(
                 }
             })
             .collect();
-        let gmax = grad
-            .iter()
-            .cloned()
-            .fold(1e-300_f64, |a, b| a.max(b.abs()));
+        let gmax = grad.iter().cloned().fold(1e-300_f64, |a, b| a.max(b.abs()));
 
         let mut improved = false;
         for _ in 0..40 {
@@ -273,8 +272,7 @@ mod tests {
         let lats: Vec<Mm1Latency> = mus.iter().map(|&mu| Mm1Latency { mu }).collect();
         let refs: Vec<&dyn Latency> = lats.iter().map(|l| l as &dyn Latency).collect();
         let demand = 40.0;
-        let general =
-            minimize_general_split(&refs, &[0.0, 0.0, 0.0], demand, 5000).unwrap();
+        let general = minimize_general_split(&refs, &[0.0, 0.0, 0.0], demand, 5000).unwrap();
         let exact = water_fill_flows(&mus, demand).unwrap();
         let c_general = split_cost(&mus, &general);
         let c_exact = split_cost(&mus, &exact);
@@ -301,7 +299,10 @@ mod tests {
     #[test]
     fn general_solver_handles_mmc_pools() {
         // One quad-core pool vs one fast single server, equal capacity.
-        let pool = MmcLatency { mu: 5.0, servers: 4 };
+        let pool = MmcLatency {
+            mu: 5.0,
+            servers: 4,
+        };
         let single = Mm1Latency { mu: 20.0 };
         let refs: Vec<&dyn Latency> = vec![&pool, &single];
         let x = minimize_general_split(&refs, &[0.0, 0.0], 24.0, 4000).unwrap();
@@ -312,9 +313,7 @@ mod tests {
         // should carry more.
         assert!(x[1] > x[0], "flows {x:?}");
         // Local optimality: pairwise flow transfers cannot help.
-        let cost = |x: &[f64]| {
-            x[0] * pool.response_time(x[0]) + x[1] * single.response_time(x[1])
-        };
+        let cost = |x: &[f64]| x[0] * pool.response_time(x[0]) + x[1] * single.response_time(x[1]);
         let c0 = cost(&x);
         for d in [1e-3, -1e-3] {
             let y = [x[0] + d, x[1] - d];

@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn mmc_latency_matches_queueing_crate() {
-        let l = MmcLatency { mu: 1.0, servers: 4 };
+        let l = MmcLatency {
+            mu: 1.0,
+            servers: 4,
+        };
         let q = Mmc::new(2.0, 1.0, 4).unwrap();
         assert!((l.response_time(2.0) - q.response_time()).abs() < 1e-12);
         assert_eq!(l.capacity(), 4.0);
@@ -96,7 +99,10 @@ mod tests {
     fn latencies_are_increasing() {
         let pools: Vec<Box<dyn Latency>> = vec![
             Box::new(Mm1Latency { mu: 5.0 }),
-            Box::new(MmcLatency { mu: 1.0, servers: 5 }),
+            Box::new(MmcLatency {
+                mu: 1.0,
+                servers: 5,
+            }),
         ];
         for p in &pools {
             let mut prev = p.response_time(0.0);
@@ -114,7 +120,10 @@ mod tests {
         // Midpoint convexity check of x -> T(x) on a grid.
         let pools: Vec<Box<dyn Latency>> = vec![
             Box::new(Mm1Latency { mu: 5.0 }),
-            Box::new(MmcLatency { mu: 1.0, servers: 8 }),
+            Box::new(MmcLatency {
+                mu: 1.0,
+                servers: 8,
+            }),
         ];
         for p in &pools {
             let cap = p.capacity();
@@ -123,8 +132,7 @@ mod tests {
                 let b = cap * f64::from(k + 2) / 32.0;
                 let mid = 0.5 * (a + b);
                 assert!(
-                    p.response_time(mid)
-                        <= 0.5 * (p.response_time(a) + p.response_time(b)) + 1e-12,
+                    p.response_time(mid) <= 0.5 * (p.response_time(a) + p.response_time(b)) + 1e-12,
                     "convexity fails on [{a}, {b}]"
                 );
             }
@@ -135,7 +143,10 @@ mod tests {
     fn pooled_cores_beat_split_cores_at_equal_load() {
         // Classic pooling: one M/M/4 of rate 1 beats four M/M/1 of rate 1
         // each taking a quarter of the flow.
-        let pool = MmcLatency { mu: 1.0, servers: 4 };
+        let pool = MmcLatency {
+            mu: 1.0,
+            servers: 4,
+        };
         let single = Mm1Latency { mu: 1.0 };
         let total = 3.2;
         assert!(pool.response_time(total) < single.response_time(total / 4.0));

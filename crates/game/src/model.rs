@@ -181,10 +181,7 @@ impl SystemModel {
                 value: frac_sum,
             });
         }
-        let user_rates = user_fractions
-            .iter()
-            .map(|q| phi * q / frac_sum)
-            .collect();
+        let user_rates = user_fractions.iter().map(|q| phi * q / frac_sum).collect();
         Self::builder()
             .computer_rates(computer_rates)
             .user_rates(user_rates)
@@ -341,8 +338,14 @@ mod tests {
     fn skewed_system_shape() {
         let sys = SystemModel::skewed_system(20.0, 0.6).unwrap();
         assert_eq!(sys.num_computers(), 16);
-        assert_eq!(sys.computer_rates().iter().filter(|&&r| r == 200.0).count(), 2);
-        assert_eq!(sys.computer_rates().iter().filter(|&&r| r == 10.0).count(), 14);
+        assert_eq!(
+            sys.computer_rates().iter().filter(|&&r| r == 200.0).count(),
+            2
+        );
+        assert_eq!(
+            sys.computer_rates().iter().filter(|&&r| r == 10.0).count(),
+            14
+        );
         assert!((sys.speed_skewness() - 20.0).abs() < 1e-12);
         // Skew 1 is a homogeneous system.
         let homo = SystemModel::skewed_system(1.0, 0.6).unwrap();

@@ -181,8 +181,7 @@ impl PoolSystem {
             })
             .collect();
         let mut prev_d: Vec<f64> = (0..m).map(|j| self.user_time(&flows, j)).collect();
-        let refs: Vec<&dyn Latency> =
-            self.pools.iter().map(|p| p as &dyn Latency).collect();
+        let refs: Vec<&dyn Latency> = self.pools.iter().map(|p| p as &dyn Latency).collect();
 
         for sweep in 0..max_sweeps {
             let mut norm = 0.0;
@@ -193,22 +192,18 @@ impl PoolSystem {
                     .zip(&flows[j])
                     .map(|(&t, &own)| t - own)
                     .collect();
-                let reply = minimize_general_split(
-                    &refs,
-                    &base,
-                    self.user_rates[j],
-                    inner_iterations,
-                )
-                .map_err(|e| match e {
-                    GameError::InfeasibleBestReply {
-                        available, demand, ..
-                    } => GameError::InfeasibleBestReply {
-                        user: j,
-                        available,
-                        demand,
-                    },
-                    other => other,
-                })?;
+                let reply =
+                    minimize_general_split(&refs, &base, self.user_rates[j], inner_iterations)
+                        .map_err(|e| match e {
+                            GameError::InfeasibleBestReply {
+                                available, demand, ..
+                            } => GameError::InfeasibleBestReply {
+                                user: j,
+                                available,
+                                demand,
+                            },
+                            other => other,
+                        })?;
                 flows[j] = reply;
                 let d = self.user_time(&flows, j);
                 norm += (d - prev_d[j]).abs();
@@ -235,8 +230,7 @@ impl PoolSystem {
     ///
     /// Propagates solver failures.
     pub fn social_optimum(&self, inner_iterations: u32) -> Result<Vec<f64>, GameError> {
-        let refs: Vec<&dyn Latency> =
-            self.pools.iter().map(|p| p as &dyn Latency).collect();
+        let refs: Vec<&dyn Latency> = self.pools.iter().map(|p| p as &dyn Latency).collect();
         let base = vec![0.0; self.pools.len()];
         minimize_general_split(&refs, &base, self.total_arrival_rate(), inner_iterations)
     }
@@ -280,11 +274,8 @@ mod tests {
         // same equilibrium as the closed-form solver.
         let rates = [10.0, 20.0, 50.0];
         let users = [15.0, 25.0];
-        let pools = PoolSystem::new(
-            rates.iter().map(|&mu| (mu, 1)).collect(),
-            users.to_vec(),
-        )
-        .unwrap();
+        let pools =
+            PoolSystem::new(rates.iter().map(|&mu| (mu, 1)).collect(), users.to_vec()).unwrap();
         let pool_nash = pools.nash(1e-6, 400, 1500).unwrap();
 
         let model = SystemModel::new(rates.to_vec(), users.to_vec()).unwrap();
@@ -305,8 +296,10 @@ mod tests {
 
     #[test]
     fn flows_are_feasible_at_equilibrium() {
-        let sys = PoolSystem::new(vec![(10.0, 6), (20.0, 5), (50.0, 3), (100.0, 2)],
-            vec![100.0, 120.0, 86.0])
+        let sys = PoolSystem::new(
+            vec![(10.0, 6), (20.0, 5), (50.0, 3), (100.0, 2)],
+            vec![100.0, 120.0, 86.0],
+        )
         .unwrap();
         let out = sys.nash(1e-5, 400, 1200).unwrap();
         let totals = sys.pool_totals(&out.flows);
@@ -325,8 +318,7 @@ mod tests {
     #[test]
     fn equilibrium_is_approximately_stable() {
         // No user can improve materially by unilaterally re-solving.
-        let sys =
-            PoolSystem::new(vec![(5.0, 4), (20.0, 1), (10.0, 2)], vec![12.0, 18.0]).unwrap();
+        let sys = PoolSystem::new(vec![(5.0, 4), (20.0, 1), (10.0, 2)], vec![12.0, 18.0]).unwrap();
         let out = sys.nash(1e-6, 500, 1500).unwrap();
         let refs: Vec<&dyn Latency> = sys.pools().iter().map(|p| p as &dyn Latency).collect();
         let totals = sys.pool_totals(&out.flows);
@@ -336,8 +328,7 @@ mod tests {
                 .zip(&out.flows[j])
                 .map(|(&t, &own)| t - own)
                 .collect();
-            let reply =
-                minimize_general_split(&refs, &base, sys.user_rates()[j], 4000).unwrap();
+            let reply = minimize_general_split(&refs, &base, sys.user_rates()[j], 4000).unwrap();
             let mut improved = out.flows.clone();
             improved[j] = reply;
             let d_now = sys.user_time(&out.flows, j);
@@ -366,8 +357,7 @@ mod tests {
 
     #[test]
     fn social_optimum_lower_bounds_nash() {
-        let sys =
-            PoolSystem::new(vec![(10.0, 2), (30.0, 1), (5.0, 8)], vec![20.0, 25.0]).unwrap();
+        let sys = PoolSystem::new(vec![(10.0, 2), (30.0, 1), (5.0, 8)], vec![20.0, 25.0]).unwrap();
         let nash = sys.nash(1e-6, 400, 1200).unwrap();
         let opt_flows = sys.social_optimum(6000).unwrap();
         let d_opt: f64 = opt_flows

@@ -117,16 +117,24 @@ impl NashSolver {
             Initialization::Zero => vec![None; m],
             Initialization::Proportional => {
                 let total: f64 = model.computer_rates().iter().sum();
-                let prop = Strategy::new(
-                    model.computer_rates().iter().map(|mu| mu / total).collect(),
-                )?;
+                let prop =
+                    Strategy::new(model.computer_rates().iter().map(|mu| mu / total).collect())?;
                 vec![Some(prop); m]
             }
             Initialization::Custom(p) => {
-                if p.num_users() != m || p.num_computers() != n {
+                // Report whichever dimension actually mismatched — a
+                // combined check used to blame the user count even when
+                // only the computer count was wrong.
+                if p.num_users() != m {
                     return Err(GameError::DimensionMismatch {
                         expected: m,
                         actual: p.num_users(),
+                    });
+                }
+                if p.num_computers() != n {
+                    return Err(GameError::DimensionMismatch {
+                        expected: n,
+                        actual: p.num_computers(),
                     });
                 }
                 p.strategies().iter().cloned().map(Some).collect()
@@ -420,7 +428,10 @@ mod tests {
             .max_iterations(2)
             .solve(&model)
             .unwrap_err();
-        assert!(matches!(err, GameError::DidNotConverge { iterations: 2, .. }));
+        assert!(matches!(
+            err,
+            GameError::DidNotConverge { iterations: 2, .. }
+        ));
     }
 
     #[test]
@@ -431,10 +442,31 @@ mod tests {
             .solve(&model)
             .unwrap();
         assert!(out.converged());
+        // Wrong computer count: the error must report the computer
+        // dimension (3 vs 2), not the (matching) user counts.
         let bad = StrategyProfile::replicated(Strategy::uniform(2), 2).unwrap();
-        assert!(NashSolver::new(Initialization::Custom(bad))
+        let err = NashSolver::new(Initialization::Custom(bad))
             .solve(&model)
-            .is_err());
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GameError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            }
+        );
+        // Wrong user count is still caught and reported as such.
+        let bad = StrategyProfile::replicated(Strategy::uniform(3), 4).unwrap();
+        let err = NashSolver::new(Initialization::Custom(bad))
+            .solve(&model)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GameError::DimensionMismatch {
+                expected: 2,
+                actual: 4
+            }
+        );
     }
 
     #[test]
@@ -444,8 +476,7 @@ mod tests {
         // same snapshot and pile onto the same machines; on the Table-1
         // system this oscillates into saturation for m >= 3 while the
         // paper's Gauss-Seidel scheme converges for every m tested.
-        let model =
-            SystemModel::with_equal_users(SystemModel::table1_rates(), 4, 0.6).unwrap();
+        let model = SystemModel::with_equal_users(SystemModel::table1_rates(), 4, 0.6).unwrap();
         let err = NashSolver::new(Initialization::Proportional)
             .update_order(UpdateOrder::Jacobi)
             .tolerance(1e-4)
@@ -531,8 +562,7 @@ mod tests {
     fn many_users_converge_at_high_load() {
         // The paper observes convergence for up to 32 users; exercise 16
         // equal users at 80% utilization.
-        let model =
-            SystemModel::with_equal_users(SystemModel::table1_rates(), 16, 0.8).unwrap();
+        let model = SystemModel::with_equal_users(SystemModel::table1_rates(), 16, 0.8).unwrap();
         let out = nash_equilibrium(&model).unwrap();
         assert!(out.converged());
         let gap = epsilon_nash_gap(&model, out.profile()).unwrap();

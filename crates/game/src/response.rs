@@ -195,11 +195,8 @@ mod tests {
     fn unused_saturated_computer_costs_nothing() {
         // User 0 saturates computer 0; user 1 avoids it entirely.
         let m = SystemModel::new(vec![2.0, 8.0], vec![3.0, 1.0]).unwrap();
-        let p = StrategyProfile::new(vec![
-            Strategy::singleton(2, 0),
-            Strategy::singleton(2, 1),
-        ])
-        .unwrap();
+        let p = StrategyProfile::new(vec![Strategy::singleton(2, 0), Strategy::singleton(2, 1)])
+            .unwrap();
         let d = user_response_times(&m, &p).unwrap();
         assert!(d[0].is_infinite());
         assert!((d[1] - 1.0 / 7.0).abs() < 1e-12);

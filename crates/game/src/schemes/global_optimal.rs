@@ -177,7 +177,10 @@ mod tests {
         let p = GlobalOptimalScheme::default().compute(&model).unwrap();
         let d = user_response_times(&model, &p).unwrap();
         let idx = jain_index(&d).unwrap();
-        assert!(idx < 0.999, "sequential GOS should show unfairness, got {idx}");
+        assert!(
+            idx < 0.999,
+            "sequential GOS should show unfairness, got {idx}"
+        );
         // Early (heavy) users grabbed the fast computers and do better.
         assert!(
             d[0] < *d.last().unwrap(),

@@ -113,9 +113,8 @@ pub fn wardrop_iterative(
             total_capacity: total,
         });
     }
-    let flows_at = |tau: f64| -> Vec<f64> {
-        mu.iter().map(|&m| (m - 1.0 / tau).max(0.0)).collect()
-    };
+    let flows_at =
+        |tau: f64| -> Vec<f64> { mu.iter().map(|&m| (m - 1.0 / tau).max(0.0)).collect() };
     let total_at = |tau: f64| -> f64 { flows_at(tau).iter().sum() };
 
     // Bracket tau: at tau = 1/mu_max the total is 0 < phi; grow the upper
@@ -251,7 +250,10 @@ mod tests {
             .collect();
         let t0 = times[0];
         for &t in &times {
-            assert!((t - t0).abs() < 1e-6, "iterative times unequal: {t} vs {t0}");
+            assert!(
+                (t - t0).abs() < 1e-6,
+                "iterative times unequal: {t} vs {t0}"
+            );
         }
     }
 

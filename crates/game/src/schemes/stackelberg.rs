@@ -55,10 +55,7 @@ impl StackelbergScheme {
     /// # Errors
     ///
     /// Propagates kernel failures (cannot occur for a valid model).
-    pub fn aggregate_flows(
-        &self,
-        model: &SystemModel,
-    ) -> Result<(Vec<f64>, Vec<f64>), GameError> {
+    pub fn aggregate_flows(&self, model: &SystemModel) -> Result<(Vec<f64>, Vec<f64>), GameError> {
         let mu = model.computer_rates();
         let n = mu.len();
         let phi = model.total_arrival_rate();
@@ -165,11 +162,10 @@ mod tests {
     #[test]
     fn cost_interpolates_between_wardrop_and_optimum() {
         let m = model();
-        let d_ios = overall_response_time(&m, &IndividualOptimalScheme.compute(&m).unwrap())
+        let d_ios =
+            overall_response_time(&m, &IndividualOptimalScheme.compute(&m).unwrap()).unwrap();
+        let d_gos = overall_response_time(&m, &GlobalOptimalScheme::default().compute(&m).unwrap())
             .unwrap();
-        let d_gos =
-            overall_response_time(&m, &GlobalOptimalScheme::default().compute(&m).unwrap())
-                .unwrap();
         let mut prev = d_ios;
         for alpha in [0.2, 0.4, 0.6, 0.8] {
             let p = StackelbergScheme::new(alpha).unwrap().compute(&m).unwrap();
@@ -189,8 +185,7 @@ mod tests {
                 .unwrap()
                 .aggregate_flows(&m)
                 .unwrap();
-            let total: f64 =
-                leader.iter().sum::<f64>() + follower.iter().sum::<f64>();
+            let total: f64 = leader.iter().sum::<f64>() + follower.iter().sum::<f64>();
             assert!((total - m.total_arrival_rate()).abs() < 1e-6);
             for ((l, f), mu) in leader.iter().zip(&follower).zip(m.computer_rates()) {
                 assert!(l + f < *mu, "saturated at alpha {alpha}");

@@ -262,9 +262,7 @@ impl StrategyProfile {
     ///
     /// [`GameError::DimensionMismatch`] on shape mismatch.
     pub fn max_l1_distance(&self, other: &StrategyProfile) -> Result<f64, GameError> {
-        if other.num_users() != self.num_users()
-            || other.num_computers() != self.num_computers()
-        {
+        if other.num_users() != self.num_users() || other.num_computers() != self.num_computers() {
             return Err(GameError::DimensionMismatch {
                 expected: self.num_users(),
                 actual: other.num_users(),
@@ -384,8 +382,8 @@ mod tests {
         // flow at computer 0 = 4.0 = mu_0: infeasible.
         assert!(saturating.check_stability(&model).is_err());
 
-        let fine = StrategyProfile::replicated(Strategy::new(vec![0.25, 0.75]).unwrap(), 2)
-            .unwrap();
+        let fine =
+            StrategyProfile::replicated(Strategy::new(vec![0.25, 0.75]).unwrap(), 2).unwrap();
         assert!(fine.check_stability(&model).is_ok());
     }
 

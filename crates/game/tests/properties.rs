@@ -35,6 +35,31 @@ proptest! {
     }
 
     #[test]
+    fn water_filling_conserves_demand_and_satisfies_kkt(rates in arb_rates(), frac in 0.01f64..0.95) {
+        // Conservation must hold to tight absolute tolerance: the clamp
+        // at the prefix boundary used to leak a few ulps of demand per
+        // call, which compounds over thousands of best replies.
+        let demand = rates.iter().sum::<f64>() * frac;
+        let flows = water_fill_flows(&rates, demand).unwrap();
+        let sum: f64 = flows.iter().sum();
+        prop_assert!(
+            (sum - demand).abs() <= 1e-9,
+            "conservation drift {:e} (demand {demand})",
+            (sum - demand).abs()
+        );
+        for (&x, &a) in flows.iter().zip(&rates) {
+            prop_assert!(x >= 0.0, "negative flow {x}");
+            if x > 0.0 {
+                prop_assert!(x < a, "saturating flow {x} on rate {a}");
+            }
+        }
+        prop_assert!(
+            satisfies_kkt(&rates, &flows, 1e-6),
+            "KKT violated for rates {rates:?}, demand {demand}"
+        );
+    }
+
+    #[test]
     fn water_filling_cost_is_monotone_in_demand(rates in arb_rates(), f1 in 0.01f64..0.9, f2 in 0.01f64..0.9) {
         let total: f64 = rates.iter().sum();
         let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };

@@ -74,7 +74,10 @@ impl fmt::Display for QueueingError {
                 write!(f, "flow component {index} is negative: {value}")
             }
             Self::ConservationViolated { sum, expected } => {
-                write!(f, "flow conservation violated: sum {sum} != expected {expected}")
+                write!(
+                    f,
+                    "flow conservation violated: sum {sum} != expected {expected}"
+                )
             }
             Self::EmptySystem => write!(f, "system must contain at least one computer"),
             Self::InvalidProbability { value } => {
@@ -123,7 +126,9 @@ mod tests {
         };
         assert!(e.to_string().contains("conservation"));
 
-        assert!(QueueingError::EmptySystem.to_string().contains("at least one"));
+        assert!(QueueingError::EmptySystem
+            .to_string()
+            .contains("at least one"));
 
         let e = QueueingError::InvalidProbability { value: 1.5 };
         assert!(e.to_string().contains("(0, 1)"));

@@ -277,7 +277,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_negative() {
-        assert!(matches!(FlowVector::new(vec![]), Err(QueueingError::EmptySystem)));
+        assert!(matches!(
+            FlowVector::new(vec![]),
+            Err(QueueingError::EmptySystem)
+        ));
         assert!(matches!(
             FlowVector::new(vec![1.0, -0.5]),
             Err(QueueingError::NegativeFlow { index: 1, .. })

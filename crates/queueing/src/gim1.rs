@@ -98,11 +98,7 @@ fn solve_sigma(arrival: Interarrival, lambda: f64, mu: f64) -> f64 {
 ///
 /// [`QueueingError::InvalidRate`] for non-positive rates;
 /// [`QueueingError::Unstable`] when `lambda >= mu`.
-pub fn response_time(
-    arrival: Interarrival,
-    lambda: f64,
-    mu: f64,
-) -> Result<f64, QueueingError> {
+pub fn response_time(arrival: Interarrival, lambda: f64, mu: f64) -> Result<f64, QueueingError> {
     if !mu.is_finite() || mu <= 0.0 {
         return Err(QueueingError::InvalidRate {
             name: "mu",
@@ -135,7 +131,10 @@ mod tests {
         for &(l, m) in &[(0.5, 1.0), (3.0, 10.0), (8.0, 9.0)] {
             let t = response_time(Interarrival::Exponential, l, m).unwrap();
             let exact = mm1::response_time(l, m);
-            assert!((t - exact).abs() < 1e-9 * exact, "({l},{m}): {t} vs {exact}");
+            assert!(
+                (t - exact).abs() < 1e-9 * exact,
+                "({l},{m}): {t} vs {exact}"
+            );
         }
     }
 
@@ -153,9 +152,11 @@ mod tests {
         let det = response_time(Interarrival::Deterministic, l, m).unwrap();
         let er4 = response_time(Interarrival::Erlang { k: 4 }, l, m).unwrap();
         let exp = response_time(Interarrival::Exponential, l, m).unwrap();
-        let hyp =
-            response_time(Interarrival::HyperExponential { scv: 4.0 }, l, m).unwrap();
-        assert!(det < er4 && er4 < exp && exp < hyp, "{det} {er4} {exp} {hyp}");
+        let hyp = response_time(Interarrival::HyperExponential { scv: 4.0 }, l, m).unwrap();
+        assert!(
+            det < er4 && er4 < exp && exp < hyp,
+            "{det} {er4} {exp} {hyp}"
+        );
     }
 
     #[test]

@@ -210,8 +210,14 @@ mod tests {
 
     #[test]
     fn constructor_rejects_saturation() {
-        assert!(matches!(Mm1::new(2.0, 2.0), Err(QueueingError::Unstable { .. })));
-        assert!(matches!(Mm1::new(3.0, 2.0), Err(QueueingError::Unstable { .. })));
+        assert!(matches!(
+            Mm1::new(2.0, 2.0),
+            Err(QueueingError::Unstable { .. })
+        ));
+        assert!(matches!(
+            Mm1::new(3.0, 2.0),
+            Err(QueueingError::Unstable { .. })
+        ));
     }
 
     #[test]

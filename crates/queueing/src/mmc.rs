@@ -181,7 +181,11 @@ mod tests {
         // Classic call-center example: a = 8 Erlangs, c = 10 servers.
         // Erlang-C ~ 0.4092 (standard tables).
         let q = Mmc::new(8.0, 1.0, 10).unwrap();
-        assert!((q.prob_wait() - 0.4092).abs() < 5e-4, "C = {}", q.prob_wait());
+        assert!(
+            (q.prob_wait() - 0.4092).abs() < 5e-4,
+            "C = {}",
+            q.prob_wait()
+        );
     }
 
     #[test]

@@ -105,8 +105,7 @@ pub fn run_replication_mmpp(
                     arrival: engine.now(),
                     service_time: service,
                 };
-                if let Arrival::StartService(done_at) =
-                    stations[computer].arrive(job, engine.now())
+                if let Arrival::StartService(done_at) = stations[computer].arrive(job, engine.now())
                 {
                     engine.schedule_at(done_at, Event::Completion { computer });
                 }
@@ -143,8 +142,7 @@ mod tests {
         let model = SystemModel::new(vec![10.0, 20.0], vec![6.0, 6.0]).unwrap();
         let profile = ProportionalScheme.compute(&model).unwrap();
         let cfg = SimulationConfig::quick();
-        let poisson =
-            crate::scenario::run_replication(&model, &profile, cfg, 41).unwrap();
+        let poisson = crate::scenario::run_replication(&model, &profile, cfg, 41).unwrap();
         let mild = run_replication_mmpp(
             &model,
             &profile,

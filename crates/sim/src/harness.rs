@@ -56,10 +56,9 @@ pub fn simulate_profile(
     for r in 0..plan.replications {
         let seed = plan.seed_for(r);
         let mut p95 = P2Quantile::new(0.95);
-        let result =
-            run_replication_with_sink(model, profile, config, seed, |_, resp| {
-                p95.push(resp);
-            })?;
+        let result = run_replication_with_sink(model, profile, config, seed, |_, resp| {
+            p95.push(resp);
+        })?;
         let mut values = result.user_means.clone();
         values.push(result.system_mean);
         set.record(&values);
@@ -100,8 +99,7 @@ mod tests {
             replications: 3,
             ..ReplicationPlan::paper()
         };
-        let metrics =
-            simulate_profile(&model, &profile, &plan, SimulationConfig::quick()).unwrap();
+        let metrics = simulate_profile(&model, &profile, &plan, SimulationConfig::quick()).unwrap();
         assert_eq!(metrics.replications, 3);
         assert_eq!(metrics.user_summaries.len(), 2);
         // PS is perfectly fair analytically; empirically close to 1.

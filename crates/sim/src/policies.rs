@@ -167,7 +167,10 @@ pub fn run_policy_replication(
                     (DispatchPolicy::Static(profile), _) => {
                         dispatch_streams[user].categorical(profile.strategy(user).fractions())
                     }
-                    (DispatchPolicy::WeightedRoundRobin(_), DispatcherState::Wrr { credit, weights }) => {
+                    (
+                        DispatchPolicy::WeightedRoundRobin(_),
+                        DispatcherState::Wrr { credit, weights },
+                    ) => {
                         // Accumulate credit, send to the largest.
                         for (c, w) in credit.iter_mut().zip(weights.iter()) {
                             *c += w;
@@ -183,11 +186,7 @@ pub fn run_policy_replication(
                                 stations[a]
                                     .run_queue_length()
                                     .cmp(&stations[b].run_queue_length())
-                                    .then(
-                                        mu[b]
-                                            .partial_cmp(&mu[a])
-                                            .expect("finite rates"),
-                                    )
+                                    .then(mu[b].partial_cmp(&mu[a]).expect("finite rates"))
                             })
                             .expect("non-empty system")
                     }
@@ -196,8 +195,7 @@ pub fn run_policy_replication(
                         let mut best = None;
                         for _ in 0..d {
                             let i = dispatch_streams[user].categorical(mu);
-                            let delay =
-                                (stations[i].run_queue_length() as f64 + 1.0) / mu[i];
+                            let delay = (stations[i].run_queue_length() as f64 + 1.0) / mu[i];
                             best = match best {
                                 None => Some((i, delay)),
                                 Some((_, bd)) if delay < bd => Some((i, delay)),
@@ -224,8 +222,7 @@ pub fn run_policy_replication(
                     arrival: engine.now(),
                     service_time: service,
                 };
-                if let Arrival::StartService(done_at) =
-                    stations[computer].arrive(job, engine.now())
+                if let Arrival::StartService(done_at) = stations[computer].arrive(job, engine.now())
                 {
                     engine.schedule_at(done_at, Event::Completion { computer });
                 }
@@ -333,7 +330,10 @@ mod tests {
         // And the single sample behaves like the PS utilization pattern.
         let ps = ProportionalScheme.compute(&model).unwrap();
         let d_ps = mean(&model, &DispatchPolicy::Static(ps));
-        assert!((d_pow1 - d_ps).abs() < 0.15 * d_ps, "pow1 {d_pow1} vs PS {d_ps}");
+        assert!(
+            (d_pow1 - d_ps).abs() < 0.15 * d_ps,
+            "pow1 {d_pow1} vs PS {d_ps}"
+        );
     }
 
     #[test]

@@ -146,8 +146,7 @@ mod tests {
     fn simulated_pool_nash_matches_erlang_c_predictions() {
         let system = PoolSystem::new(vec![(4.0, 3), (10.0, 1)], vec![6.0, 8.0]).unwrap();
         let nash = system.nash(1e-6, 300, 1200).unwrap();
-        let result =
-            run_pool_replication(&system, &nash.flows, 120_000, 0.1, 99).unwrap();
+        let result = run_pool_replication(&system, &nash.flows, 120_000, 0.1, 99).unwrap();
         for (j, predicted) in nash.user_times.iter().enumerate() {
             let rel = (result.user_means[j] - predicted).abs() / predicted;
             assert!(

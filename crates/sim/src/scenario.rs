@@ -56,7 +56,10 @@ impl DistributionFamily {
             DistributionFamily::Exponential => Distribution::Exponential { rate: mu },
             DistributionFamily::Erlang { k } => {
                 assert!(k >= 1, "Erlang needs k >= 1");
-                Distribution::Erlang { k, rate: f64::from(k) * mu }
+                Distribution::Erlang {
+                    k,
+                    rate: f64::from(k) * mu,
+                }
             }
             DistributionFamily::HyperExponential { scv } => {
                 assert!(scv > 1.0, "hyperexponential needs scv > 1, got {scv}");
@@ -236,8 +239,7 @@ pub fn run_replication_with_sink<F: FnMut(usize, f64)>(
                 // Dispatch per the user's mixed strategy.
                 let fractions = profile.strategy(user).fractions();
                 let computer = dispatch_streams[user].categorical(fractions);
-                let service = service_streams[computer]
-                    .sample(&service_dists[computer]);
+                let service = service_streams[computer].sample(&service_dists[computer]);
                 jobs_generated += 1;
                 let job = Job {
                     id: jobs_generated,
@@ -245,8 +247,7 @@ pub fn run_replication_with_sink<F: FnMut(usize, f64)>(
                     arrival: engine.now(),
                     service_time: service,
                 };
-                if let Arrival::StartService(done_at) =
-                    stations[computer].arrive(job, engine.now())
+                if let Arrival::StartService(done_at) = stations[computer].arrive(job, engine.now())
                 {
                     // Completions may land past the horizon; the engine
                     // simply never delivers those.
@@ -318,7 +319,8 @@ mod tests {
         let analytic = lb_game::metrics::evaluate_profile(&model, &profile).unwrap();
         let s = bm.summary(0.95).unwrap();
         assert!(
-            (s.mean - analytic.overall_time).abs() < 3.0 * s.half_width.max(0.02 * analytic.overall_time),
+            (s.mean - analytic.overall_time).abs()
+                < 3.0 * s.half_width.max(0.02 * analytic.overall_time),
             "CI [{:.5}, {:.5}] vs theory {:.5}",
             s.ci_low(),
             s.ci_high(),
@@ -330,14 +332,11 @@ mod tests {
     fn sink_sees_only_post_warmup_jobs() {
         let (model, profile) = small();
         let mut count = 0u64;
-        let r = run_replication_with_sink(
-            &model,
-            &profile,
-            SimulationConfig::quick(),
-            3,
-            |_, _| count += 1,
-        )
-        .unwrap();
+        let r =
+            run_replication_with_sink(&model, &profile, SimulationConfig::quick(), 3, |_, _| {
+                count += 1
+            })
+            .unwrap();
         assert_eq!(count, r.user_counts.iter().sum::<u64>());
         assert!(count < r.jobs_generated, "warmup jobs must be excluded");
     }
@@ -372,8 +371,7 @@ mod tests {
     fn empirical_means_match_mm1_theory() {
         // PS on this model: each queue at rho = 0.4 -> F = 1/(mu - lambda).
         let (model, profile) = small();
-        let analytic =
-            lb_game::metrics::evaluate_profile(&model, &profile).unwrap();
+        let analytic = lb_game::metrics::evaluate_profile(&model, &profile).unwrap();
         let r = run_replication(&model, &profile, SimulationConfig::quick(), 3).unwrap();
         for (sim, theory) in r.user_means.iter().zip(&analytic.user_times) {
             let rel = (sim - theory).abs() / theory;
@@ -388,10 +386,8 @@ mod tests {
     fn unstable_profile_is_rejected() {
         let model = SystemModel::new(vec![5.0, 100.0], vec![50.0]).unwrap();
         // All flow on the slow computer saturates it.
-        let profile = StrategyProfile::new(vec![
-            lb_game::strategy::Strategy::singleton(2, 0),
-        ])
-        .unwrap();
+        let profile =
+            StrategyProfile::new(vec![lb_game::strategy::Strategy::singleton(2, 0)]).unwrap();
         assert!(matches!(
             run_replication(&model, &profile, SimulationConfig::quick(), 0),
             Err(GameError::InfeasibleStrategy { .. })
@@ -463,8 +459,14 @@ mod tests {
         let profile =
             StrategyProfile::new(vec![lb_game::strategy::Strategy::singleton(1, 0)]).unwrap();
         let cases = [
-            (DistributionFamily::Deterministic, Interarrival::Deterministic),
-            (DistributionFamily::Erlang { k: 4 }, Interarrival::Erlang { k: 4 }),
+            (
+                DistributionFamily::Deterministic,
+                Interarrival::Deterministic,
+            ),
+            (
+                DistributionFamily::Erlang { k: 4 },
+                Interarrival::Erlang { k: 4 },
+            ),
             (
                 DistributionFamily::HyperExponential { scv: 4.0 },
                 Interarrival::HyperExponential { scv: 4.0 },

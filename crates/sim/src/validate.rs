@@ -86,7 +86,7 @@ mod tests {
         use lb_stats::Welford;
         let model = SystemModel::new(vec![10.0, 40.0], vec![12.0, 13.0]).unwrap();
         let nash = nash_equilibrium(&model).unwrap();
-        let mut acc = vec![Welford::new(); 2];
+        let mut acc = [Welford::new(), Welford::new()];
         crate::scenario::run_replication_with_sink(
             &model,
             nash.profile(),
@@ -98,9 +98,9 @@ mod tests {
             |user, resp| acc[user].push(resp),
         )
         .unwrap();
-        for j in 0..2 {
+        for (j, welford) in acc.iter().enumerate() {
             let predicted = user_response_variance(&model, nash.profile(), j).unwrap();
-            let measured = acc[j].sample_variance();
+            let measured = welford.sample_variance();
             let rel = (measured - predicted).abs() / predicted;
             assert!(
                 rel < 0.15,
@@ -117,8 +117,7 @@ mod tests {
             replications: 3,
             ..ReplicationPlan::paper()
         };
-        let sim =
-            simulate_profile(&model, &profile, &plan, SimulationConfig::quick()).unwrap();
+        let sim = simulate_profile(&model, &profile, &plan, SimulationConfig::quick()).unwrap();
         let report = compare(&model, &profile, &sim).unwrap();
         assert!(
             report.within(0.08),

@@ -37,8 +37,8 @@ pub mod timeseries;
 pub mod welford;
 
 pub use batchmeans::BatchMeans;
-pub use quantile::P2Quantile;
 pub use fairness::jain_index;
+pub use quantile::P2Quantile;
 pub use replication::{ReplicationPlan, ReplicationSet};
 pub use summary::SampleSummary;
 pub use timeseries::IterationTrace;

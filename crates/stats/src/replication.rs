@@ -228,7 +228,10 @@ mod tests {
         set.record(&[100.0, 1.0]);
         set.record(&[100.5, 3.0]);
         set.record(&[99.5, 5.0]);
-        assert!(!set.meets_precision(0.05), "loose metric should fail the gate");
+        assert!(
+            !set.meets_precision(0.05),
+            "loose metric should fail the gate"
+        );
         assert!(set.meets_precision(2.0));
     }
 }

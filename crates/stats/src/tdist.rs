@@ -51,8 +51,7 @@ pub fn betai(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry relation to keep the continued fraction convergent.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -225,7 +224,7 @@ mod tests {
     fn quantile_matches_tables() {
         // Standard t-table critical values.
         let cases = [
-            (0.975, 4.0, 2.7764),   // the paper's 5-replication case
+            (0.975, 4.0, 2.7764), // the paper's 5-replication case
             (0.975, 9.0, 2.2622),
             (0.95, 10.0, 1.8125),
             (0.995, 4.0, 4.6041),

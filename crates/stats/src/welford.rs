@@ -177,7 +177,9 @@ mod tests {
 
     #[test]
     fn matches_two_pass_computation() {
-        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let w: Welford = data.iter().copied().collect();
         let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
         let var: f64 =
@@ -192,7 +194,11 @@ mod tests {
         let data = [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0];
         let w: Welford = data.iter().copied().collect();
         assert!((w.mean() - (1e9 + 10.0)).abs() < 1e-3);
-        assert!((w.sample_variance() - 30.0).abs() < 1e-6, "var = {}", w.sample_variance());
+        assert!(
+            (w.sample_variance() - 30.0).abs() < 1e-6,
+            "var = {}",
+            w.sample_variance()
+        );
     }
 
     #[test]

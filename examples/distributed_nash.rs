@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.num_computers()
     );
 
-    for (label, init) in [("NASH_0", RingInit::Zero), ("NASH_P", RingInit::Proportional)] {
+    for (label, init) in [
+        ("NASH_0", RingInit::Zero),
+        ("NASH_P", RingInit::Proportional),
+    ] {
         let outcome = DistributedNash::new()
             .init(init)
             .tolerance(1e-4)

@@ -17,8 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     for (label, model) in [
-        ("Table-1 system, rho = 60%", SystemModel::table1_system(0.6)?),
-        ("skewness 20 (2 fast + 14 slow), rho = 60%", SystemModel::skewed_system(20.0, 0.6)?),
+        (
+            "Table-1 system, rho = 60%",
+            SystemModel::table1_system(0.6)?,
+        ),
+        (
+            "skewness 20 (2 fast + 14 slow), rho = 60%",
+            SystemModel::skewed_system(20.0, 0.6)?,
+        ),
     ] {
         let nash = nash_equilibrium(&model)?;
         println!("{label}");
@@ -32,9 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "weighted round robin over Nash flows",
                 DispatchPolicy::WeightedRoundRobin(nash.profile().clone()),
             ),
-            ("power of 2 choices (rate-weighted)", DispatchPolicy::PowerOfD(2)),
-            ("join shortest queue (speed-blind)", DispatchPolicy::JoinShortestQueue),
-            ("shortest expected delay", DispatchPolicy::ShortestExpectedDelay),
+            (
+                "power of 2 choices (rate-weighted)",
+                DispatchPolicy::PowerOfD(2),
+            ),
+            (
+                "join shortest queue (speed-blind)",
+                DispatchPolicy::JoinShortestQueue,
+            ),
+            (
+                "shortest expected delay",
+                DispatchPolicy::ShortestExpectedDelay,
+            ),
         ];
         for (name, policy) in policies {
             let r = run_policy_replication(&model, &policy, cfg, 2002)?;

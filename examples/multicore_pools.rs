@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let nash = sys.nash(1e-5, 500, 1200)?;
         let d = sys.overall_time(&nash.flows);
         let sim = run_pool_replication(&sys, &nash.flows, 200_000, 0.1, 7)?;
-        let fairness =
-            nash_lb::stats::jain_index(&nash.user_times).unwrap_or(f64::NAN);
+        let fairness = nash_lb::stats::jain_index(&nash.user_times).unwrap_or(f64::NAN);
         println!(
             "{label:<46} {:>8} {:>10.4} {:>12.4} {:>10.4}",
             nash.sweeps, d, sim.system_mean, fairness

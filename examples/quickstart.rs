@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Compare against the baselines the paper evaluates.
-    println!("\n{:<6} {:>12} {:>10} {:>22}", "scheme", "mean D (s)", "fairness", "per-user D (s)");
+    println!(
+        "\n{:<6} {:>12} {:>10} {:>22}",
+        "scheme", "mean D (s)", "fairness", "per-user D (s)"
+    );
     let schemes: Vec<(&str, Box<dyn LoadBalancingScheme>)> = vec![
         ("GOS", Box::new(GlobalOptimalScheme::default())),
         ("IOS", Box::new(IndividualOptimalScheme)),

@@ -81,8 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // distribution at a glance.
     use nash_lb::sim::scenario::run_replication_with_sink;
     use nash_lb::stats::histogram::Histogram;
-    let mut hist = Histogram::new(0.0, 4.0 * analytic.overall_time, 16)
-        .expect("valid histogram bounds");
+    let mut hist =
+        Histogram::new(0.0, 4.0 * analytic.overall_time, 16).expect("valid histogram bounds");
     run_replication_with_sink(&model, nash.profile(), config, 99, |_, resp| {
         hist.record(resp);
     })?;

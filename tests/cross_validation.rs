@@ -100,13 +100,7 @@ fn simulated_nash_matches_analytic_predictions() {
         replications: 3,
         ..ReplicationPlan::paper()
     };
-    let sim = simulate_profile(
-        &model,
-        nash.profile(),
-        &plan,
-        SimulationConfig::quick(),
-    )
-    .unwrap();
+    let sim = simulate_profile(&model, nash.profile(), &plan, SimulationConfig::quick()).unwrap();
     let report = compare(&model, nash.profile(), &sim).unwrap();
     assert!(
         report.within(0.10),

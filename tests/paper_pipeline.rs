@@ -80,7 +80,10 @@ fn fig6_high_skew_brings_nash_to_gos() {
     assert!(ratio < 1.05, "NASH/GOS at skew 20 = {ratio}");
     let mid = &points[3]; // skew 6
     let ps_ratio = mid.scheme("PS").overall_time / mid.scheme("GOS").overall_time;
-    assert!(ps_ratio > 1.2, "PS should lag badly at skew 6, ratio {ps_ratio}");
+    assert!(
+        ps_ratio > 1.2,
+        "PS should lag badly at skew 6, ratio {ps_ratio}"
+    );
 }
 
 #[test]
