@@ -1,0 +1,201 @@
+//! Server breakdown/repair processes and job-retry policies.
+//!
+//! The paper's computers never fail; the churn extension models each
+//! station as an alternating renewal process — exponentially distributed
+//! up-times (mean MTBF) and repair times (mean MTTR) — the standard
+//! machine-repair model. A crash preempts the job in service and strands
+//! the queue ([`crate::station::FcfsStation::fail`] returns them); the
+//! dispatcher re-submits those jobs under a capped exponential
+//! [`RetryBackoff`], after which a job is counted *lost*, not served.
+//!
+//! Both pieces are policy objects only: they sample durations and compute
+//! delays, while the event wiring (scheduling failures, repairs and
+//! retries) stays in the model layer, keeping this crate's kernel
+//! generic.
+
+use crate::rng::RngStream;
+
+/// An alternating up/down renewal process for one station: exponential
+/// time-to-failure with mean `mtbf`, exponential repair with mean `mttr`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownProcess {
+    mtbf: f64,
+    mttr: f64,
+}
+
+impl BreakdownProcess {
+    /// Creates a process with the given mean time between failures and
+    /// mean time to repair, both in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either mean is non-positive or non-finite.
+    pub fn new(mtbf: f64, mttr: f64) -> Self {
+        assert!(
+            mtbf.is_finite() && mtbf > 0.0,
+            "MTBF must be positive and finite, got {mtbf}"
+        );
+        assert!(
+            mttr.is_finite() && mttr > 0.0,
+            "MTTR must be positive and finite, got {mttr}"
+        );
+        Self { mtbf, mttr }
+    }
+
+    /// Mean time between failures.
+    pub fn mtbf(&self) -> f64 {
+        self.mtbf
+    }
+
+    /// Mean time to repair.
+    pub fn mttr(&self) -> f64 {
+        self.mttr
+    }
+
+    /// Steady-state availability `MTBF / (MTBF + MTTR)` — the long-run
+    /// fraction of time the station is up.
+    pub fn availability(&self) -> f64 {
+        self.mtbf / (self.mtbf + self.mttr)
+    }
+
+    /// Samples the next up-time (delay from repair completion — or start
+    /// of the run — to the next failure).
+    pub fn sample_uptime(&self, rng: &mut RngStream) -> f64 {
+        rng.exponential(1.0 / self.mtbf)
+    }
+
+    /// Samples the next repair duration (delay from failure to the
+    /// station coming back up).
+    pub fn sample_repair(&self, rng: &mut RngStream) -> f64 {
+        rng.exponential(1.0 / self.mttr)
+    }
+}
+
+/// Capped exponential backoff for retrying jobs preempted by a crash:
+/// attempt `k` (0-based) waits `min(base · factor^k, cap)` seconds;
+/// after `max_attempts` retries the job is given up as lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBackoff {
+    base: f64,
+    factor: f64,
+    cap: f64,
+    max_attempts: u32,
+}
+
+impl RetryBackoff {
+    /// Creates a policy with first delay `base`, multiplier `factor`,
+    /// ceiling `cap`, and at most `max_attempts` retries per job.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base` or `cap` is non-positive/non-finite, when
+    /// `factor < 1`, or when `cap < base`.
+    pub fn new(base: f64, factor: f64, cap: f64, max_attempts: u32) -> Self {
+        assert!(
+            base.is_finite() && base > 0.0,
+            "backoff base must be positive and finite, got {base}"
+        );
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "backoff factor must be >= 1, got {factor}"
+        );
+        assert!(
+            cap.is_finite() && cap >= base,
+            "backoff cap must be finite and >= base, got {cap}"
+        );
+        Self {
+            base,
+            factor,
+            cap,
+            max_attempts,
+        }
+    }
+
+    /// Maximum number of retries per job.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Delay before retry number `attempt` (0-based), or `None` when the
+    /// retry budget is exhausted and the job must be counted lost.
+    pub fn delay(&self, attempt: u32) -> Option<f64> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        // factor^attempt can overflow to inf for large budgets; the cap
+        // keeps the result finite either way.
+        let d = self.base * self.factor.powi(attempt.min(1_000) as i32);
+        Some(d.min(self.cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_is_mtbf_fraction() {
+        let b = BreakdownProcess::new(90.0, 10.0);
+        assert!((b.availability() - 0.9).abs() < 1e-12);
+        assert_eq!(b.mtbf(), 90.0);
+        assert_eq!(b.mttr(), 10.0);
+    }
+
+    #[test]
+    fn samples_have_the_right_means() {
+        let b = BreakdownProcess::new(50.0, 5.0);
+        let mut rng = RngStream::new(42, 0);
+        let n = 20_000;
+        let up: f64 = (0..n).map(|_| b.sample_uptime(&mut rng)).sum::<f64>() / n as f64;
+        let down: f64 = (0..n).map(|_| b.sample_repair(&mut rng)).sum::<f64>() / n as f64;
+        assert!((up - 50.0).abs() < 2.0, "mean uptime {up}");
+        assert!((down - 5.0).abs() < 0.2, "mean repair {down}");
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF")]
+    fn rejects_bad_mtbf() {
+        BreakdownProcess::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTR")]
+    fn rejects_bad_mttr() {
+        BreakdownProcess::new(1.0, f64::NAN);
+    }
+
+    #[test]
+    fn backoff_doubles_up_to_the_cap_then_gives_up() {
+        let p = RetryBackoff::new(0.1, 2.0, 0.5, 4);
+        assert_eq!(p.delay(0), Some(0.1));
+        assert_eq!(p.delay(1), Some(0.2));
+        assert_eq!(p.delay(2), Some(0.4));
+        assert_eq!(p.delay(3), Some(0.5)); // capped
+        assert_eq!(p.delay(4), None); // budget exhausted: job lost
+        assert_eq!(p.max_attempts(), 4);
+    }
+
+    #[test]
+    fn zero_budget_loses_immediately() {
+        let p = RetryBackoff::new(1.0, 2.0, 8.0, 0);
+        assert_eq!(p.delay(0), None);
+    }
+
+    #[test]
+    fn huge_attempt_numbers_stay_finite() {
+        let p = RetryBackoff::new(1.0, 2.0, 30.0, u32::MAX);
+        assert_eq!(p.delay(100_000), Some(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn rejects_shrinking_factor() {
+        RetryBackoff::new(1.0, 0.5, 2.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn rejects_cap_below_base() {
+        RetryBackoff::new(1.0, 2.0, 0.5, 3);
+    }
+}

@@ -21,7 +21,11 @@
 //!   extension.
 //! * [`source`] — a Markov-modulated Poisson source (MMPP-2) producing
 //!   *correlated* bursty arrivals for the traffic-model extensions.
-//! * [`monitor`] — warmup-aware response-time and queue-length collectors.
+//! * [`monitor`] — warmup-aware response-time, queue-length and goodput
+//!   collectors.
+//! * [`breakdown`] — server breakdown/repair processes (exponential
+//!   MTBF/MTTR) and capped-exponential retry backoff for jobs preempted
+//!   by a crash.
 //!
 //! The model-specific wiring (Poisson users dispatching probabilistically
 //! over a bank of stations) lives in `lb-sim`; this crate stays generic.
@@ -29,6 +33,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod breakdown;
 pub mod calendar;
 pub mod engine;
 pub mod monitor;
@@ -38,9 +43,10 @@ pub mod source;
 pub mod station;
 pub mod time;
 
+pub use breakdown::{BreakdownProcess, RetryBackoff};
 pub use calendar::{Calendar, EventId};
 pub use engine::Engine;
-pub use monitor::{QueueLengthMonitor, ResponseTimeMonitor};
+pub use monitor::{GoodputMonitor, QueueLengthMonitor, ResponseTimeMonitor};
 pub use multiserver::MultiServerStation;
 pub use rng::{Distribution, RngStream};
 pub use source::MmppSource;

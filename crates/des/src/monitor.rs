@@ -80,6 +80,114 @@ impl ResponseTimeMonitor {
     }
 }
 
+/// Separates goodput from degraded work under churn: jobs *served* to
+/// completion, jobs *shed* at admission (the overload policy refused
+/// them), jobs *lost* after exhausting their retry budget, and retry
+/// attempts. Events before the warmup cutoff are discarded, like
+/// [`ResponseTimeMonitor`]'s.
+#[derive(Debug, Clone, Copy)]
+pub struct GoodputMonitor {
+    warmup: SimTime,
+    served: u64,
+    shed: u64,
+    lost: u64,
+    retries: u64,
+}
+
+impl GoodputMonitor {
+    /// Creates a monitor that starts counting at `warmup`.
+    pub fn new(warmup: SimTime) -> Self {
+        Self {
+            warmup,
+            served: 0,
+            shed: 0,
+            lost: 0,
+            retries: 0,
+        }
+    }
+
+    /// A job finished service at `now`.
+    pub fn record_served(&mut self, now: SimTime) {
+        if now >= self.warmup {
+            self.served += 1;
+        }
+    }
+
+    /// A job was refused at admission at `now` (overload shedding).
+    pub fn record_shed(&mut self, now: SimTime) {
+        if now >= self.warmup {
+            self.shed += 1;
+        }
+    }
+
+    /// A job exhausted its retry budget at `now` and was dropped.
+    pub fn record_lost(&mut self, now: SimTime) {
+        if now >= self.warmup {
+            self.lost += 1;
+        }
+    }
+
+    /// A crashed-out job was re-submitted at `now`.
+    pub fn record_retry(&mut self, now: SimTime) {
+        if now >= self.warmup {
+            self.retries += 1;
+        }
+    }
+
+    /// Jobs served to completion in the measurement window.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Jobs shed at admission in the measurement window.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Jobs lost to exhausted retries in the measurement window.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Retry submissions in the measurement window.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Completed jobs per second over `[warmup, now]` — the goodput.
+    pub fn goodput(&self, now: SimTime) -> f64 {
+        self.rate(self.served, now)
+    }
+
+    /// Shed jobs per second over `[warmup, now]`.
+    pub fn shed_rate(&self, now: SimTime) -> f64 {
+        self.rate(self.shed, now)
+    }
+
+    /// Lost jobs per second over `[warmup, now]`.
+    pub fn loss_rate(&self, now: SimTime) -> f64 {
+        self.rate(self.lost, now)
+    }
+
+    /// Fraction of offered (post-warmup) jobs that were actually served.
+    /// `1.0` when nothing was offered yet.
+    pub fn service_fraction(&self) -> f64 {
+        let offered = self.served + self.shed + self.lost;
+        if offered == 0 {
+            return 1.0;
+        }
+        self.served as f64 / offered as f64
+    }
+
+    fn rate(&self, count: u64, now: SimTime) -> f64 {
+        let window = now.since(self.warmup);
+        if window == 0.0 {
+            return 0.0;
+        }
+        count as f64 / window
+    }
+}
+
 /// Time-average queue length over the measurement window `[warmup, ∞)`.
 #[derive(Debug, Clone, Copy)]
 pub struct QueueLengthMonitor {
@@ -165,6 +273,33 @@ mod tests {
         assert_eq!(m.user_mean(2), 0.0);
         assert_eq!(m.system_mean(), 0.0);
         assert_eq!(m.user_accumulators().len(), 3);
+    }
+
+    #[test]
+    fn goodput_monitor_separates_outcomes() {
+        let mut g = GoodputMonitor::new(t(10.0));
+        g.record_served(t(5.0)); // warmup: dropped
+        g.record_shed(t(5.0)); // warmup: dropped
+        g.record_served(t(10.0));
+        g.record_served(t(15.0));
+        g.record_shed(t(12.0));
+        g.record_lost(t(14.0));
+        g.record_retry(t(13.0));
+        assert_eq!(g.served(), 2);
+        assert_eq!(g.shed(), 1);
+        assert_eq!(g.lost(), 1);
+        assert_eq!(g.retries(), 1);
+        assert!((g.goodput(t(20.0)) - 0.2).abs() < 1e-12);
+        assert!((g.shed_rate(t(20.0)) - 0.1).abs() < 1e-12);
+        assert!((g.loss_rate(t(20.0)) - 0.1).abs() < 1e-12);
+        assert!((g.service_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_goodput_monitor_is_benign() {
+        let g = GoodputMonitor::new(t(10.0));
+        assert_eq!(g.goodput(t(10.0)), 0.0);
+        assert_eq!(g.service_fraction(), 1.0);
     }
 
     #[test]

@@ -137,6 +137,29 @@ impl FcfsStation {
         (finished, next)
     }
 
+    /// Crashes the station at time `now`: the job in service is
+    /// preempted and every queued job stranded. All of them are returned
+    /// (preempted job first, then the queue in FCFS order) so the caller
+    /// can retry them elsewhere or count them lost.
+    ///
+    /// The caller must also cancel any completion event it scheduled for
+    /// the preempted job — the station cannot reach into the calendar.
+    /// After `fail` the station is idle and empty, ready to accept
+    /// arrivals again once the model declares it repaired.
+    pub fn fail(&mut self, now: SimTime) -> Vec<Job> {
+        self.integrate_to(now);
+        let mut stranded = Vec::with_capacity(self.run_queue_length());
+        if let Some(job) = self.in_service.take() {
+            // The aborted partial service still occupied the server.
+            if let Some(start) = self.busy_since.take() {
+                self.busy_time += now.since(start);
+            }
+            stranded.push(job);
+        }
+        stranded.extend(self.queue.drain(..));
+        stranded
+    }
+
     /// Fraction of time the server has been busy up to `now` (utilization
     /// estimate). Counts an in-progress service up to `now`.
     pub fn utilization(&self, now: SimTime) -> f64 {
@@ -260,6 +283,36 @@ mod tests {
         st.arrive(job(2, 3.0, 1.0), t(3.0));
         // Integral to 5: 0*1 + 1*2 + 2*2 = 6; mean = 6/5.
         assert!((st.mean_queue_length(t(5.0)) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fail_returns_preempted_and_stranded_jobs_in_order() {
+        let mut st = FcfsStation::new();
+        st.arrive(job(1, 0.0, 5.0), t(0.0));
+        st.arrive(job(2, 1.0, 1.0), t(1.0));
+        st.arrive(job(3, 2.0, 1.0), t(2.0));
+        let stranded = st.fail(t(3.0));
+        assert_eq!(
+            stranded.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(!st.busy());
+        assert_eq!(st.run_queue_length(), 0);
+        assert_eq!(st.completed(), 0, "preempted work is not a completion");
+        // The aborted partial service [0,3) still counts as busy time.
+        assert!((st.utilization(t(6.0)) - 0.5).abs() < 1e-12);
+        // The station accepts work again after repair.
+        assert_eq!(
+            st.arrive(job(4, 6.0, 1.0), t(6.0)),
+            Arrival::StartService(t(7.0))
+        );
+    }
+
+    #[test]
+    fn failing_an_idle_station_is_a_no_op() {
+        let mut st = FcfsStation::new();
+        assert!(st.fail(t(1.0)).is_empty());
+        assert!(!st.busy());
     }
 
     #[test]

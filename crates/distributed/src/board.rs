@@ -115,6 +115,22 @@ impl LoadBoard {
         assert!(j < self.users, "user index {j}");
         self.flows.write()[j].fill(0.0);
     }
+
+    /// Zeroes computer `i`'s column across every user. The runtime calls
+    /// this when a *computer* crashes: flow routed to a dead computer is
+    /// not being served, so leaving it on the board would make every
+    /// user's availability estimate lie about the survivors' headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index.
+    pub fn clear_column(&self, i: usize) {
+        assert!(i < self.computers, "computer index {i}");
+        let mut guard = self.flows.write();
+        for row in guard.iter_mut() {
+            row[i] = 0.0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +191,23 @@ mod tests {
     #[should_panic(expected = "user index")]
     fn clear_row_checks_index() {
         LoadBoard::new(1, 1).clear_row(1);
+    }
+
+    #[test]
+    fn clear_column_removes_a_dead_computers_load() {
+        let b = LoadBoard::new(2, 3);
+        b.publish(0, &[1.0, 2.0, 3.0]);
+        b.publish(1, &[0.5, 0.5, 0.5]);
+        b.clear_column(1);
+        assert_eq!(b.total_flows(), vec![1.5, 0.0, 3.5]);
+        assert_eq!(b.row(0), vec![1.0, 0.0, 3.0]);
+        assert_eq!(b.row(1), vec![0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "computer index")]
+    fn clear_column_checks_index() {
+        LoadBoard::new(1, 1).clear_column(1);
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! * state faults — [`FaultAction::StaleRound`] (the user best-responds
 //!   to its previous observation instead of re-reading the board, so it
 //!   publishes flows computed from stale information).
+//! * capacity faults — [`CapacityEvent`] entries (crash / degrade /
+//!   recover a *computer*), applied by the coordinator between rounds.
 
+use crate::capacity::CapacityEvent;
 use std::time::Duration;
 
 /// What a user does when it holds the token at a planned `(user, round)`.
@@ -64,9 +67,23 @@ pub enum FaultAction {
 ///     .stale_at(1, 4);
 /// assert!(!plan.is_empty());
 /// ```
+/// Besides user faults, a plan can carry *capacity* events — server
+/// crash / degrade / recover — keyed by the round after which the
+/// coordinator applies them:
+///
+/// ```
+/// use lb_distributed::fault::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .crash_computer_at(3, 0)
+///     .degrade_computer_at(5, 2, 4.0)
+///     .recover_computer_at(8, 0);
+/// assert_eq!(plan.capacity_events_at(3).len(), 1);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     faults: Vec<(usize, u32, FaultAction)>,
+    capacity: Vec<(u32, CapacityEvent)>,
 }
 
 impl FaultPlan {
@@ -106,9 +123,54 @@ impl FaultPlan {
         self.with(user, round, FaultAction::StaleRound)
     }
 
+    /// Computer `i` crashes (`μ_i → 0`) after the ring completes
+    /// `round`.
+    pub fn crash_computer_at(mut self, round: u32, computer: usize) -> Self {
+        self.capacity
+            .push((round, CapacityEvent::Crash { computer }));
+        self
+    }
+
+    /// Computer `i` degrades to `rate` jobs/s after the ring completes
+    /// `round`.
+    pub fn degrade_computer_at(mut self, round: u32, computer: usize, rate: f64) -> Self {
+        self.capacity
+            .push((round, CapacityEvent::Degrade { computer, rate }));
+        self
+    }
+
+    /// Computer `i` returns to its nominal rate after the ring
+    /// completes `round`.
+    pub fn recover_computer_at(mut self, round: u32, computer: usize) -> Self {
+        self.capacity
+            .push((round, CapacityEvent::Recover { computer }));
+        self
+    }
+
+    /// Adds an arbitrary capacity event after `round`.
+    pub fn with_capacity_event(mut self, round: u32, event: CapacityEvent) -> Self {
+        self.capacity.push((round, event));
+        self
+    }
+
+    /// Capacity events scheduled for application after `round`
+    /// completes, in insertion order.
+    pub fn capacity_events_at(&self, round: u32) -> Vec<CapacityEvent> {
+        self.capacity
+            .iter()
+            .filter(|&&(r, _)| r == round)
+            .map(|&(_, e)| e)
+            .collect()
+    }
+
+    /// Whether the plan schedules any capacity events at all.
+    pub fn has_capacity_events(&self) -> bool {
+        !self.capacity.is_empty()
+    }
+
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.capacity.is_empty()
     }
 
     /// Number of scheduled faults.
@@ -164,5 +226,33 @@ mod tests {
     fn first_action_wins_on_collision() {
         let p = FaultPlan::new().drop_token_at(0, 0).panic_at(0, 0);
         assert_eq!(p.action(0, 0), Some(FaultAction::DropToken));
+    }
+
+    #[test]
+    fn capacity_events_are_keyed_by_round() {
+        let p = FaultPlan::new()
+            .crash_computer_at(2, 1)
+            .degrade_computer_at(2, 0, 3.5)
+            .recover_computer_at(5, 1);
+        assert!(p.has_capacity_events());
+        assert!(!p.is_empty());
+        assert_eq!(
+            p.capacity_events_at(2),
+            vec![
+                CapacityEvent::Crash { computer: 1 },
+                CapacityEvent::Degrade {
+                    computer: 0,
+                    rate: 3.5
+                },
+            ]
+        );
+        assert_eq!(
+            p.capacity_events_at(5),
+            vec![CapacityEvent::Recover { computer: 1 }]
+        );
+        assert!(p.capacity_events_at(0).is_empty());
+        // User-fault accessors are unaffected.
+        assert_eq!(p.action(1, 2), None);
+        assert_eq!(p.len(), 0);
     }
 }

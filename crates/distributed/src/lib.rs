@@ -19,7 +19,11 @@
 //!   (exact, or with multiplicative noise modeling run-queue sampling
 //!   error).
 //! * [`fault`] — deterministic fault injection: crash, token-drop, delay
-//!   and stale-observation faults keyed by `(user, round)`.
+//!   and stale-observation faults keyed by `(user, round)`, plus
+//!   capacity events keyed by round.
+//! * [`capacity`] — computer-side churn: crash / degrade / recover
+//!   events and the shed trajectory the coordinator records when its
+//!   overload policy sheds load.
 //! * [`runtime`] — thread spawning, the ring, failure detection and
 //!   repair, termination, and result collection.
 //!
@@ -37,11 +41,13 @@
 #![warn(clippy::all)]
 
 pub mod board;
+pub mod capacity;
 pub mod fault;
 pub mod messages;
 pub mod observer;
 pub mod runtime;
 
+pub use capacity::{CapacityEvent, ShedRecord};
 pub use fault::{FaultAction, FaultPlan};
 pub use observer::ObservationModel;
 pub use runtime::{DistributedNash, DistributedOutcome};

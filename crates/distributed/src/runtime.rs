@@ -30,7 +30,18 @@
 //!   waiting for the timeout;
 //! * survivors then re-converge on the residual capacity, and the
 //!   [`DistributedOutcome`] names the failed users instead of discarding
-//!   the partial result.
+//!   the partial result;
+//! * *computer* failures (crash / degrade / recover, injected as
+//!   [`crate::capacity::CapacityEvent`]s through the plan) are applied by
+//!   the coordinator between rounds: it updates the capacity vector,
+//!   zeroes crashed computers' board columns, runs the configured
+//!   [`OverloadPolicy`] to shed load if the survivors cannot carry the
+//!   nominal demand, bumps the epoch and reconfigures every user with
+//!   the new rates before regenerating the token. The admission
+//!   decisions are logged as the outcome's
+//!   [`shed trajectory`](DistributedOutcome::shed_trajectory). Capacity
+//!   events scheduled at or after the round that decides termination are
+//!   ignored (the ring is already draining).
 //!
 //! The failure detector is timeout-based and therefore *not* perfect: a
 //! user that is merely slower than `round_timeout` (e.g. a
@@ -40,6 +51,7 @@
 //! `round_timeout` comfortably above the per-round compute time.
 
 use crate::board::LoadBoard;
+use crate::capacity::{CapacityEvent, ShedRecord};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::messages::{FinalReport, Reconfigure, RingMsg, Termination, Token};
 use crate::observer::{ObservationModel, Observer};
@@ -47,6 +59,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sende
 use lb_game::best_reply::water_fill_flows;
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
+use lb_game::overload::{shed_to_feasible, OverloadPolicy};
 use lb_game::strategy::{Strategy, StrategyProfile};
 use lb_stats::IterationTrace;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -76,11 +89,13 @@ pub struct DistributedNash {
     round_timeout: Duration,
     run_deadline: Option<Duration>,
     faults: Arc<FaultPlan>,
+    overload_policy: OverloadPolicy,
 }
 
 impl DistributedNash {
     /// Paper defaults: NASH_P start, exact observation, ε = 1e-4, at most
-    /// 500 rounds, a 5 s token timeout, no overall deadline, no faults.
+    /// 500 rounds, a 5 s token timeout, no overall deadline, no faults,
+    /// and the [`OverloadPolicy::Reject`] overload policy.
     pub fn new() -> Self {
         Self {
             init: RingInit::Proportional,
@@ -90,6 +105,7 @@ impl DistributedNash {
             round_timeout: Duration::from_secs(5),
             run_deadline: None,
             faults: Arc::new(FaultPlan::new()),
+            overload_policy: OverloadPolicy::Reject,
         }
     }
 
@@ -138,6 +154,16 @@ impl DistributedNash {
     /// [`crate::fault`]).
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Arc::new(plan);
+        self
+    }
+
+    /// Selects what the coordinator does when capacity churn makes the
+    /// nominal demand infeasible: abort with [`GameError::Overloaded`]
+    /// ([`OverloadPolicy::Reject`], the default) or shed load and keep
+    /// running ([`OverloadPolicy::ShedProportional`] /
+    /// [`OverloadPolicy::ShedMaxMin`]).
+    pub fn overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload_policy = policy;
         self
     }
 
@@ -273,6 +299,13 @@ impl DistributedNash {
             mirror: Vec::new(),
             termination: None,
             round_timeout: self.round_timeout,
+            nominal_mu: model.computer_rates().to_vec(),
+            current_mu: model.computer_rates().to_vec(),
+            nominal_phi: model.user_rates().to_vec(),
+            current_phi: model.user_rates().to_vec(),
+            policy: self.overload_policy,
+            faults: Arc::clone(&self.faults),
+            shed_log: Vec::new(),
         };
         coord.inject(0, Token::initial());
         let driven = coord.drive(self.run_deadline);
@@ -310,6 +343,29 @@ impl DistributedNash {
             total_updates += r.updates;
             survivors.push(j);
         }
+        // Final admission picture: failed users carry zero admitted/shed
+        // (their loss is reported via `failed_users`, not as shedding).
+        let mut admitted_rates = coord.current_phi.clone();
+        let mut shed_rates: Vec<f64> = coord
+            .nominal_phi
+            .iter()
+            .zip(&coord.current_phi)
+            .map(|(&nom, &adm)| (nom - adm).max(0.0))
+            .collect();
+        for j in 0..m {
+            if !coord.alive[j] {
+                admitted_rates[j] = 0.0;
+                shed_rates[j] = 0.0;
+            }
+        }
+        let degraded = coord
+            .current_mu
+            .iter()
+            .zip(&coord.nominal_mu)
+            .enumerate()
+            .filter(|(_, (&cur, &nom))| cur < nom)
+            .map(|(i, _)| i)
+            .collect();
         Ok(DistributedOutcome {
             profile: StrategyProfile::new(rows)?,
             trace: coord.mirror.iter().copied().collect(),
@@ -319,6 +375,11 @@ impl DistributedNash {
             failed: coord.failed.clone(),
             survivors,
             termination,
+            admitted_rates,
+            shed_rates,
+            degraded,
+            capacity: coord.current_mu.clone(),
+            shed_log: coord.shed_log.clone(),
         })
     }
 }
@@ -342,6 +403,11 @@ pub struct DistributedOutcome {
     failed: Vec<usize>,
     survivors: Vec<usize>,
     termination: Termination,
+    admitted_rates: Vec<f64>,
+    shed_rates: Vec<f64>,
+    degraded: Vec<usize>,
+    capacity: Vec<f64>,
+    shed_log: Vec<ShedRecord>,
 }
 
 impl DistributedOutcome {
@@ -392,6 +458,40 @@ impl DistributedOutcome {
     pub fn converged(&self) -> bool {
         self.termination == Termination::Converged
     }
+
+    /// Per-user arrival rates the final admission decision shed
+    /// (full-length, indexed by user; zero when nothing was shed and for
+    /// failed users, whose loss is reported via
+    /// [`DistributedOutcome::failed_users`] instead).
+    pub fn shed_rates(&self) -> &[f64] {
+        &self.shed_rates
+    }
+
+    /// Per-user arrival rates the final admission decision admitted
+    /// (full-length; equal to the nominal rates when nothing was shed,
+    /// zero for failed users).
+    pub fn admitted_rates(&self) -> &[f64] {
+        &self.admitted_rates
+    }
+
+    /// Computers running below their nominal rate at the end of the run
+    /// (crashed or degraded), in index order.
+    pub fn degraded_computers(&self) -> &[usize] {
+        &self.degraded
+    }
+
+    /// The capacity vector in force at the end of the run (0 = crashed).
+    pub fn final_capacity(&self) -> &[f64] {
+        &self.capacity
+    }
+
+    /// Every admission-control decision the coordinator took, in order.
+    /// Byte-identical across runs with the same model, plan and policy —
+    /// the trajectory depends only on the event schedule and the nominal
+    /// rates, never on thread timing.
+    pub fn shed_trajectory(&self) -> &[ShedRecord] {
+        &self.shed_log
+    }
 }
 
 /// Progress reports from user threads to the coordinator. Every token
@@ -428,6 +528,17 @@ struct Coordinator {
     mirror: Vec<f64>,
     termination: Option<Termination>,
     round_timeout: Duration,
+    /// Capacity vector the model started with (recovery target).
+    nominal_mu: Vec<f64>,
+    /// Capacity vector currently in force (0 = crashed).
+    current_mu: Vec<f64>,
+    /// Demand vector the model started with (re-admission target).
+    nominal_phi: Vec<f64>,
+    /// Per-user admitted rates currently in force.
+    current_phi: Vec<f64>,
+    policy: OverloadPolicy,
+    faults: Arc<FaultPlan>,
+    shed_log: Vec<ShedRecord>,
 }
 
 impl Coordinator {
@@ -495,6 +606,15 @@ impl Coordinator {
                 self.mirror.push(norm);
                 if termination != Termination::Continue {
                     self.termination = Some(termination);
+                } else {
+                    // The round that just completed. Capacity events are
+                    // keyed by it; a terminating ring is already draining,
+                    // so events on the deciding round are skipped above.
+                    let round = self.mirror.len() as u32 - 1;
+                    let events = self.faults.capacity_events_at(round);
+                    if !events.is_empty() {
+                        self.apply_capacity_events(round, &events)?;
+                    }
                 }
             }
             Event::Spliced { skipped, epoch } if epoch == self.epoch => {
@@ -515,6 +635,77 @@ impl Coordinator {
             // Events stamped with an old epoch come from a user that was
             // (rightly or wrongly) declared failed; its token is stale.
             Event::Forwarded { .. } | Event::RoundComplete { .. } | Event::Spliced { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Applies the capacity events scheduled after `round` completed:
+    /// update the rate vector, zero crashed computers' board columns,
+    /// run the overload policy over the survivors' nominal demand, then
+    /// bump the epoch, reconfigure every live user with the new rates
+    /// and admitted demand, and regenerate the token for the next round.
+    ///
+    /// FIFO channel order makes this safe: each user receives its
+    /// `Reconfigure` (carrying `mu`/`phi`) before any token of the new
+    /// epoch, so nobody best-responds against stale capacity. A stale
+    /// old-epoch token still in flight is dropped on receipt.
+    fn apply_capacity_events(
+        &mut self,
+        round: u32,
+        events: &[CapacityEvent],
+    ) -> Result<(), GameError> {
+        for &ev in events {
+            let i = ev.computer();
+            if i >= self.current_mu.len() {
+                return Err(GameError::DimensionMismatch {
+                    expected: self.current_mu.len(),
+                    actual: i + 1,
+                });
+            }
+            match ev {
+                CapacityEvent::Crash { .. } => {
+                    self.current_mu[i] = 0.0;
+                    self.board.clear_column(i);
+                }
+                CapacityEvent::Degrade { rate, .. } => {
+                    if !(rate.is_finite() && rate > 0.0) {
+                        return Err(GameError::InvalidRate {
+                            name: "degraded mu",
+                            value: rate,
+                        });
+                    }
+                    self.current_mu[i] = rate;
+                }
+                CapacityEvent::Recover { .. } => {
+                    self.current_mu[i] = self.nominal_mu[i];
+                }
+            }
+        }
+        // Admission control over the *nominal* demand of the live users:
+        // recovered capacity re-admits previously shed load automatically.
+        let nominal: Vec<f64> = (0..self.m)
+            .map(|j| {
+                if self.alive[j] {
+                    self.nominal_phi[j]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let plan = shed_to_feasible(&self.current_mu, &nominal, self.policy)?;
+        self.current_phi = plan.admitted;
+        self.epoch += 1;
+        self.shed_log.push(ShedRecord {
+            round,
+            epoch: self.epoch,
+            capacity: self.current_mu.clone(),
+            admitted: self.current_phi.clone(),
+            shed: plan.shed,
+        });
+        self.reconfigure();
+        let ring = self.alive_ring();
+        if let Some(&head) = ring.first() {
+            self.inject(head, Token::regenerated(round + 1, self.epoch));
         }
         Ok(())
     }
@@ -562,6 +753,9 @@ impl Coordinator {
         self.alive[j] = false;
         self.failed.push(j);
         self.board.clear_row(j);
+        // A dead user places no demand; its admitted rate must not count
+        // toward feasibility nor show up as shed load in the outcome.
+        self.current_phi[j] = 0.0;
         // If the thread is merely slow rather than dead, this tells it to
         // exit without reporting once it wakes up.
         let _ = self.txs[j].send(RingMsg::Shutdown);
@@ -582,6 +776,8 @@ impl Coordinator {
                 next2_id,
                 next2: self.txs[next2_id].clone(),
                 is_tail: pos == k - 1,
+                mu: self.current_mu.clone(),
+                phi: self.current_phi[j],
             }));
         }
     }
@@ -661,6 +857,8 @@ fn user_main(mut ctx: UserContext) {
                 ctx.next2_id = rc.next2_id;
                 ctx.next2 = rc.next2;
                 ctx.is_tail = rc.is_tail;
+                ctx.mu = rc.mu;
+                ctx.phi = rc.phi;
                 if let Some(token) = pending.take() {
                     // Only forward the parked token if the coordinator
                     // spliced in-place; after an epoch bump it already
@@ -743,6 +941,17 @@ fn handle_token(
                     termination: token.terminate,
                     epoch: ctx.epoch,
                 });
+                // When capacity events are scheduled after the round that
+                // just completed, the coordinator bumps the epoch and
+                // regenerates the token itself — forwarding the old one
+                // here would let the head race a stale round against the
+                // reconfiguration and perturb the norm trace. Drop it;
+                // the next round starts only from the regenerated token.
+                if token.terminate == Termination::Continue
+                    && !ctx.faults.capacity_events_at(token.round - 1).is_empty()
+                {
+                    return false;
+                }
             }
             if let Some(FaultAction::DelayForward(delay)) = fault {
                 thread::sleep(delay);

@@ -22,6 +22,10 @@
 //!   general renewal streams.
 //! * [`dynamic_policies`] — static equilibria vs state-aware dispatch
 //!   (JSQ, power-of-d, shortest expected delay).
+//! * [`server_churn`] — the fault-tolerance extension: a mid-run server
+//!   crash makes demand infeasible, load is shed per an overload policy,
+//!   and the DES-measured response times are checked against the
+//!   quasi-static analytic mixture.
 
 use crate::config::{EPSILON, MEDIUM_LOAD};
 use crate::report::{fmt, Table};
@@ -690,6 +694,123 @@ pub fn render_pooling(rows: &[PoolingRow]) -> Table {
             fmt(r.nash_time),
             fmt(r.optimal_time),
             fmt(r.simulated_nash),
+        ]);
+    }
+    t
+}
+
+/// One (policy × seed-averaged) row of the server-churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Overload-policy label.
+    pub policy: &'static str,
+    /// Quasi-static analytic prediction of the mean response time.
+    pub predicted: f64,
+    /// Seed-averaged measured mean response time of served jobs.
+    pub measured: f64,
+    /// Predicted shed fraction from the per-phase admission decisions.
+    pub predicted_shed: f64,
+    /// Seed-averaged measured shed fraction.
+    pub measured_shed: f64,
+    /// Total jobs lost to exhausted retries across the seeds.
+    pub lost: u64,
+    /// Total retry submissions across the seeds.
+    pub retries: u64,
+}
+
+/// Server-fault tolerance: a mid-run crash makes the demand infeasible,
+/// the dispatcher sheds load per each overload policy, the server comes
+/// back and the shed demand is re-admitted. Measured (DES) response
+/// times and shed fractions are reported against the quasi-static
+/// analytic mixture for the proportional and max-min shedding policies.
+///
+/// # Errors
+///
+/// Propagates model/simulation failures.
+pub fn server_churn(replications: u32) -> Result<Vec<ChurnRow>, GameError> {
+    use lb_game::overload::OverloadPolicy;
+    use lb_sim::churn::{run_churn_replication, ChurnPhase, RetryBackoff};
+
+    let model = SystemModel::new(vec![10.0, 20.0, 30.0], vec![16.0, 12.0])?;
+    let phases = vec![
+        ChurnPhase {
+            duration: 400.0,
+            capacity: vec![10.0, 20.0, 30.0],
+        },
+        ChurnPhase {
+            duration: 400.0,
+            capacity: vec![10.0, 20.0, 0.0],
+        },
+        ChurnPhase {
+            duration: 400.0,
+            capacity: vec![10.0, 20.0, 30.0],
+        },
+    ];
+    let backoff = RetryBackoff::new(0.05, 2.0, 1.0, 5);
+    let policies: [(&'static str, OverloadPolicy); 2] = [
+        (
+            "shed-proportional (h=0.8)",
+            OverloadPolicy::ShedProportional { headroom: 0.8 },
+        ),
+        (
+            "shed-max-min (h=0.8)",
+            OverloadPolicy::ShedMaxMin { headroom: 0.8 },
+        ),
+    ];
+    let reps = replications.max(1);
+    let mut rows = Vec::new();
+    for (label, policy) in policies {
+        let mut measured = 0.0;
+        let mut measured_shed = 0.0;
+        let mut predicted = 0.0;
+        let mut predicted_shed = 0.0;
+        let mut lost = 0;
+        let mut retries = 0;
+        for seed in 0..reps as u64 {
+            let r = run_churn_replication(&model, &phases, policy, backoff, 100.0, 4000 + seed)?;
+            measured += r.measured_mean;
+            measured_shed += r.shed_fraction;
+            predicted = r.predicted_mean;
+            predicted_shed = r.predicted_shed_fraction;
+            lost += r.lost;
+            retries += r.retries;
+        }
+        rows.push(ChurnRow {
+            policy: label,
+            predicted,
+            measured: measured / f64::from(reps),
+            predicted_shed,
+            measured_shed: measured_shed / f64::from(reps),
+            lost,
+            retries,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the server-churn table.
+pub fn render_churn(rows: &[ChurnRow]) -> Table {
+    let mut t = Table::new(
+        "Extension 10: server churn (crash -> shed -> recover) vs quasi-static prediction",
+        vec![
+            "policy",
+            "D (pred)",
+            "D (sim)",
+            "shed% (pred)",
+            "shed% (sim)",
+            "lost",
+            "retries",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.policy.to_string(),
+            fmt(r.predicted),
+            fmt(r.measured),
+            format!("{:.2}", 100.0 * r.predicted_shed),
+            format!("{:.2}", 100.0 * r.measured_shed),
+            r.lost.to_string(),
+            r.retries.to_string(),
         ]);
     }
     t

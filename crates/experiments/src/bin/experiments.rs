@@ -122,6 +122,11 @@ fn run(opts: &Options) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 emit(&beyond::render_tails(&rows), &opts.out, "ext_tails")?;
             }
+            "ext-churn" => {
+                let rows =
+                    beyond::server_churn(opts.replications.min(5)).map_err(|e| e.to_string())?;
+                emit(&beyond::render_churn(&rows), &opts.out, "ext_churn")?;
+            }
             other => return Err(format!("unknown command `{other}`\n{}", cli::usage())),
         }
     }

@@ -22,7 +22,7 @@ pub struct Options {
 /// The usage string.
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
-     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails> \
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn> \
      [--simulate] [--jobs N] [--replications R] [--out DIR]"
         .to_string()
 }
@@ -83,6 +83,7 @@ pub fn expand_command(command: &str) -> Vec<&str> {
             "ext-burstiness",
             "ext-policies",
             "ext-tails",
+            "ext-churn",
         ],
         other => vec![other],
     }
@@ -138,7 +139,7 @@ mod tests {
     fn umbrellas_expand() {
         assert_eq!(expand_command("all").len(), 6);
         let ext = expand_command("ext");
-        assert_eq!(ext.len(), 9);
+        assert_eq!(ext.len(), 10);
         assert!(ext.iter().all(|c| c.starts_with("ext-")));
         assert_eq!(expand_command("fig3"), vec!["fig3"]);
     }

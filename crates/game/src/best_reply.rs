@@ -24,6 +24,18 @@ use crate::error::GameError;
 use crate::model::SystemModel;
 use crate::strategy::{Strategy, StrategyProfile};
 
+/// Relative headroom floor for assigned flows: `x_i` never comes closer
+/// to its available rate than `SATURATION_GUARD · a_i`. Near saturation
+/// the downstream `1/(a_i − x_i)` response-time terms explode to
+/// huge-but-finite values that poison convergence norms (and a single
+/// ulp of overshoot flips them to `∞` or negative); the guard bounds
+/// them at `1/(GUARD · a_i)`. It binds only when the demand sits within
+/// `GUARD` of the total available rate — a legitimately feasible split
+/// keeps far more headroom (at ρ = 0.999 the equilibrium leaves ~6e-4
+/// of each rate), so solutions away from the pathological sliver are
+/// bit-for-bit unchanged.
+pub const SATURATION_GUARD: f64 = 1e-9;
+
 /// Available processing rate of each computer as seen by user `j`:
 /// `a_i = μ_i − Σ_{k≠j} s_ki φ_k` (paper §2). Values can be ≤ 0 if other
 /// users saturate a computer; the water-filling kernel skips those.
@@ -121,20 +133,36 @@ pub fn water_fill_flows(rates: &[f64], demand: f64) -> Result<Vec<f64>, GameErro
         t = (sum_a - demand) / sum_sqrt;
     }
 
-    // Step 4: assign flows on the used prefix.
+    // Step 4: assign flows on the used prefix, capped at the saturation
+    // guard so cancellation can never park a flow within an ulp of its
+    // rate.
+    let cap = |a: f64| a * (1.0 - SATURATION_GUARD);
     let mut flows = vec![0.0; rates.len()];
     for &i in &order[..c] {
-        flows[i] = (rates[i] - t * rates[i].sqrt()).max(0.0);
+        flows[i] = (rates[i] - t * rates[i].sqrt()).max(0.0).min(cap(rates[i]));
     }
-    // In exact arithmetic Σ flows == demand, but the clamp above plus
+    // In exact arithmetic Σ flows == demand, but the clamps above plus
     // floating-point cancellation can leave a drift of a few ulps of
-    // Σ a_i. Fold the residual into the fastest used server, which has
-    // the largest headroom (a_i − x_i = t·√a_i is maximal there).
+    // Σ a_i. Fold the residual back in fastest-first (largest headroom:
+    // a_i − x_i = t·√a_i is maximal there), still honoring the guard;
+    // if the demand sits inside the guard sliver the leftover is
+    // dropped — a ≤ GUARD·Σa conservation drift is the price of keeping
+    // every 1/(a_i − x_i) bounded.
     let assigned: f64 = order[..c].iter().map(|&i| flows[i]).sum();
-    let residual = demand - assigned;
-    if residual != 0.0 {
+    let mut residual = demand - assigned;
+    if residual < 0.0 {
         let fastest = order[0];
         flows[fastest] = (flows[fastest] + residual).max(0.0);
+    } else if residual > 0.0 {
+        for &i in &order[..c] {
+            let room = (cap(rates[i]) - flows[i]).max(0.0);
+            let take = residual.min(room);
+            flows[i] += take;
+            residual -= take;
+            if residual <= 0.0 {
+                break;
+            }
+        }
     }
     Ok(flows)
 }
@@ -443,6 +471,66 @@ mod tests {
                 assert_eq!(demand, 4.0);
             }
             other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_saturation_demand_never_saturates_a_server() {
+        // Demand a few ulps below total capacity: the prefix formula
+        // yields t ≈ 0 and the residual fold-in used to be able to push
+        // the fastest server to (or past) its rate, making 1/(a − x)
+        // infinite or negative. The guard keeps every flow strictly
+        // inside its rate and the split cost finite.
+        let rates = [10.0, 20.0, 50.0];
+        let total: f64 = rates.iter().sum();
+        for &demand in &[
+            total * (1.0 - 1e-15),
+            total * (1.0 - 1e-12),
+            total - f64::EPSILON * total,
+        ] {
+            let flows = water_fill_flows(&rates, demand).unwrap();
+            for (&x, &a) in flows.iter().zip(&rates) {
+                assert!(x >= 0.0, "negative flow {x}");
+                assert!(x < a, "saturating flow {x} on rate {a}");
+                assert!(
+                    a - x >= 0.5 * SATURATION_GUARD * a,
+                    "headroom {:.3e} below guard on rate {a}",
+                    a - x
+                );
+            }
+            let cost = split_cost(&rates, &flows);
+            assert!(cost.is_finite(), "infinite cost at demand {demand}");
+            // Conservation drift stays within the guard sliver.
+            let sum: f64 = flows.iter().sum();
+            assert!(
+                (sum - demand).abs() <= SATURATION_GUARD * total + 1e-9,
+                "drift {:.3e}",
+                (sum - demand).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn rho_0999_equilibrium_stays_finite_and_converges() {
+        // Regression: at 99.9% utilization the per-sweep best replies
+        // walk close to saturation; the guard must keep response times
+        // finite and must not perturb the equilibrium itself (its
+        // legitimate headroom is ~6e-4 of each rate, far outside the
+        // guard sliver).
+        use crate::model::SystemModel;
+        use crate::nash::{Initialization, NashSolver};
+        use crate::response::user_response_time;
+        let model = SystemModel::table1_system(0.999).unwrap();
+        let outcome = NashSolver::new(Initialization::Proportional)
+            .tolerance(1e-6)
+            .max_iterations(20_000)
+            .solve(&model)
+            .unwrap();
+        assert!(outcome.converged());
+        let profile = outcome.profile();
+        for j in 0..model.num_users() {
+            let d = user_response_time(&model, profile, j).unwrap();
+            assert!(d.is_finite() && d > 0.0, "user {j} response {d}");
         }
     }
 

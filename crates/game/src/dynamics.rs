@@ -13,6 +13,7 @@
 use crate::error::GameError;
 use crate::model::SystemModel;
 use crate::nash::{Initialization, NashOutcome, NashSolver};
+use crate::overload::{shed_to_feasible, OverloadPolicy, ShedPlan};
 use crate::strategy::{Strategy, StrategyProfile};
 
 /// How the balancer seeds the solver after a system change.
@@ -32,6 +33,19 @@ pub struct Rebalance {
     pub iterations: u32,
     /// Restart policy used.
     pub restart: Restart,
+}
+
+/// The outcome of a capacity update: the re-equilibration statistics,
+/// the admission-control decision, and which computers are still live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityStep {
+    /// Solver statistics of the re-convergence.
+    pub rebalance: Rebalance,
+    /// Per-user admitted/shed rates the balancer now runs on.
+    pub plan: ShedPlan,
+    /// Indices (into the full-width rate vector) of the computers the
+    /// new equilibrium spans, in column order.
+    pub live_computers: Vec<usize>,
 }
 
 /// Maintains a Nash equilibrium across system changes.
@@ -58,6 +72,14 @@ pub struct DynamicBalancer {
     tolerance: f64,
     max_iterations: u32,
     history: Vec<Rebalance>,
+    /// Users' *nominal* arrival rates — what they want to send, as
+    /// opposed to what admission control currently admits. Reset by
+    /// [`Self::update`], preserved across [`Self::update_capacity`].
+    nominal_user_rates: Vec<f64>,
+    /// Full-width computer rates as last reported (0 = offline).
+    full_rates: Vec<f64>,
+    /// Full-width indices of the computers the current model spans.
+    live: Vec<usize>,
 }
 
 impl DynamicBalancer {
@@ -75,12 +97,18 @@ impl DynamicBalancer {
             iterations: outcome.iterations(),
             restart: Restart::Cold,
         }];
+        let nominal_user_rates = model.user_rates().to_vec();
+        let full_rates = model.computer_rates().to_vec();
+        let live = (0..model.num_computers()).collect();
         Ok(Self {
             model,
             equilibrium: outcome.into_profile(),
             tolerance,
             max_iterations: 5000,
             history,
+            nominal_user_rates,
+            full_rates,
+            live,
         })
     }
 
@@ -123,10 +151,113 @@ impl DynamicBalancer {
             iterations: outcome.iterations(),
             restart,
         };
+        self.nominal_user_rates = new_model.user_rates().to_vec();
+        self.full_rates = new_model.computer_rates().to_vec();
+        self.live = (0..new_model.num_computers()).collect();
         self.model = new_model;
         self.equilibrium = outcome.into_profile();
         self.history.push(step);
         Ok(step)
+    }
+
+    /// Users' nominal arrival rates (what admission control would admit
+    /// at full capacity).
+    pub fn nominal_user_rates(&self) -> &[f64] {
+        &self.nominal_user_rates
+    }
+
+    /// Full-width indices of the computers the current equilibrium
+    /// spans (column `k` of [`Self::equilibrium`] is computer
+    /// `live_computers()[k]`).
+    pub fn live_computers(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Applies a capacity change — server crash (`rate = 0`),
+    /// degradation, or recovery — and re-converges on the residual
+    /// system, shedding load per `policy` if the survivors cannot carry
+    /// the nominal demand.
+    ///
+    /// `new_rates` is the full-width rate vector (same length as the
+    /// original model's computer list); a zero entry marks an offline
+    /// computer. Unlike [`Self::update`], which would fail with
+    /// [`GameError::Overloaded`] on an infeasible model, this path
+    /// degrades: a shedding policy admits
+    /// `min(nominal, headroom · Σ μ)` per its fairness rule and the
+    /// equilibrium is recomputed over the admitted rates — reusing
+    /// [`remap_profile_columns`] so a warm restart survives column
+    /// removals/additions.
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::DimensionMismatch`] when `new_rates` has the
+    ///   wrong width.
+    /// * [`GameError::Overloaded`] under [`OverloadPolicy::Reject`]
+    ///   when the residual capacity cannot carry the nominal demand, or
+    ///   under any policy when no computer is left. The balancer keeps
+    ///   its previous state on error.
+    /// * Solver failures, propagated.
+    pub fn update_capacity(
+        &mut self,
+        new_rates: &[f64],
+        policy: OverloadPolicy,
+        restart: Restart,
+    ) -> Result<CapacityStep, GameError> {
+        if new_rates.len() != self.full_rates.len() {
+            return Err(GameError::DimensionMismatch {
+                expected: self.full_rates.len(),
+                actual: new_rates.len(),
+            });
+        }
+        let plan = shed_to_feasible(new_rates, &self.nominal_user_rates, policy)?;
+        let new_live: Vec<usize> = new_rates
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        if new_live.is_empty() {
+            let phi: f64 = self.nominal_user_rates.iter().sum();
+            return Err(GameError::overloaded(phi, 0.0));
+        }
+        let live_rates: Vec<f64> = new_live.iter().map(|&i| new_rates[i]).collect();
+        let new_model = SystemModel::new(live_rates, plan.admitted.clone())?;
+        let init = match restart {
+            Restart::Cold => Initialization::Proportional,
+            Restart::Warm => {
+                // Map surviving columns by identity, not position: if
+                // computer 2 of 5 died, old column 3 must land on new
+                // column 2, and a recovered computer gets a fresh
+                // (zero, then renormalized) column.
+                let columns: Vec<Option<usize>> = new_live
+                    .iter()
+                    .map(|&i| self.live.iter().position(|&l| l == i))
+                    .collect();
+                Initialization::Custom(remap_profile_columns(
+                    &self.equilibrium,
+                    &new_model,
+                    &columns,
+                )?)
+            }
+        };
+        let outcome: NashOutcome = NashSolver::new(init)
+            .tolerance(self.tolerance)
+            .max_iterations(self.max_iterations)
+            .solve(&new_model)?;
+        let rebalance = Rebalance {
+            iterations: outcome.iterations(),
+            restart,
+        };
+        self.model = new_model;
+        self.equilibrium = outcome.into_profile();
+        self.history.push(rebalance);
+        self.full_rates = new_rates.to_vec();
+        self.live = new_live.clone();
+        Ok(CapacityStep {
+            rebalance,
+            plan,
+            live_computers: new_live,
+        })
     }
 }
 
@@ -141,7 +272,34 @@ pub fn remap_profile(
     old: &StrategyProfile,
     new_model: &SystemModel,
 ) -> Result<StrategyProfile, GameError> {
+    let columns: Vec<Option<usize>> = (0..new_model.num_computers()).map(Some).collect();
+    remap_profile_columns(old, new_model, &columns)
+}
+
+/// Column-aware re-mapping: `columns[k]` names the *old* column feeding
+/// new column `k` (`None` for a brand-new computer, which starts at
+/// zero before renormalization). Rows that lose all their mass — every
+/// used computer died — fall back to the proportional split, as do
+/// brand-new users. This is the warm-restart kernel behind
+/// [`DynamicBalancer::update_capacity`].
+///
+/// # Errors
+///
+/// [`GameError::DimensionMismatch`] when `columns` does not match the
+/// new computer count; otherwise propagates strategy-construction
+/// failures.
+pub fn remap_profile_columns(
+    old: &StrategyProfile,
+    new_model: &SystemModel,
+    columns: &[Option<usize>],
+) -> Result<StrategyProfile, GameError> {
     let n_new = new_model.num_computers();
+    if columns.len() != n_new {
+        return Err(GameError::DimensionMismatch {
+            expected: n_new,
+            actual: columns.len(),
+        });
+    }
     let m_new = new_model.num_users();
     let total: f64 = new_model.computer_rates().iter().sum();
     let proportional: Vec<f64> = new_model
@@ -154,8 +312,9 @@ pub fn remap_profile(
     for j in 0..m_new {
         if j < old.num_users() {
             let old_row = old.strategy(j).fractions();
-            let mut fr: Vec<f64> = (0..n_new)
-                .map(|i| old_row.get(i).copied().unwrap_or(0.0))
+            let mut fr: Vec<f64> = columns
+                .iter()
+                .map(|c| c.and_then(|i| old_row.get(i)).copied().unwrap_or(0.0))
                 .collect();
             let sum: f64 = fr.iter().sum();
             if sum > 1e-12 {
@@ -276,5 +435,127 @@ mod tests {
 
     fn lb_fractions() -> Vec<f64> {
         crate::model::paper_user_fractions()
+    }
+
+    #[test]
+    fn crash_with_feasible_residual_sheds_nothing() {
+        // Table 1 at ρ = 0.6: losing the fastest computer leaves plenty
+        // of capacity; no shedding, equilibrium over the survivors.
+        let mut b = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        let mut rates = SystemModel::table1_rates();
+        let dead = rates
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        rates[dead] = 0.0;
+        let step = b
+            .update_capacity(
+                &rates,
+                OverloadPolicy::ShedProportional { headroom: 0.95 },
+                Restart::Warm,
+            )
+            .unwrap();
+        assert!(!step.plan.sheds());
+        assert_eq!(step.live_computers.len(), 15);
+        assert!(!step.live_computers.contains(&dead));
+        assert_eq!(b.equilibrium().num_computers(), 15);
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4, "gap {gap}");
+    }
+
+    #[test]
+    fn infeasible_crash_sheds_and_recovery_readmits() {
+        // ρ = 0.9 and the two fastest computers die: demand exceeds the
+        // survivors' capacity, so the policy sheds; recovery re-admits.
+        let mut b = DynamicBalancer::new(SystemModel::table1_system(0.9).unwrap(), 1e-6).unwrap();
+        let nominal_phi: f64 = b.nominal_user_rates().iter().sum();
+        let full = SystemModel::table1_rates();
+        let mut rates = full.clone();
+        let mut order: Vec<usize> = (0..rates.len()).collect();
+        order.sort_by(|&p, &q| rates[q].partial_cmp(&rates[p]).unwrap());
+        rates[order[0]] = 0.0;
+        rates[order[1]] = 0.0;
+        let residual_capacity: f64 = rates.iter().sum();
+        assert!(
+            nominal_phi > residual_capacity,
+            "test setup: crash must make the demand infeasible"
+        );
+
+        let step = b
+            .update_capacity(
+                &rates,
+                OverloadPolicy::ShedProportional { headroom: 0.9 },
+                Restart::Warm,
+            )
+            .unwrap();
+        assert!(step.plan.sheds());
+        assert!((step.plan.admitted_total() - 0.9 * residual_capacity).abs() < 1e-6);
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4, "gap {gap}");
+
+        // Reject would have aborted instead.
+        let mut rejecting =
+            DynamicBalancer::new(SystemModel::table1_system(0.9).unwrap(), 1e-6).unwrap();
+        let before = rejecting.equilibrium().clone();
+        let err = rejecting
+            .update_capacity(&rates, OverloadPolicy::Reject, Restart::Warm)
+            .unwrap_err();
+        assert!(matches!(err, GameError::Overloaded { .. }));
+        assert_eq!(rejecting.equilibrium(), &before, "state preserved on error");
+
+        // Recovery: full rates again -> everything re-admitted.
+        let step = b
+            .update_capacity(
+                &full,
+                OverloadPolicy::ShedProportional { headroom: 0.9 },
+                Restart::Warm,
+            )
+            .unwrap();
+        assert!(!step.plan.sheds());
+        assert!((step.plan.admitted_total() - nominal_phi).abs() < 1e-9);
+        assert_eq!(b.equilibrium().num_computers(), full.len());
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4, "gap {gap}");
+    }
+
+    #[test]
+    fn capacity_update_rejects_wrong_width_and_total_loss() {
+        let mut b = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        assert!(matches!(
+            b.update_capacity(&[10.0], OverloadPolicy::Reject, Restart::Warm),
+            Err(GameError::DimensionMismatch { .. })
+        ));
+        let zeros = vec![0.0; SystemModel::table1_rates().len()];
+        assert!(matches!(
+            b.update_capacity(
+                &zeros,
+                OverloadPolicy::ShedProportional { headroom: 0.9 },
+                Restart::Warm
+            ),
+            Err(GameError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn degradation_without_crash_keeps_all_columns() {
+        let mut b = DynamicBalancer::new(base_model(), 1e-6).unwrap();
+        let mut rates = SystemModel::table1_rates();
+        for r in &mut rates {
+            *r *= 0.8;
+        }
+        let step = b
+            .update_capacity(
+                &rates,
+                OverloadPolicy::ShedMaxMin { headroom: 0.9 },
+                Restart::Warm,
+            )
+            .unwrap();
+        // ρ = 0.6 nominal / 0.8 slowdown = 0.75 utilization < 0.9: no shed.
+        assert!(!step.plan.sheds());
+        assert_eq!(step.live_computers.len(), rates.len());
+        let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
+        assert!(gap < 1e-4, "gap {gap}");
     }
 }

@@ -20,11 +20,25 @@ pub enum GameError {
         what: &'static str,
     },
     /// The standing stability assumption `Φ < Σ μ_i` fails.
+    ///
+    /// The payload is actionable: `utilization` says how far past
+    /// capacity the demand sits, and `min_shed` is the smallest total
+    /// arrival rate that must be shed (admission-controlled away) to
+    /// restore strict feasibility. Pair with
+    /// [`crate::overload::shed_to_feasible`] to compute *which* users
+    /// give up *how much*.
     Overloaded {
         /// Total user arrival rate Φ.
         total_arrival_rate: f64,
         /// Aggregate capacity Σ μ_i.
         total_capacity: f64,
+        /// System utilization Φ / Σ μ_i (≥ 1 when this error fires;
+        /// `+∞` when the capacity is zero).
+        utilization: f64,
+        /// Minimum arrival rate to shed for `Φ < Σ μ_i` to hold again:
+        /// `Φ − Σ μ_i` (plus any strict-inequality margin the caller
+        /// wants on top).
+        min_shed: f64,
     },
     /// Vector lengths disagree with the model dimensions.
     DimensionMismatch {
@@ -70,6 +84,25 @@ pub enum GameError {
     Queueing(QueueingError),
 }
 
+impl GameError {
+    /// Builds an [`GameError::Overloaded`] from the raw demand/capacity
+    /// pair, deriving the actionable `utilization` and `min_shed` fields.
+    #[must_use]
+    pub fn overloaded(total_arrival_rate: f64, total_capacity: f64) -> Self {
+        let utilization = if total_capacity > 0.0 {
+            total_arrival_rate / total_capacity
+        } else {
+            f64::INFINITY
+        };
+        Self::Overloaded {
+            total_arrival_rate,
+            total_capacity,
+            utilization,
+            min_shed: (total_arrival_rate - total_capacity).max(0.0),
+        }
+    }
+}
+
 impl fmt::Display for GameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -80,9 +113,13 @@ impl fmt::Display for GameError {
             Self::Overloaded {
                 total_arrival_rate,
                 total_capacity,
+                utilization,
+                min_shed,
             } => write!(
                 f,
-                "system overloaded: total arrival rate {total_arrival_rate} >= capacity {total_capacity}"
+                "system overloaded: total arrival rate {total_arrival_rate} >= capacity \
+                 {total_capacity} (utilization {utilization:.4}); shed at least {min_shed} \
+                 jobs/s to restore feasibility"
             ),
             Self::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
@@ -143,10 +180,7 @@ mod tests {
                 value: -1.0,
             },
             GameError::EmptyModel { what: "users" },
-            GameError::Overloaded {
-                total_arrival_rate: 10.0,
-                total_capacity: 5.0,
-            },
+            GameError::overloaded(10.0, 5.0),
             GameError::DimensionMismatch {
                 expected: 3,
                 actual: 1,
@@ -172,6 +206,39 @@ mod tests {
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn overloaded_payload_is_actionable() {
+        let e = GameError::overloaded(12.0, 10.0);
+        match &e {
+            GameError::Overloaded {
+                utilization,
+                min_shed,
+                ..
+            } => {
+                assert!((utilization - 1.2).abs() < 1e-12);
+                assert!((min_shed - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let msg = e.to_string();
+        assert!(msg.contains("utilization 1.2000"), "message: {msg}");
+        assert!(msg.contains("shed at least 2"), "message: {msg}");
+
+        // Zero capacity: utilization degenerates to infinity, everything
+        // must be shed.
+        match GameError::overloaded(3.0, 0.0) {
+            GameError::Overloaded {
+                utilization,
+                min_shed,
+                ..
+            } => {
+                assert!(utilization.is_infinite());
+                assert!((min_shed - 3.0).abs() < 1e-12);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
         }
     }
 

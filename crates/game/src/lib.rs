@@ -23,6 +23,13 @@
 //!   common [`schemes::LoadBalancingScheme`] trait alongside NASH itself.
 //! * [`gradient`] — an independent projected-gradient best-reply solver
 //!   used to cross-check the water-filling optimum.
+//! * [`overload`] — overload policies ([`overload::OverloadPolicy`]) and
+//!   admission control: when capacity churn drives `Φ ≥ Σ μ_i`, shed
+//!   just enough load (proportionally or max-min fair) that the residual
+//!   game is feasible, instead of aborting.
+//! * [`dynamics`] — re-equilibration across system changes, including
+//!   policy-driven capacity updates ([`dynamics::DynamicBalancer::update_capacity`])
+//!   that survive server crashes by shedding and warm-restarting.
 //! * [`metrics`] — per-user/system response times and Jain fairness for a
 //!   computed profile (the paper's two evaluation metrics).
 //!
@@ -60,6 +67,7 @@ pub mod metrics;
 pub mod model;
 pub mod multicore;
 pub mod nash;
+pub mod overload;
 pub mod response;
 pub mod schemes;
 pub mod sensitivity;

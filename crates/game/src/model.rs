@@ -254,10 +254,10 @@ impl SystemModelBuilder {
         let computers = ParallelQueues::new(self.computer_rates)?;
         let total_arrival_rate: f64 = self.user_rates.iter().sum();
         if total_arrival_rate >= computers.total_capacity() {
-            return Err(GameError::Overloaded {
+            return Err(GameError::overloaded(
                 total_arrival_rate,
-                total_capacity: computers.total_capacity(),
-            });
+                computers.total_capacity(),
+            ));
         }
         Ok(SystemModel {
             computers,

@@ -75,10 +75,7 @@ impl PoolSystem {
         let capacity: f64 = lat.iter().map(Latency::capacity).sum();
         let total: f64 = user_rates.iter().sum();
         if total >= capacity {
-            return Err(GameError::Overloaded {
-                total_arrival_rate: total,
-                total_capacity: capacity,
-            });
+            return Err(GameError::overloaded(total, capacity));
         }
         Ok(Self {
             pools: lat,

@@ -54,10 +54,7 @@ pub fn wardrop_flows(mu: &[f64], phi: f64) -> Result<Vec<f64>, GameError> {
     }
     let total: f64 = mu.iter().sum();
     if phi >= total {
-        return Err(GameError::Overloaded {
-            total_arrival_rate: phi,
-            total_capacity: total,
-        });
+        return Err(GameError::overloaded(phi, total));
     }
     let mut order: Vec<usize> = (0..mu.len()).collect();
     order.sort_by(|&p, &q| mu[q].partial_cmp(&mu[p]).expect("finite").then(p.cmp(&q)));
@@ -108,10 +105,7 @@ pub fn wardrop_iterative(
     }
     let total: f64 = mu.iter().sum();
     if phi >= total {
-        return Err(GameError::Overloaded {
-            total_arrival_rate: phi,
-            total_capacity: total,
-        });
+        return Err(GameError::overloaded(phi, total));
     }
     let flows_at =
         |tau: f64| -> Vec<f64> { mu.iter().map(|&m| (m - 1.0 / tau).max(0.0)).collect() };

@@ -22,16 +22,23 @@
 //!   from the paper's Poisson assumption.
 //! * [`policies`] — dynamic (state-aware) dispatch: JSQ, power-of-d,
 //!   shortest-expected-delay vs the paper's static profiles.
+//! * [`churn`] — capacity churn: servers crash/degrade/recover on a
+//!   phase schedule (or a sampled breakdown process), the dispatcher
+//!   re-equilibrates and sheds load per an overload policy, and the
+//!   measured response times are validated against the quasi-static
+//!   analytic mixture.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bursty;
+pub mod churn;
 pub mod harness;
 pub mod policies;
 pub mod pools;
 pub mod scenario;
 pub mod validate;
 
+pub use churn::{breakdown_schedule, run_churn_replication, ChurnPhase, ChurnResult};
 pub use harness::{simulate_profile, SimulatedMetrics};
 pub use scenario::{DistributionFamily, SimulationConfig, SimulationResult};

@@ -1,0 +1,89 @@
+//! Crash a server mid-run, shed load, recover, re-admit.
+//!
+//! The coordinator drives capacity churn through the same `FaultPlan`
+//! machinery the user-failure demo uses: a computer crashes while the
+//! ring is converging, the residual demand exceeds the residual capacity,
+//! and the overload policy sheds just enough load (with headroom) to keep
+//! the survivors stable. When the computer comes back the shed demand is
+//! re-admitted and the ring re-converges to the nominal equilibrium. The
+//! whole shed trajectory is recorded and — given the same plan and
+//! schedule — replays byte-identically.
+//!
+//! ```text
+//! cargo run --release --example server_churn
+//! ```
+
+use nash_lb::distributed::fault::FaultPlan;
+use nash_lb::distributed::runtime::DistributedNash;
+use nash_lb::game::model::SystemModel;
+use nash_lb::game::overload::OverloadPolicy;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three heterogeneous computers, two users. Nominal demand 38 jobs/s
+    // against 65 jobs/s of capacity — comfortable, until the big machine
+    // goes away.
+    let model = SystemModel::new(vec![30.0, 20.0, 15.0], vec![20.0, 18.0])?;
+    println!(
+        "capacity {:?} = {} jobs/s, demand {:?} = {} jobs/s",
+        model.computer_rates(),
+        model.total_capacity(),
+        model.user_rates(),
+        model.total_arrival_rate()
+    );
+
+    // Computer 0 (30 jobs/s) crashes after round 1: 38 > 35 is
+    // infeasible. It recovers after round 4.
+    let plan = FaultPlan::new()
+        .crash_computer_at(1, 0)
+        .recover_computer_at(4, 0);
+    println!("plan: computer 0 crashes after round 1, recovers after round 4\n");
+
+    let outcome = DistributedNash::new()
+        .tolerance(1e-6)
+        .fault_plan(plan)
+        .overload_policy(OverloadPolicy::ShedProportional { headroom: 0.9 })
+        .round_timeout(Duration::from_millis(250))
+        .run_deadline(Duration::from_secs(30))
+        .run(&model)?;
+
+    println!("shed trajectory (one record per capacity change):");
+    for rec in outcome.shed_trajectory() {
+        println!(
+            "  round {:>2} -> epoch {}: capacity {:?}, admitted {:?}, shed {:?}",
+            rec.round,
+            rec.epoch,
+            rec.capacity,
+            rec.admitted
+                .iter()
+                .map(|x| format!("{x:.2}"))
+                .collect::<Vec<_>>(),
+            rec.shed
+                .iter()
+                .map(|x| format!("{x:.2}"))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    println!(
+        "\nfinal state: capacity {:?}, admitted {:?}, shed {:?}",
+        outcome.final_capacity(),
+        outcome.admitted_rates(),
+        outcome.shed_rates()
+    );
+    println!(
+        "degraded computers at the end: {:?} (recovery re-admitted everything)",
+        outcome.degraded_computers()
+    );
+    println!(
+        "rounds: {}, converged: {}, per-user response times {:?}",
+        outcome.rounds(),
+        outcome.converged(),
+        outcome
+            .user_times()
+            .iter()
+            .map(|d| format!("{d:.4}"))
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -132,3 +132,61 @@ fn analytic_system_mean_is_the_flow_weighted_computer_mean() {
         metrics.overall_time
     );
 }
+
+#[test]
+fn churn_simulation_matches_the_quasi_static_prediction() {
+    // The acceptance scenario of the fault-tolerance extension: a server
+    // crashes mid-run, the dispatcher re-equilibrates and sheds load per
+    // the overload policy, the server recovers and the shed demand is
+    // re-admitted. The measured mean response time of served jobs must
+    // agree with the analytic quasi-static mixture (throughput-weighted
+    // per-phase equilibrium response times) within the replications'
+    // confidence interval.
+    use nash_lb::des::breakdown::RetryBackoff;
+    use nash_lb::game::overload::OverloadPolicy;
+    use nash_lb::sim::churn::{run_churn_replication, ChurnPhase};
+
+    let model = SystemModel::new(vec![10.0, 20.0, 30.0], vec![16.0, 12.0]).unwrap();
+    let phases = vec![
+        ChurnPhase {
+            duration: 500.0,
+            capacity: vec![10.0, 20.0, 30.0],
+        },
+        ChurnPhase {
+            duration: 500.0,
+            capacity: vec![10.0, 20.0, 0.0],
+        },
+        ChurnPhase {
+            duration: 500.0,
+            capacity: vec![10.0, 20.0, 30.0],
+        },
+    ];
+    let policy = OverloadPolicy::ShedProportional { headroom: 0.8 };
+    let backoff = RetryBackoff::new(0.05, 2.0, 1.0, 5);
+
+    let mut acc = nash_lb::stats::Welford::new();
+    let mut predicted = 0.0;
+    for seed in 0..5 {
+        let r =
+            run_churn_replication(&model, &phases, policy, backoff, 100.0, 1000 + seed).unwrap();
+        acc.push(r.measured_mean);
+        predicted = r.predicted_mean;
+        // The degraded phase dominates the mixture from above: its
+        // prediction must exceed the nominal phases'.
+        assert!(
+            r.phase_predictions[1] > r.phase_predictions[0],
+            "degraded phase should be slower: {:?}",
+            r.phase_predictions
+        );
+        // Recovery re-converges (warm start) to the nominal equilibrium
+        // up to the balancer's tolerance, not bit-exactly.
+        assert!((r.phase_predictions[0] - r.phase_predictions[2]).abs() < 1e-5);
+    }
+    let mean = acc.mean();
+    let half_width = 2.78 * (acc.sample_variance() / 5.0).sqrt(); // t_{0.975,4}
+    let tol = (3.0 * half_width).max(0.08 * predicted);
+    assert!(
+        (mean - predicted).abs() < tol,
+        "measured {mean:.5} vs predicted {predicted:.5} (CI half-width {half_width:.5})"
+    );
+}
