@@ -7,9 +7,22 @@
 //! `criterion_main!` macros. Measurement is a simple
 //! calibrate-then-sample wall-clock loop — adequate for the relative
 //! comparisons the benches make, with none of upstream's statistics.
+//!
+//! Two extensions beyond upstream's API support offline perf tracking:
+//!
+//! * every measurement is recorded on the [`Criterion`] context
+//!   ([`Criterion::results`]) and can be serialized with
+//!   [`Criterion::write_json`]; `criterion_main!` writes the summary to
+//!   the path named by the `CRITERION_JSON` environment variable, and
+//! * setting `CRITERION_QUICK=1` shrinks the calibration and sampling
+//!   windows ~10× so CI smoke jobs finish fast (numbers are noisy but the
+//!   benches still execute end to end and panics still surface).
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::hint::black_box as std_black_box;
+use std::io;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
@@ -66,6 +79,26 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One recorded measurement: a benchmark's identity and its per-iteration
+/// wall-clock cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Group name (`benchmark_group` argument, or the bare id for
+    /// ungrouped `bench_function` calls).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean nanoseconds per iteration over the sampling window.
+    pub ns_per_iter: f64,
+    /// Iterations in the sampling window.
+    pub iters: u64,
+}
+
+/// True when `CRITERION_QUICK` requests a reduced-iteration smoke pass.
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Measurement driver handed to bench closures.
 pub struct Bencher {
     iters_hint: u64,
@@ -76,7 +109,13 @@ impl Bencher {
     /// Times `routine`, first calibrating an iteration count so the
     /// measured loop runs for roughly the configured sampling window.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Calibration: find an iteration count filling ~10ms.
+        // Calibration window and sampling budget; ~10× smaller under
+        // CRITERION_QUICK so CI smoke runs stay cheap.
+        let (calibrate_for, budget) = if quick_mode() {
+            (Duration::from_millis(1), Duration::from_millis(5))
+        } else {
+            (Duration::from_millis(10), Duration::from_millis(50))
+        };
         let mut calibration_iters: u64 = 1;
         let per_iter = loop {
             let start = Instant::now();
@@ -84,12 +123,11 @@ impl Bencher {
                 std_black_box(routine());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(10) || calibration_iters >= (1 << 24) {
+            if elapsed >= calibrate_for || calibration_iters >= (1 << 24) {
                 break elapsed / calibration_iters.max(1) as u32;
             }
             calibration_iters *= 8;
         };
-        let budget = Duration::from_millis(50);
         let iters = if per_iter.is_zero() {
             self.iters_hint
         } else {
@@ -177,6 +215,12 @@ impl BenchmarkGroup<'_> {
                     iters,
                     rate
                 );
+                self.criterion.results.push(BenchResult {
+                    group: self.name.clone(),
+                    id: id.to_string(),
+                    ns_per_iter: per_iter * 1e9,
+                    iters,
+                });
             }
             _ => println!("{}/{}: no measurement recorded", self.name, id),
         }
@@ -192,12 +236,85 @@ impl BenchmarkGroup<'_> {
 #[derive(Default)]
 pub struct Criterion {
     benchmarks_run: usize,
+    results: Vec<BenchResult>,
+}
+
+/// Appends `s` to `out` as a JSON string literal.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl Criterion {
     /// Accepted for CLI compatibility with upstream; no-op.
     pub fn configure_from_args(self) -> Self {
         self
+    }
+
+    /// Every measurement recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders the recorded measurements as a JSON document
+    /// (`{"benchmarks": [{"group", "id", "ns_per_iter", "iters"}, ...]}`).
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"group\": ");
+            push_json_str(&mut out, &r.group);
+            out.push_str(", \"id\": ");
+            push_json_str(&mut out, &r.id);
+            let _ = write!(
+                out,
+                ", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+                r.ns_per_iter, r.iters
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes [`Criterion::summary_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.summary_json())
+    }
+
+    /// `criterion_main!` hook: writes the JSON summary to the path named
+    /// by `CRITERION_JSON`, if set. Failures print to stderr rather than
+    /// failing the bench run.
+    pub fn finalize_from_env(&self) {
+        if let Some(path) = std::env::var_os("CRITERION_JSON") {
+            if path.is_empty() {
+                return;
+            }
+            if let Err(e) = self.write_json(&path) {
+                eprintln!(
+                    "criterion shim: failed to write {}: {e}",
+                    path.to_string_lossy()
+                );
+            } else {
+                println!("criterion shim: wrote {}", path.to_string_lossy());
+            }
+        }
     }
 
     /// Opens a named benchmark group.
@@ -240,6 +357,7 @@ macro_rules! criterion_main {
         fn main() {
             let mut c = $crate::Criterion::default().configure_from_args();
             $($group(&mut c);)+
+            c.finalize_from_env();
         }
     };
 }
@@ -264,5 +382,30 @@ mod tests {
     fn ids_render_like_upstream() {
         assert_eq!(BenchmarkId::new("solve", 16).to_string(), "solve/16");
         assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_serialized() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("record");
+        group.bench_function("double", |b| b.iter(|| black_box(21_u64) * 2));
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.group, "record");
+        assert_eq!(r.id, "double");
+        assert!(r.ns_per_iter >= 0.0);
+        assert!(r.iters >= 1);
+        let json = c.summary_json();
+        assert!(json.contains("\"group\": \"record\""));
+        assert!(json.contains("\"id\": \"double\""));
+        assert!(json.contains("\"ns_per_iter\""));
+    }
+
+    #[test]
+    fn json_strings_escape_quotes_and_control_chars() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
     }
 }

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lb_bench::scaled_rates;
-use lb_game::best_reply::water_fill_flows;
+use lb_game::best_reply::{water_fill_flows, water_fill_flows_into, WaterFillScratch};
 use lb_game::gradient::exponentiated_gradient_flows;
 use std::hint::black_box;
 
@@ -37,9 +37,35 @@ fn bench_gradient_vs_closed_form(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scratch_reuse(c: &mut Criterion) {
+    // The allocation-free entry point the solver hot loop uses, against
+    // the allocating wrapper — the delta is exactly the per-call cost of
+    // allocating the sort-index and output buffers.
+    let mut group = c.benchmark_group("water_filling_scratch_reuse");
+    for n in [16, 256, 4096] {
+        let rates = scaled_rates(n);
+        let demand = rates.iter().sum::<f64>() * 0.6;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("alloc_per_call", n), &n, |b, _| {
+            b.iter(|| water_fill_flows(black_box(&rates), black_box(demand)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("reused_scratch", n), &n, |b, _| {
+            let mut scratch = WaterFillScratch::default();
+            let mut out = Vec::new();
+            b.iter(|| {
+                water_fill_flows_into(black_box(&rates), black_box(demand), &mut scratch, &mut out)
+                    .unwrap();
+                out[0]
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_water_filling_scaling,
-    bench_gradient_vs_closed_form
+    bench_gradient_vs_closed_form,
+    bench_scratch_reuse
 );
 criterion_main!(benches);

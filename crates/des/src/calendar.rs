@@ -91,7 +91,29 @@ impl<E> Calendar<E> {
         if id.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(id.0)
+        let fresh = self.cancelled.insert(id.0);
+        // Without compaction, tombstones (and the cancelled payloads deep
+        // in the heap) accumulate for the whole run: a tombstone for an
+        // already-popped id can never be matched and would live forever.
+        // Rebuilding once tombstones exceed half the heap keeps both
+        // structures O(live events) at amortized O(1) per cancel.
+        if fresh && self.cancelled.len() > self.heap.len() / 2 {
+            self.compact();
+        }
+        fresh
+    }
+
+    /// Rebuilds the heap without cancelled entries and drops every
+    /// tombstone (any that found no heap entry referred to an
+    /// already-popped id and is stale by construction). Afterwards
+    /// [`Calendar::len_upper_bound`] is exact.
+    fn compact(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|e| !self.cancelled.remove(&e.seq))
+            .collect();
+        self.cancelled.clear();
     }
 
     /// Removes cancelled entries from the top of the heap.
@@ -118,9 +140,18 @@ impl<E> Calendar<E> {
     }
 
     /// Number of entries currently stored, *including* not-yet-skipped
-    /// tombstoned ones (an upper bound on pending events).
+    /// tombstoned ones (an upper bound on pending events). Exact —
+    /// i.e. equal to the number of pending events — immediately after a
+    /// compaction, which runs whenever tombstones outnumber half the
+    /// heap, so the bound is never off by more than `len_upper_bound / 2`.
     pub fn len_upper_bound(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Number of tombstones currently buffered (diagnostic; bounded by
+    /// `len_upper_bound / 2` thanks to compaction).
+    pub fn tombstone_count(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Whether no pending (non-cancelled) events remain.
@@ -205,6 +236,66 @@ mod tests {
         assert_eq!(cal.pop(), Some((t(2.0), 2)));
         assert_eq!(cal.pop(), Some((t(5.0), 5)));
         assert_eq!(cal.pop(), Some((t(10.0), 10)));
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_the_heap() {
+        let mut cal = Calendar::new();
+        let ids: Vec<_> = (0..1000).map(|i| cal.schedule(t(i as f64), i)).collect();
+        // Cancel the first 501 events. The 501st tombstone exceeds half
+        // the heap (501 > 1000/2) and triggers a rebuild; throughout, the
+        // tombstone set stays bounded by half the heap.
+        for id in &ids[..501] {
+            assert!(cal.cancel(*id));
+            assert!(
+                cal.tombstone_count() <= cal.len_upper_bound() / 2,
+                "{} tombstones vs {} entries",
+                cal.tombstone_count(),
+                cal.len_upper_bound()
+            );
+        }
+        assert_eq!(cal.len_upper_bound(), 499, "bound exact after compaction");
+        assert_eq!(cal.tombstone_count(), 0, "tombstones flushed");
+        // The survivors still pop in chronological order.
+        for i in 501..1000 {
+            assert_eq!(cal.pop(), Some((t(i as f64), i)));
+        }
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn stale_tombstones_for_popped_events_do_not_leak() {
+        // Cancelling an already-popped id leaves a tombstone that can
+        // never match a heap entry; compaction must reclaim it instead of
+        // letting the set grow for the lifetime of the calendar.
+        let mut cal = Calendar::new();
+        for round in 0..100 {
+            let id = cal.schedule(t(round as f64), round);
+            assert_eq!(cal.pop(), Some((t(round as f64), round)));
+            cal.cancel(id); // stale: event already popped
+        }
+        assert_eq!(cal.len_upper_bound(), 0);
+        assert_eq!(cal.tombstone_count(), 0, "stale tombstones reclaimed");
+    }
+
+    #[test]
+    fn compaction_preserves_fifo_order_and_event_removal() {
+        let mut cal = Calendar::new();
+        let ids: Vec<_> = (0..8).map(|i| cal.schedule(t(1.0), i)).collect();
+        // Cancelling 5 of 8 crosses the half-heap threshold mid-loop, so
+        // compaction physically removes the cancelled entries; re-cancel
+        // of a compacted-away id is then indistinguishable from cancel of
+        // a popped id (best effort, like the pre-compaction behaviour for
+        // popped events), but the event itself stays gone and the
+        // survivors keep FIFO order.
+        for id in &ids[..5] {
+            assert!(cal.cancel(*id));
+        }
+        assert_eq!(cal.len_upper_bound(), 3);
+        for i in 5..8 {
+            assert_eq!(cal.pop(), Some((t(1.0), i)));
+        }
+        assert_eq!(cal.pop(), None);
     }
 
     #[test]

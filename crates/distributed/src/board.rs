@@ -68,14 +68,22 @@ impl LoadBoard {
 
     /// Total flow at each computer: `λ_i = Σ_j flow[j][i]`.
     pub fn total_flows(&self) -> Vec<f64> {
+        let mut totals = Vec::new();
+        self.total_flows_into(&mut totals);
+        totals
+    }
+
+    /// [`LoadBoard::total_flows`] written into a reused buffer, so the
+    /// per-token hot path of the ring runtime stays allocation-free.
+    pub fn total_flows_into(&self, totals: &mut Vec<f64>) {
+        totals.clear();
+        totals.resize(self.computers, 0.0);
         let guard = self.flows.read();
-        let mut totals = vec![0.0; self.computers];
         for row in guard.iter() {
             for (t, &x) in totals.iter_mut().zip(row) {
                 *t += x;
             }
         }
-        totals
     }
 
     /// Total flow at each computer *excluding* user `j`'s contribution —
@@ -85,9 +93,21 @@ impl LoadBoard {
     ///
     /// Panics on a bad index.
     pub fn flows_excluding(&self, j: usize) -> Vec<f64> {
+        let mut totals = Vec::new();
+        self.flows_excluding_into(j, &mut totals);
+        totals
+    }
+
+    /// [`LoadBoard::flows_excluding`] written into a reused buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index.
+    pub fn flows_excluding_into(&self, j: usize, totals: &mut Vec<f64>) {
         assert!(j < self.users, "user index {j}");
+        totals.clear();
+        totals.resize(self.computers, 0.0);
         let guard = self.flows.read();
-        let mut totals = vec![0.0; self.computers];
         for (k, row) in guard.iter().enumerate() {
             if k == j {
                 continue;
@@ -96,12 +116,22 @@ impl LoadBoard {
                 *t += x;
             }
         }
-        totals
     }
 
     /// Snapshot of user `j`'s current row.
     pub fn row(&self, j: usize) -> Vec<f64> {
         self.flows.read()[j].clone()
+    }
+
+    /// [`LoadBoard::row`] copied into a reused buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad index.
+    pub fn row_into(&self, j: usize, out: &mut Vec<f64>) {
+        let guard = self.flows.read();
+        out.clear();
+        out.extend_from_slice(&guard[j]);
     }
 
     /// Zeroes user `j`'s row. The runtime calls this when it declares a
@@ -154,6 +184,22 @@ mod tests {
         assert_eq!(b.flows_excluding(0), vec![0.5, 0.0]);
         assert_eq!(b.flows_excluding(1), vec![1.0, 2.0]);
         assert_eq!(b.row(0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        let b = LoadBoard::new(2, 2);
+        b.publish(0, &[1.0, 2.0]);
+        b.publish(1, &[0.5, 0.0]);
+        // Buffers carry garbage of the wrong length; every call must
+        // leave exactly the same contents as the allocating variant.
+        let mut buf = vec![9.0; 5];
+        b.total_flows_into(&mut buf);
+        assert_eq!(buf, b.total_flows());
+        b.flows_excluding_into(1, &mut buf);
+        assert_eq!(buf, b.flows_excluding(1));
+        b.row_into(0, &mut buf);
+        assert_eq!(buf, b.row(0));
     }
 
     #[test]

@@ -225,9 +225,10 @@ impl DistributedNash {
         // with earlier users' round-0 publishes.
         let initial_d: Vec<f64> = {
             let totals = board.total_flows();
+            let mut row = Vec::with_capacity(n);
             (0..m)
                 .map(|j| {
-                    let row = board.row(j);
+                    board.row_into(j, &mut row);
                     let phi = model.user_rate(j);
                     row.iter()
                         .enumerate()
@@ -276,6 +277,9 @@ impl DistributedNash {
                 initial_d: initial_d[j],
                 faults: Arc::clone(&self.faults),
                 stop: Arc::clone(&stop),
+                scratch_others: Vec::with_capacity(n),
+                scratch_totals: Vec::with_capacity(n),
+                scratch_row: Vec::with_capacity(n),
             };
             handles.push(
                 thread::Builder::new()
@@ -823,6 +827,11 @@ struct UserContext {
     initial_d: f64,
     faults: Arc<FaultPlan>,
     stop: Arc<AtomicBool>,
+    // Board-read buffers reused across token rounds so the steady-state
+    // update loop performs no per-token allocations.
+    scratch_others: Vec<f64>,
+    scratch_totals: Vec<f64>,
+    scratch_row: Vec<f64>,
 }
 
 fn user_main(mut ctx: UserContext) {
@@ -910,8 +919,9 @@ fn handle_token(
                 _ => None,
             };
             let avail = avail.unwrap_or_else(|| {
-                let others = ctx.board.flows_excluding(ctx.user);
-                ctx.observer.observe(&ctx.mu, &others)
+                ctx.board
+                    .flows_excluding_into(ctx.user, &mut ctx.scratch_others);
+                ctx.observer.observe(&ctx.mu, &ctx.scratch_others)
             });
             match water_fill_flows(&avail, ctx.phi) {
                 Ok(flows) => {
@@ -968,8 +978,8 @@ fn handle_token(
         }
         _ => {
             // Terminate lap: report and (unless tail) forward.
-            let row = ctx.board.row(ctx.user);
-            let fractions: Vec<f64> = row.iter().map(|x| x / ctx.phi).collect();
+            ctx.board.row_into(ctx.user, &mut ctx.scratch_row);
+            let fractions: Vec<f64> = ctx.scratch_row.iter().map(|x| x / ctx.phi).collect();
             let _ = ctx.events.send(Event::Report(FinalReport {
                 user: ctx.user,
                 fractions,
@@ -1019,14 +1029,15 @@ fn forward_token(ctx: &mut UserContext, pending: &mut Option<Token>, token: Toke
 }
 
 /// The user's actual expected response time given the *true* board state.
-fn response_time_from_board(ctx: &UserContext) -> f64 {
-    let totals = ctx.board.total_flows();
-    let own = ctx.board.row(ctx.user);
+/// Reads the board through the context's scratch buffers (no allocation).
+fn response_time_from_board(ctx: &mut UserContext) -> f64 {
+    ctx.board.total_flows_into(&mut ctx.scratch_totals);
+    ctx.board.row_into(ctx.user, &mut ctx.scratch_row);
     let mut d = 0.0;
     for i in 0..ctx.mu.len() {
-        if own[i] > 0.0 {
-            let f = lb_queueing::mm1::response_time(totals[i], ctx.mu[i]);
-            d += own[i] / ctx.phi * f;
+        if ctx.scratch_row[i] > 0.0 {
+            let f = lb_queueing::mm1::response_time(ctx.scratch_totals[i], ctx.mu[i]);
+            d += ctx.scratch_row[i] / ctx.phi * f;
         }
     }
     d

@@ -1,0 +1,236 @@
+//! The `bench` subcommand: an in-process performance harness over the
+//! criterion shim.
+//!
+//! Runs a curated set of solver and simulator benchmarks — the Table-1
+//! Nash solves, the water-filling hot path with and without scratch
+//! reuse, a ≥30-replication DES fan-out sequential vs parallel, and one
+//! Jacobi sweep sequential vs parallel — and writes a machine-readable
+//! summary (`BENCH_nash.json`) with nanoseconds per iteration for every
+//! benchmark plus the measured parallel-vs-sequential speedups.
+//!
+//! Speedups are *recorded*, never asserted: on a single-core runner the
+//! parallel paths legitimately measure ≈1× (or slightly below, from
+//! thread setup), and the numbers are still useful as a regression
+//! record for the sequential hot paths.
+
+use criterion::Criterion;
+use lb_game::best_reply::{water_fill_flows, water_fill_flows_into, WaterFillScratch};
+use lb_game::error::GameError;
+use lb_game::model::SystemModel;
+use lb_game::nash::{jacobi_round, Initialization, NashSolver};
+use lb_game::schemes::{LoadBalancingScheme, ProportionalScheme};
+use lb_sim::harness::simulate_profile_with;
+use lb_sim::parallel::ParallelRunner;
+use lb_sim::scenario::SimulationConfig;
+use lb_stats::ReplicationPlan;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File name of the machine-readable summary written under `--out`.
+pub const BENCH_FILE: &str = "BENCH_nash.json";
+
+/// Replications for the DES fan-out benchmark (the ISSUE floor is 30).
+const SIM_REPLICATIONS: u32 = 30;
+
+/// Table-1 Nash solves at the paper's medium load, both initializations.
+fn bench_nash(c: &mut Criterion) -> Result<(), GameError> {
+    let model = SystemModel::table1_system(0.6)?;
+    let mut g = c.benchmark_group("nash_table1_rho60");
+    g.bench_function("NASH_0", |b| {
+        let solver = NashSolver::new(Initialization::Zero);
+        b.iter(|| solver.solve(&model).expect("NASH_0 solve"));
+    });
+    g.bench_function("NASH_P", |b| {
+        let solver = NashSolver::new(Initialization::Proportional);
+        b.iter(|| solver.solve(&model).expect("NASH_P solve"));
+    });
+    g.finish();
+    Ok(())
+}
+
+/// The water-filling best reply with a fresh allocation per call vs the
+/// reused-scratch entry point the solver hot loop uses.
+fn bench_water_fill(c: &mut Criterion) {
+    let n = 256;
+    let rates: Vec<f64> = (0..n).map(|i| 10.0 + (i % 17) as f64).collect();
+    let demand = 0.6 * rates.iter().sum::<f64>();
+    let mut g = c.benchmark_group("water_fill_n256");
+    g.bench_function("alloc_per_call", |b| {
+        b.iter(|| water_fill_flows(&rates, demand).expect("feasible"));
+    });
+    g.bench_function("reused_scratch", |b| {
+        let mut scratch = WaterFillScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            water_fill_flows_into(&rates, demand, &mut scratch, &mut out).expect("feasible");
+            out[0]
+        });
+    });
+    g.finish();
+}
+
+/// DES replication fan-out: the same 30-replication run through the
+/// sequential runner and through [`ParallelRunner::from_env`].
+fn bench_simulation(c: &mut Criterion) -> Result<(), GameError> {
+    let model = SystemModel::new(vec![10.0, 20.0], vec![6.0, 6.0])?;
+    let profile = ProportionalScheme.compute(&model)?;
+    let plan = ReplicationPlan {
+        replications: SIM_REPLICATIONS,
+        ..ReplicationPlan::paper()
+    };
+    let config = SimulationConfig {
+        target_jobs: 4_000,
+        ..SimulationConfig::quick()
+    };
+    let mut g = c.benchmark_group("simulate_profile_reps30");
+    g.bench_function("sequential", |b| {
+        let runner = ParallelRunner::sequential();
+        b.iter(|| {
+            simulate_profile_with(&runner, &model, &profile, &plan, config)
+                .expect("simulation")
+                .system_summary
+                .mean
+        });
+    });
+    g.bench_function("parallel", |b| {
+        let runner = ParallelRunner::from_env();
+        b.iter(|| {
+            simulate_profile_with(&runner, &model, &profile, &plan, config)
+                .expect("simulation")
+                .system_summary
+                .mean
+        });
+    });
+    g.finish();
+    Ok(())
+}
+
+/// One synchronous best-reply round (Jacobi) over the Table-1 system,
+/// sequential vs the thread count [`ParallelRunner::from_env`] picks.
+fn bench_jacobi(c: &mut Criterion) -> Result<(), GameError> {
+    let model = SystemModel::table1_system(0.6)?;
+    let profile = ProportionalScheme.compute(&model)?;
+    let auto_threads = ParallelRunner::from_env().threads();
+    let mut g = c.benchmark_group("jacobi_round_table1");
+    g.bench_function("threads_1", |b| {
+        b.iter(|| jacobi_round(&model, &profile, 1).expect("round"));
+    });
+    g.bench_function("threads_auto", |b| {
+        b.iter(|| jacobi_round(&model, &profile, auto_threads).expect("round"));
+    });
+    g.finish();
+    Ok(())
+}
+
+/// Looks up a recorded measurement.
+fn ns_of(c: &Criterion, group: &str, id: &str) -> Option<f64> {
+    c.results()
+        .iter()
+        .find(|r| r.group == group && r.id == id)
+        .map(|r| r.ns_per_iter)
+}
+
+/// Renders the full summary: every benchmark's ns/iter plus the measured
+/// parallel-vs-sequential speedups and the thread count they used.
+fn summary_json(c: &Criterion) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"threads\": {},",
+        ParallelRunner::from_env().threads()
+    );
+    out.push_str("  \"benchmarks\": [");
+    for (i, r) in c.results().iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+            r.group, r.id, r.ns_per_iter, r.iters
+        );
+    }
+    out.push_str("\n  ],\n  \"speedups\": {");
+    let pairs = [
+        (
+            "simulate_profile_parallel_vs_sequential",
+            "simulate_profile_reps30",
+            "sequential",
+            "parallel",
+        ),
+        (
+            "jacobi_round_parallel_vs_sequential",
+            "jacobi_round_table1",
+            "threads_1",
+            "threads_auto",
+        ),
+    ];
+    let mut first = true;
+    for (name, group, seq, par) in pairs {
+        if let (Some(s), Some(p)) = (ns_of(c, group, seq), ns_of(c, group, par)) {
+            if p > 0.0 {
+                out.push_str(if first { "\n" } else { ",\n" });
+                first = false;
+                let _ = write!(out, "    \"{}\": {:.3}", name, s / p);
+            }
+        }
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Runs every benchmark group and writes [`BENCH_FILE`] under `out_dir`.
+///
+/// # Errors
+///
+/// A human-readable message on model/solver failures or I/O errors.
+pub fn run(out_dir: &Path) -> Result<PathBuf, String> {
+    let mut c = Criterion::default();
+    bench_nash(&mut c).map_err(|e| format!("nash bench: {e}"))?;
+    bench_water_fill(&mut c);
+    bench_simulation(&mut c).map_err(|e| format!("simulation bench: {e}"))?;
+    bench_jacobi(&mut c).map_err(|e| format!("jacobi bench: {e}"))?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let path = out_dir.join(BENCH_FILE);
+    std::fs::write(&path, summary_json(&c))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_run_emits_machine_readable_summary() {
+        // Shrink the measurement windows so this stays a smoke test; the
+        // other lb-experiments tests never read this variable.
+        std::env::set_var("CRITERION_QUICK", "1");
+        let dir = std::env::temp_dir().join("lb_bench_smoke_test");
+        let path = run(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), BENCH_FILE);
+        let json = std::fs::read_to_string(&path).unwrap();
+        for needle in [
+            "\"threads\":",
+            "\"group\": \"nash_table1_rho60\"",
+            "\"id\": \"NASH_P\"",
+            "\"group\": \"water_fill_n256\"",
+            "\"id\": \"reused_scratch\"",
+            "\"group\": \"simulate_profile_reps30\"",
+            "\"group\": \"jacobi_round_table1\"",
+            "\"simulate_profile_parallel_vs_sequential\":",
+            "\"jacobi_round_parallel_vs_sequential\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // ns_per_iter figures must be positive numbers.
+        for line in json.lines().filter(|l| l.contains("ns_per_iter")) {
+            let v: f64 = line
+                .split("\"ns_per_iter\": ")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(v > 0.0, "non-positive measurement in {line}");
+        }
+    }
+}

@@ -758,16 +758,22 @@ pub fn server_churn(replications: u32) -> Result<Vec<ChurnRow>, GameError> {
         ),
     ];
     let reps = replications.max(1);
+    let runner = lb_sim::parallel::ParallelRunner::from_env();
     let mut rows = Vec::new();
     for (label, policy) in policies {
+        // Churn replications are pure functions of their seed; fan them
+        // out and fold in replication order (byte-identical to the old
+        // sequential loop).
+        let results = runner.try_run(reps as usize, |seed| {
+            run_churn_replication(&model, &phases, policy, backoff, 100.0, 4000 + seed as u64)
+        })?;
         let mut measured = 0.0;
         let mut measured_shed = 0.0;
         let mut predicted = 0.0;
         let mut predicted_shed = 0.0;
         let mut lost = 0;
         let mut retries = 0;
-        for seed in 0..reps as u64 {
-            let r = run_churn_replication(&model, &phases, policy, backoff, 100.0, 4000 + seed)?;
+        for r in results {
             measured += r.measured_mean;
             measured_shed += r.shed_fraction;
             predicted = r.predicted_mean;

@@ -9,7 +9,7 @@
 use lb_experiments::cli::{self, Options};
 use lb_experiments::fig4::SimOptions;
 use lb_experiments::report::Table;
-use lb_experiments::{beyond, config, fig2, fig3, fig4, fig5, fig6, table1};
+use lb_experiments::{bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -126,6 +126,10 @@ fn run(opts: &Options) -> Result<(), String> {
                 let rows =
                     beyond::server_churn(opts.replications.min(5)).map_err(|e| e.to_string())?;
                 emit(&beyond::render_churn(&rows), &opts.out, "ext_churn")?;
+            }
+            "bench" => {
+                let path = bench::run(&opts.out)?;
+                println!("[bench] {}", path.display());
             }
             other => return Err(format!("unknown command `{other}`\n{}", cli::usage())),
         }

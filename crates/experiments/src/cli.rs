@@ -7,7 +7,8 @@ use std::path::PathBuf;
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
-    /// Subcommand (`table1`, `fig2`…`fig6`, `all`, `ext`, `ext-*`).
+    /// Subcommand (`table1`, `fig2`…`fig6`, `all`, `ext`, `ext-*`,
+    /// `bench`).
     pub command: String,
     /// Whether to run the DES alongside the analytic path.
     pub simulate: bool,
@@ -22,7 +23,7 @@ pub struct Options {
 /// The usage string.
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
-     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn> \
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|bench> \
      [--simulate] [--jobs N] [--replications R] [--out DIR]"
         .to_string()
 }
@@ -150,6 +151,7 @@ mod tests {
         for c in expand_command("all")
             .iter()
             .chain(expand_command("ext").iter())
+            .chain(["bench"].iter())
         {
             assert!(u.contains(c), "usage missing {c}");
         }

@@ -18,6 +18,7 @@ use lb_game::schemes::{
     ProportionalScheme,
 };
 use lb_sim::harness::simulate_profile;
+use lb_sim::parallel::ParallelRunner;
 use lb_sim::scenario::SimulationConfig;
 use lb_stats::ReplicationPlan;
 
@@ -144,22 +145,23 @@ impl Fig4Point {
     }
 }
 
-/// Runs the Figure 4 sweep, optionally with simulation.
+/// Runs the Figure 4 sweep, optionally with simulation. The nine
+/// utilization points are independent, so they fan out over
+/// [`ParallelRunner::from_env`]; results come back in sweep order, so
+/// the output is identical to the sequential loop.
 ///
 /// # Errors
 ///
 /// Propagates model/scheme/simulation failures.
 pub fn run(sim: Option<SimOptions>) -> Result<Vec<Fig4Point>, GameError> {
-    UTILIZATION_SWEEP
-        .iter()
-        .map(|&rho| {
-            let model = SystemModel::table1_system(rho)?;
-            Ok(Fig4Point {
-                rho,
-                rows: evaluate_schemes(&model, sim)?,
-            })
+    ParallelRunner::from_env().try_run(UTILIZATION_SWEEP.len(), |idx| {
+        let rho = UTILIZATION_SWEEP[idx];
+        let model = SystemModel::table1_system(rho)?;
+        Ok(Fig4Point {
+            rho,
+            rows: evaluate_schemes(&model, sim)?,
         })
-        .collect()
+    })
 }
 
 /// Renders the response-time panel of Figure 4.

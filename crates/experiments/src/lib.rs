@@ -15,7 +15,9 @@
 //!
 //! [`beyond`] adds four extension experiments grounded in the paper's
 //! future-work section (service-distribution robustness, Stackelberg
-//! leaders, dynamic re-equilibration, observation noise).
+//! leaders, dynamic re-equilibration, observation noise). [`bench`] is
+//! the `bench` subcommand: a curated perf harness over the criterion
+//! shim that writes the machine-readable `BENCH_nash.json` summary.
 //!
 //! Every experiment has an **analytic** path (closed-form response times
 //! under the computed profiles; deterministic) and, where the paper used
@@ -26,6 +28,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bench;
 pub mod beyond;
 pub mod cli;
 pub mod config;

@@ -85,6 +85,34 @@ pub fn available_rates(
 /// * [`GameError::InfeasibleBestReply`] when `Σ max(rates_i, 0) <= demand`
 ///   (not enough capacity).
 pub fn water_fill_flows(rates: &[f64], demand: f64) -> Result<Vec<f64>, GameError> {
+    let mut scratch = WaterFillScratch::default();
+    let mut flows = Vec::new();
+    water_fill_flows_into(rates, demand, &mut scratch, &mut flows)?;
+    Ok(flows)
+}
+
+/// Reusable scratch for [`water_fill_flows_into`]. Holding one of these
+/// across calls keeps the sort-index buffer warm so the kernel performs
+/// no heap allocations on the solver hot path.
+#[derive(Debug, Default, Clone)]
+pub struct WaterFillScratch {
+    order: Vec<usize>,
+}
+
+/// Allocation-free form of [`water_fill_flows`]: writes the per-server
+/// flows into `out` (cleared and resized to `rates.len()`), reusing the
+/// sort-index buffer in `scratch`. Bit-identical to the allocating entry
+/// point — same comparisons, same summation order.
+///
+/// # Errors
+///
+/// Same contract as [`water_fill_flows`].
+pub fn water_fill_flows_into(
+    rates: &[f64],
+    demand: f64,
+    scratch: &mut WaterFillScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), GameError> {
     if !demand.is_finite() || demand <= 0.0 {
         return Err(GameError::InvalidRate {
             name: "demand",
@@ -101,7 +129,9 @@ pub fn water_fill_flows(rates: &[f64], demand: f64) -> Result<Vec<f64>, GameErro
     }
     // Usable computers, sorted by available rate descending (ties by index
     // for determinism) — step 1 of OPTIMAL.
-    let mut order: Vec<usize> = (0..rates.len()).filter(|&i| rates[i] > 0.0).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend((0..rates.len()).filter(|&i| rates[i] > 0.0));
     order.sort_by(|&p, &q| {
         rates[q]
             .partial_cmp(&rates[p])
@@ -137,7 +167,9 @@ pub fn water_fill_flows(rates: &[f64], demand: f64) -> Result<Vec<f64>, GameErro
     // guard so cancellation can never park a flow within an ulp of its
     // rate.
     let cap = |a: f64| a * (1.0 - SATURATION_GUARD);
-    let mut flows = vec![0.0; rates.len()];
+    out.clear();
+    out.resize(rates.len(), 0.0);
+    let flows = out;
     for &i in &order[..c] {
         flows[i] = (rates[i] - t * rates[i].sqrt()).max(0.0).min(cap(rates[i]));
     }
@@ -164,7 +196,7 @@ pub fn water_fill_flows(rates: &[f64], demand: f64) -> Result<Vec<f64>, GameErro
             }
         }
     }
-    Ok(flows)
+    Ok(())
 }
 
 /// Computes user `j`'s best reply to the rest of `profile` — the OPTIMAL
@@ -532,6 +564,33 @@ mod tests {
             let d = user_response_time(&model, profile, j).unwrap();
             assert!(d.is_finite() && d > 0.0, "user {j} response {d}");
         }
+    }
+
+    #[test]
+    fn scratch_variant_is_bit_identical_and_reusable() {
+        let mut scratch = WaterFillScratch::default();
+        let mut out = Vec::new();
+        // Reuse the same scratch and output buffer across differently
+        // shaped calls; every result must match the allocating kernel
+        // bit for bit.
+        let cases: &[(&[f64], f64)] = &[
+            (&[10.0, 20.0, 50.0], 40.0),
+            (&[100.0, 1.0], 0.5),
+            (&[10.0, -5.0, 0.0, 10.0], 4.0),
+            (&[7.0, 13.0, 29.0, 61.0, 3.0, 91.0], 150.0),
+            (&[10.0], 4.0),
+        ];
+        for &(rates, demand) in cases {
+            let fresh = water_fill_flows(rates, demand).unwrap();
+            water_fill_flows_into(rates, demand, &mut scratch, &mut out).unwrap();
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rates {rates:?} demand {demand}");
+            }
+        }
+        // Errors propagate identically too.
+        assert!(water_fill_flows_into(&[1.0, 2.0], 3.0, &mut scratch, &mut out).is_err());
+        assert!(water_fill_flows_into(&[1.0], f64::NAN, &mut scratch, &mut out).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! in every configuration tested. A randomized-order variant is also
 //! available; it behaves like round-robin.
 
+use crate::best_reply::{water_fill_flows_into, WaterFillScratch};
 use crate::error::GameError;
 use crate::model::SystemModel;
 use crate::response::user_response_times;
@@ -67,6 +68,7 @@ pub struct NashSolver {
     order: UpdateOrder,
     tolerance: f64,
     max_iterations: u32,
+    threads: usize,
 }
 
 impl NashSolver {
@@ -78,6 +80,7 @@ impl NashSolver {
             order: UpdateOrder::GaussSeidel,
             tolerance: 1e-4,
             max_iterations: 500,
+            threads: 1,
         }
     }
 
@@ -99,6 +102,18 @@ impl NashSolver {
         self
     }
 
+    /// Number of worker threads for the Jacobi sweep (clamped to ≥ 1).
+    ///
+    /// Only the Jacobi order parallelizes: its replies are all computed
+    /// against the frozen previous round, so each is a pure function of
+    /// that snapshot and the fan-out is bit-identical to the sequential
+    /// sweep at any thread count. Gauss–Seidel is inherently sequential
+    /// (each user sees earlier users' updates) and ignores this knob.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Runs the best-reply iteration to a Nash equilibrium.
     ///
     /// # Errors
@@ -110,16 +125,23 @@ impl NashSolver {
     pub fn solve(&self, model: &SystemModel) -> Result<NashOutcome, GameError> {
         let m = model.num_users();
         let n = model.num_computers();
+        let jacobi = matches!(self.order, UpdateOrder::Jacobi);
+        let mut ws = Workspace::new(m, n, jacobi);
 
-        // Working rows: None = "not yet initialized" (the NASH_0 state in
-        // which a user contributes no flow).
-        let mut rows: Vec<Option<Strategy>> = match &self.init {
-            Initialization::Zero => vec![None; m],
+        // Seed the flow matrix. A row of zeros with `active = false` is
+        // the NASH_0 "not yet initialized" state in which a user
+        // contributes no flow.
+        match &self.init {
+            Initialization::Zero => {}
             Initialization::Proportional => {
                 let total: f64 = model.computer_rates().iter().sum();
-                let prop =
-                    Strategy::new(model.computer_rates().iter().map(|mu| mu / total).collect())?;
-                vec![Some(prop); m]
+                for j in 0..m {
+                    let phi = model.user_rate(j);
+                    for (x, mu) in ws.flows[j].iter_mut().zip(model.computer_rates()) {
+                        *x = mu / total * phi;
+                    }
+                    ws.active[j] = true;
+                }
             }
             Initialization::Custom(p) => {
                 // Report whichever dimension actually mismatched — a
@@ -137,53 +159,87 @@ impl NashSolver {
                         actual: p.num_computers(),
                     });
                 }
-                p.strategies().iter().cloned().map(Some).collect()
+                for j in 0..m {
+                    let phi = model.user_rate(j);
+                    let s = p.strategy(j);
+                    for (i, x) in ws.flows[j].iter_mut().enumerate() {
+                        *x = s.fraction(i) * phi;
+                    }
+                    ws.active[j] = true;
+                }
             }
         };
 
         // D_j of the current profile (0 for uninitialized users, matching
         // the paper's zero start).
-        let mut prev_d = current_user_times(model, &rows);
+        ws.refresh_loads();
+        for j in 0..m {
+            ws.prev_d[j] = row_time(model, &ws.loads, &ws.flows[j], model.user_rate(j));
+        }
         let mut trace = IterationTrace::new();
 
         for iter in 0..self.max_iterations {
             let norm = match self.order {
                 UpdateOrder::GaussSeidel | UpdateOrder::RandomPermutation(_) => {
-                    let order: Vec<usize> = match self.order {
+                    match self.order {
                         UpdateOrder::RandomPermutation(seed) => {
-                            shuffled_users(m, seed ^ u64::from(iter))
+                            shuffled_users_into(&mut ws.sweep_order, m, seed ^ u64::from(iter));
                         }
-                        _ => (0..m).collect(),
-                    };
+                        _ => {
+                            ws.sweep_order.clear();
+                            ws.sweep_order.extend(0..m);
+                        }
+                    }
+                    // One exact O(mn) refresh per sweep bounds the drift
+                    // of the O(n) incremental load updates below.
+                    ws.refresh_loads();
                     let mut norm = 0.0;
-                    for &j in &order {
-                        let br = partial_best_reply(model, &rows, j)?;
-                        rows[j] = Some(br);
-                        let d_new = user_time(model, &rows, j);
-                        norm += (d_new - prev_d[j]).abs();
-                        prev_d[j] = d_new;
+                    for idx in 0..m {
+                        let j = ws.sweep_order[idx];
+                        let d_new = ws.update_user(model, j)?;
+                        norm += (d_new - ws.prev_d[j]).abs();
+                        ws.prev_d[j] = d_new;
                     }
                     norm
                 }
                 UpdateOrder::Jacobi => {
-                    let replies: Vec<Strategy> = (0..m)
-                        .map(|j| partial_best_reply(model, &rows, j))
-                        .collect::<Result<_, _>>()?;
-                    for (row, br) in rows.iter_mut().zip(replies) {
-                        *row = Some(br);
+                    // All replies answer the frozen previous round, so
+                    // they are independent and (optionally) fan out
+                    // across threads bit-identically.
+                    ws.refresh_loads();
+                    if self.threads > 1 && m > 1 {
+                        jacobi_replies_parallel(
+                            model,
+                            &ws.flows,
+                            &ws.loads,
+                            &mut ws.next_flows,
+                            self.threads,
+                        )?;
+                    } else {
+                        jacobi_replies_sequential(
+                            model,
+                            &ws.flows,
+                            &ws.loads,
+                            &mut ws.avail,
+                            &mut ws.wf,
+                            &mut ws.next_flows,
+                        )?;
                     }
+                    std::mem::swap(&mut ws.flows, &mut ws.next_flows);
+                    ws.active.fill(true);
+                    ws.refresh_loads();
                     let mut norm = 0.0;
-                    for (j, prev) in prev_d.iter_mut().enumerate() {
-                        let d_new = user_time(model, &rows, j);
-                        norm += (d_new - *prev).abs();
-                        *prev = d_new;
+                    for j in 0..m {
+                        let d_new = row_time(model, &ws.loads, &ws.flows[j], model.user_rate(j));
+                        norm += (d_new - ws.prev_d[j]).abs();
+                        ws.prev_d[j] = d_new;
                     }
                     norm
                 }
             };
             trace.push(norm);
             if norm <= self.tolerance {
-                let profile = assemble(rows)?;
+                let profile = ws.assemble(model)?;
                 let user_times = user_response_times(model, &profile)?;
                 return Ok(NashOutcome {
                     profile,
@@ -244,28 +300,113 @@ impl NashOutcome {
     }
 }
 
-/// Best reply of user `j` against partially initialized rows: users with
-/// `None` rows contribute no flow (the NASH_0 start state).
-fn partial_best_reply(
-    model: &SystemModel,
-    rows: &[Option<Strategy>],
-    j: usize,
-) -> Result<Strategy, GameError> {
-    // Available rates: mu_i minus flows of *other, initialized* users.
-    let mut avail: Vec<f64> = model.computer_rates().to_vec();
-    for (k, row) in rows.iter().enumerate() {
-        if k == j {
-            continue;
+/// Persistent solver scratch: one allocation set at `solve` entry, zero
+/// heap traffic per sweep. Rows hold *absolute* flows `x_ji = s_ji φ_j`;
+/// `loads` caches the per-computer aggregates `Σ_k x_ki` so each user
+/// update costs O(n) (subtract the old row, solve, add the new row)
+/// instead of the old O(mn) recompute.
+struct Workspace {
+    /// Per-user absolute flow rows (`m × n`).
+    flows: Vec<Vec<f64>>,
+    /// Whether a user has played at least once (NASH_0 starts all-false).
+    active: Vec<bool>,
+    /// Aggregate flow per computer over all rows.
+    loads: Vec<f64>,
+    /// Scratch: available rates seen by the updating user.
+    avail: Vec<f64>,
+    /// Scratch: water-filling output row.
+    reply: Vec<f64>,
+    /// Reusable sort-index buffer for the water-filling kernel.
+    wf: WaterFillScratch,
+    /// Reusable sweep-order buffer (identity or shuffled).
+    sweep_order: Vec<usize>,
+    /// `D_j` after each user's latest update (the norm's reference).
+    prev_d: Vec<f64>,
+    /// Jacobi double buffer (empty rows unless the order is Jacobi).
+    next_flows: Vec<Vec<f64>>,
+}
+
+impl Workspace {
+    fn new(m: usize, n: usize, jacobi: bool) -> Self {
+        Self {
+            flows: vec![vec![0.0; n]; m],
+            active: vec![false; m],
+            loads: vec![0.0; n],
+            avail: vec![0.0; n],
+            reply: Vec::with_capacity(n),
+            wf: WaterFillScratch::default(),
+            sweep_order: Vec::with_capacity(m),
+            prev_d: vec![0.0; m],
+            next_flows: if jacobi {
+                vec![vec![0.0; n]; m]
+            } else {
+                Vec::new()
+            },
         }
-        if let Some(s) = row {
-            let phi = model.user_rate(k);
-            for (a, f) in avail.iter_mut().zip(s.fractions()) {
-                *a -= f * phi;
+    }
+
+    /// Recomputes `loads` exactly from the rows (fixed row order, so the
+    /// result is deterministic and incremental drift cannot accumulate
+    /// across sweeps).
+    fn refresh_loads(&mut self) {
+        self.loads.fill(0.0);
+        for row in &self.flows {
+            for (l, &x) in self.loads.iter_mut().zip(row) {
+                *l += x;
             }
         }
     }
-    let phi_j = model.user_rate(j);
-    let flows = crate::best_reply::water_fill_flows(&avail, phi_j).map_err(|e| match e {
+
+    /// Gauss–Seidel step for user `j`: O(n) incremental availability,
+    /// water-fill into the reuse buffer, O(n) load patch, row swap.
+    /// Returns the user's new `D_j`.
+    fn update_user(&mut self, model: &SystemModel, j: usize) -> Result<f64, GameError> {
+        let n = self.loads.len();
+        let phi = model.user_rate(j);
+        for i in 0..n {
+            self.avail[i] = model.computer_rate(i) - (self.loads[i] - self.flows[j][i]);
+        }
+        water_fill_flows_into(&self.avail, phi, &mut self.wf, &mut self.reply)
+            .map_err(|e| rename_infeasible(e, j))?;
+        for i in 0..n {
+            self.loads[i] += self.reply[i] - self.flows[j][i];
+        }
+        std::mem::swap(&mut self.flows[j], &mut self.reply);
+        self.active[j] = true;
+        Ok(row_time(model, &self.loads, &self.flows[j], phi))
+    }
+
+    /// Converts the flow rows back into a strategy profile.
+    fn assemble(&self, model: &SystemModel) -> Result<StrategyProfile, GameError> {
+        let mut rows = Vec::with_capacity(self.flows.len());
+        for (j, row) in self.flows.iter().enumerate() {
+            if !self.active[j] {
+                return Err(GameError::InfeasibleStrategy {
+                    reason: "user never initialized".into(),
+                });
+            }
+            let phi = model.user_rate(j);
+            rows.push(Strategy::new(row.iter().map(|x| x / phi).collect())?);
+        }
+        StrategyProfile::new(rows)
+    }
+}
+
+/// `D_j` of the flow row `row` given the current aggregate `loads`
+/// (zero rows — uninitialized users — naturally cost 0).
+fn row_time(model: &SystemModel, loads: &[f64], row: &[f64], phi: f64) -> f64 {
+    let mut d = 0.0;
+    for (i, &x) in row.iter().enumerate() {
+        if x > 0.0 {
+            d += x / phi * lb_queueing::mm1::response_time(loads[i], model.computer_rate(i));
+        }
+    }
+    d
+}
+
+/// Restamps an infeasible-best-reply error with the updating user.
+fn rename_infeasible(e: GameError, j: usize) -> GameError {
+    match e {
         GameError::InfeasibleBestReply {
             available, demand, ..
         } => GameError::InfeasibleBestReply {
@@ -274,37 +415,149 @@ fn partial_best_reply(
             demand,
         },
         other => other,
-    })?;
-    Strategy::new(flows.iter().map(|x| x / phi_j).collect())
+    }
 }
 
-/// `D_j` under partially initialized rows (0 for an uninitialized user).
-fn user_time(model: &SystemModel, rows: &[Option<Strategy>], j: usize) -> f64 {
-    let Some(own) = rows[j].as_ref() else {
-        return 0.0;
-    };
-    let mut flows = vec![0.0; model.num_computers()];
-    for (k, row) in rows.iter().enumerate() {
-        if let Some(s) = row {
-            let phi = model.user_rate(k);
-            for (total, f) in flows.iter_mut().zip(s.fractions()) {
-                *total += f * phi;
+/// The sequential twin of [`jacobi_replies_parallel`]: same per-user
+/// kernel against the same frozen snapshot, using the shared workspace
+/// scratch so the sweep stays allocation-free.
+fn jacobi_replies_sequential(
+    model: &SystemModel,
+    flows: &[Vec<f64>],
+    loads: &[f64],
+    avail: &mut [f64],
+    wf: &mut WaterFillScratch,
+    next: &mut [Vec<f64>],
+) -> Result<(), GameError> {
+    let n = loads.len();
+    for (j, out_row) in next.iter_mut().enumerate() {
+        for i in 0..n {
+            avail[i] = model.computer_rate(i) - (loads[i] - flows[j][i]);
+        }
+        water_fill_flows_into(&*avail, model.user_rate(j), wf, out_row)
+            .map_err(|e| rename_infeasible(e, j))?;
+    }
+    Ok(())
+}
+
+/// One standalone Jacobi round: every user's exact best reply to the
+/// frozen `profile`, fanned out over up to `threads` workers. Replies
+/// are pure functions of the snapshot, so the result is bit-identical
+/// for any thread count. At a Nash equilibrium the round reproduces the
+/// profile (up to solver tolerance), which makes it a cheap stability
+/// probe; away from equilibrium it is the ablation step that diverges
+/// for m ≥ 3 when iterated (see [`UpdateOrder::Jacobi`]).
+///
+/// # Errors
+///
+/// * [`GameError::DimensionMismatch`] when profile and model disagree.
+/// * [`GameError::InfeasibleBestReply`] when some user lacks capacity
+///   against the frozen profile (lowest-indexed user wins).
+pub fn jacobi_round(
+    model: &SystemModel,
+    profile: &StrategyProfile,
+    threads: usize,
+) -> Result<StrategyProfile, GameError> {
+    let m = model.num_users();
+    let n = model.num_computers();
+    if profile.num_users() != m {
+        return Err(GameError::DimensionMismatch {
+            expected: m,
+            actual: profile.num_users(),
+        });
+    }
+    if profile.num_computers() != n {
+        return Err(GameError::DimensionMismatch {
+            expected: n,
+            actual: profile.num_computers(),
+        });
+    }
+    let mut ws = Workspace::new(m, n, true);
+    for j in 0..m {
+        let phi = model.user_rate(j);
+        let s = profile.strategy(j);
+        for (i, x) in ws.flows[j].iter_mut().enumerate() {
+            *x = s.fraction(i) * phi;
+        }
+        ws.active[j] = true;
+    }
+    ws.refresh_loads();
+    if threads > 1 && m > 1 {
+        jacobi_replies_parallel(model, &ws.flows, &ws.loads, &mut ws.next_flows, threads)?;
+    } else {
+        jacobi_replies_sequential(
+            model,
+            &ws.flows,
+            &ws.loads,
+            &mut ws.avail,
+            &mut ws.wf,
+            &mut ws.next_flows,
+        )?;
+    }
+    std::mem::swap(&mut ws.flows, &mut ws.next_flows);
+    ws.assemble(model)
+}
+
+/// Computes every user's Jacobi reply to the frozen `(flows, loads)`
+/// snapshot across `threads` workers. Each reply is a pure function of
+/// the snapshot, so the result is bit-identical to the sequential sweep
+/// for any thread count; rows are written in place through disjoint
+/// chunks, and the lowest-indexed failing user wins error reporting just
+/// like the sequential loop.
+fn jacobi_replies_parallel(
+    model: &SystemModel,
+    flows: &[Vec<f64>],
+    loads: &[f64],
+    next: &mut [Vec<f64>],
+    threads: usize,
+) -> Result<(), GameError> {
+    let m = flows.len();
+    let n = loads.len();
+    let chunk = m.div_ceil(threads.min(m));
+    let failure = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (t, rows) in next.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            handles.push(s.spawn(move |_| {
+                let mut avail = vec![0.0; n];
+                let mut wf = WaterFillScratch::default();
+                for (off, out_row) in rows.iter_mut().enumerate() {
+                    let j = start + off;
+                    for i in 0..n {
+                        avail[i] = model.computer_rate(i) - (loads[i] - flows[j][i]);
+                    }
+                    if let Err(e) =
+                        water_fill_flows_into(&avail, model.user_rate(j), &mut wf, out_row)
+                    {
+                        return Some((j, rename_infeasible(e, j)));
+                    }
+                }
+                None
+            }));
+        }
+        let mut first: Option<(usize, GameError)> = None;
+        for h in handles {
+            let outcome = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            if let Some((j, e)) = outcome {
+                if first.as_ref().is_none_or(|(fj, _)| j < *fj) {
+                    first = Some((j, e));
+                }
             }
         }
+        first
+    })
+    .unwrap_or_else(|p| std::panic::resume_unwind(p));
+    match failure {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
     }
-    let mut d = 0.0;
-    for (i, &flow) in flows.iter().enumerate() {
-        let s = own.fraction(i);
-        if s > 0.0 {
-            d += s * lb_queueing::mm1::response_time(flow, model.computer_rate(i));
-        }
-    }
-    d
 }
 
-/// Deterministic Fisher–Yates permutation of `0..m` from a seed.
-fn shuffled_users(m: usize, seed: u64) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..m).collect();
+/// Deterministic Fisher–Yates permutation of `0..m` from a seed, written
+/// into the reusable `order` buffer.
+fn shuffled_users_into(order: &mut Vec<usize>, m: usize, seed: u64) {
+    order.clear();
+    order.extend(0..m);
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
     for i in (1..m).rev() {
         state = state
@@ -313,23 +566,6 @@ fn shuffled_users(m: usize, seed: u64) -> Vec<usize> {
         let j = (state >> 33) as usize % (i + 1);
         order.swap(i, j);
     }
-    order
-}
-
-fn current_user_times(model: &SystemModel, rows: &[Option<Strategy>]) -> Vec<f64> {
-    (0..rows.len()).map(|j| user_time(model, rows, j)).collect()
-}
-
-fn assemble(rows: Vec<Option<Strategy>>) -> Result<StrategyProfile, GameError> {
-    let rows: Vec<Strategy> = rows
-        .into_iter()
-        .map(|r| {
-            r.ok_or(GameError::InfeasibleStrategy {
-                reason: "user never initialized".into(),
-            })
-        })
-        .collect::<Result<_, _>>()?;
-    StrategyProfile::new(rows)
 }
 
 /// Convenience: computes the Nash equilibrium with NASH_P defaults.
@@ -556,6 +792,64 @@ mod tests {
             .unwrap();
         assert_eq!(a.iterations(), b.iterations());
         assert_eq!(a.trace().values(), b.trace().values());
+    }
+
+    #[test]
+    fn parallel_jacobi_sweep_is_bit_identical_to_sequential() {
+        // Every Jacobi reply answers the frozen previous round, so the
+        // fan-out must not change a single bit of the outcome no matter
+        // how many workers compute it.
+        let model = small_model();
+        let reference = NashSolver::new(Initialization::Proportional)
+            .update_order(UpdateOrder::Jacobi)
+            .tolerance(1e-10)
+            .max_iterations(2000)
+            .solve(&model)
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let par = NashSolver::new(Initialization::Proportional)
+                .update_order(UpdateOrder::Jacobi)
+                .tolerance(1e-10)
+                .max_iterations(2000)
+                .threads(threads)
+                .solve(&model)
+                .unwrap();
+            assert_eq!(
+                par.iterations(),
+                reference.iterations(),
+                "{threads} threads"
+            );
+            for (a, b) in par.trace().values().iter().zip(reference.trace().values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads: norm differs");
+            }
+            for j in 0..model.num_users() {
+                let pa = par.profile().strategy(j);
+                let pb = reference.profile().strategy(j);
+                for i in 0..model.num_computers() {
+                    assert_eq!(
+                        pa.fraction(i).to_bits(),
+                        pb.fraction(i).to_bits(),
+                        "{threads} threads: s[{j}][{i}] differs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_jacobi_divergence_matches_sequential() {
+        // The divergence ablation must be thread-count independent too.
+        let model = SystemModel::with_equal_users(SystemModel::table1_rates(), 4, 0.6).unwrap();
+        for threads in [1, 8] {
+            let err = NashSolver::new(Initialization::Proportional)
+                .update_order(UpdateOrder::Jacobi)
+                .tolerance(1e-4)
+                .max_iterations(500)
+                .threads(threads)
+                .solve(&model)
+                .unwrap_err();
+            assert!(matches!(err, GameError::DidNotConverge { .. }));
+        }
     }
 
     #[test]

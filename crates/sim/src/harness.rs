@@ -2,6 +2,7 @@
 //! times with different random number streams and the results averaged
 //! over replications".
 
+use crate::parallel::ParallelRunner;
 use crate::scenario::{run_replication_with_sink, SimulationConfig};
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
@@ -36,7 +37,12 @@ impl SimulatedMetrics {
     }
 }
 
-/// Simulates `profile` on `model` under a replication plan.
+/// Simulates `profile` on `model` under a replication plan, fanning the
+/// replications out over [`ParallelRunner::from_env`] (set
+/// `LB_SIM_THREADS=1` to force the sequential path). Each replication
+/// draws from its own seeded streams and results are folded in
+/// replication order, so the output is byte-identical at any thread
+/// count.
 ///
 /// # Errors
 ///
@@ -47,22 +53,44 @@ pub fn simulate_profile(
     plan: &ReplicationPlan,
     config: SimulationConfig,
 ) -> Result<SimulatedMetrics, GameError> {
+    simulate_profile_with(&ParallelRunner::from_env(), model, profile, plan, config)
+}
+
+/// [`simulate_profile`] with an explicit runner (tests pin thread counts
+/// through this entry point).
+///
+/// # Errors
+///
+/// Propagates scenario errors (shape mismatches, saturated profiles).
+pub fn simulate_profile_with(
+    runner: &ParallelRunner,
+    model: &SystemModel,
+    profile: &StrategyProfile,
+    plan: &ReplicationPlan,
+    config: SimulationConfig,
+) -> Result<SimulatedMetrics, GameError> {
     let m = model.num_users();
     let mut names: Vec<String> = (0..m).map(|j| format!("user{j}")).collect();
     names.push("system".into());
     let mut set = ReplicationSet::new(names, plan.confidence);
 
-    let mut p95_acc = 0.0;
-    for r in 0..plan.replications {
-        let seed = plan.seed_for(r);
+    // Fan out: one task per replication, each fully determined by its
+    // seed. The fold below happens in replication order.
+    let replications = runner.try_run(plan.replications as usize, |r| {
+        let seed = plan.seed_for(r as u32);
         let mut p95 = P2Quantile::new(0.95);
         let result = run_replication_with_sink(model, profile, config, seed, |_, resp| {
             p95.push(resp);
         })?;
-        let mut values = result.user_means.clone();
+        let mut values = result.user_means;
         values.push(result.system_mean);
-        set.record(&values);
-        p95_acc += p95.estimate().unwrap_or(f64::NAN);
+        Ok::<_, GameError>((values, p95.estimate().unwrap_or(f64::NAN)))
+    })?;
+
+    let mut p95_acc = 0.0;
+    for (values, p95) in &replications {
+        set.record(values);
+        p95_acc += p95;
     }
     let system_p95 = p95_acc / f64::from(plan.replications);
 
@@ -90,6 +118,71 @@ pub fn simulate_profile(
 mod tests {
     use super::*;
     use lb_game::schemes::{LoadBalancingScheme, ProportionalScheme};
+    use proptest::prelude::*;
+
+    /// Field-by-field bitwise comparison of two metric sets.
+    fn assert_metrics_bit_identical(a: &SimulatedMetrics, b: &SimulatedMetrics, label: &str) {
+        assert_eq!(a.replications, b.replications, "{label}: replications");
+        assert_eq!(
+            a.system_p95.to_bits(),
+            b.system_p95.to_bits(),
+            "{label}: p95"
+        );
+        assert_eq!(
+            a.fairness.to_bits(),
+            b.fairness.to_bits(),
+            "{label}: fairness"
+        );
+        assert_eq!(
+            a.worst_relative_error.to_bits(),
+            b.worst_relative_error.to_bits(),
+            "{label}: worst_relative_error"
+        );
+        assert_eq!(a.precise, b.precise, "{label}: precise");
+        let pairs = a
+            .user_summaries
+            .iter()
+            .zip(&b.user_summaries)
+            .chain(std::iter::once((&a.system_summary, &b.system_summary)));
+        for (sa, sb) in pairs {
+            assert_eq!(sa.mean.to_bits(), sb.mean.to_bits(), "{label}: mean");
+            assert_eq!(
+                sa.half_width.to_bits(),
+                sb.half_width.to_bits(),
+                "{label}: half_width"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn parallel_and_sequential_runners_are_bit_identical(
+            base_seed in 0u64..u64::MAX,
+            replications in 2u32..6,
+        ) {
+            let model = SystemModel::new(vec![10.0, 20.0], vec![6.0, 6.0]).unwrap();
+            let profile = ProportionalScheme.compute(&model).unwrap();
+            let plan = ReplicationPlan {
+                replications,
+                base_seed,
+                ..ReplicationPlan::paper()
+            };
+            let config = SimulationConfig {
+                target_jobs: 2_000,
+                ..SimulationConfig::quick()
+            };
+            let reference = simulate_profile_with(
+                &ParallelRunner::sequential(), &model, &profile, &plan, config,
+            ).unwrap();
+            for threads in [2usize, 8] {
+                let par = simulate_profile_with(
+                    &ParallelRunner::new(threads), &model, &profile, &plan, config,
+                ).unwrap();
+                assert_metrics_bit_identical(&par, &reference, &format!("{threads} threads"));
+            }
+        }
+    }
 
     #[test]
     fn replications_aggregate_and_gate_precision() {

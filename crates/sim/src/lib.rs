@@ -27,6 +27,9 @@
 //!   re-equilibrates and sheds load per an overload policy, and the
 //!   measured response times are validated against the quasi-static
 //!   analytic mixture.
+//! * [`parallel`] — the deterministic fan-out pool: replications are pure
+//!   functions of their seeded index, so they spread across threads and
+//!   merge back in index order, byte-identical to the sequential loop.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -34,11 +37,13 @@
 pub mod bursty;
 pub mod churn;
 pub mod harness;
+pub mod parallel;
 pub mod policies;
 pub mod pools;
 pub mod scenario;
 pub mod validate;
 
 pub use churn::{breakdown_schedule, run_churn_replication, ChurnPhase, ChurnResult};
-pub use harness::{simulate_profile, SimulatedMetrics};
+pub use harness::{simulate_profile, simulate_profile_with, SimulatedMetrics};
+pub use parallel::ParallelRunner;
 pub use scenario::{DistributionFamily, SimulationConfig, SimulationResult};

@@ -1,0 +1,206 @@
+//! Deterministic parallel fan-out for independent replications.
+//!
+//! Every replication in this workspace draws from its own seeded RNG
+//! streams ([`lb_stats::ReplicationPlan::seed_for`]), so replications are
+//! pure functions of their index. [`ParallelRunner`] exploits that: it
+//! fans tasks out over a scoped worker pool (crossbeam scoped threads, no
+//! `'static` bounds) and hands results back **in task-index order**, so
+//! any fold over them is byte-identical to the sequential loop no matter
+//! the thread count or completion order.
+//!
+//! The pool defaults to [`std::thread::available_parallelism`] and can be
+//! overridden (or opted out of) with the `LB_SIM_THREADS` environment
+//! variable: unset, `0`, or `auto` use all cores; `1` forces the
+//! sequential path; any other `N` uses `N` workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable controlling the default worker count.
+pub const THREADS_ENV: &str = "LB_SIM_THREADS";
+
+/// A fixed-size worker pool that runs independent, index-addressed tasks
+/// and merges their results deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelRunner {
+    threads: usize,
+}
+
+impl Default for ParallelRunner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ParallelRunner {
+    /// A runner with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The sequential runner (one worker, no threads spawned).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Sizes the pool from `LB_SIM_THREADS`, falling back to
+    /// [`std::thread::available_parallelism`] when unset, `0`, `auto`,
+    /// or unparseable.
+    pub fn from_env() -> Self {
+        let configured = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| match v.trim() {
+                "" | "auto" => None,
+                other => other.parse::<usize>().ok(),
+            })
+            .filter(|&n| n > 0);
+        match configured {
+            Some(n) => Self::new(n),
+            None => Self::new(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(0..count)` across the pool and returns the results in
+    /// index order. Tasks are claimed from a shared counter (work
+    /// stealing), so uneven task costs do not idle workers; because each
+    /// result lands in its own slot, the output is byte-identical to the
+    /// sequential `map` for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `task` is resumed on the calling thread.
+    pub fn run<T, F>(&self, count: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads <= 1 || count <= 1 {
+            return (0..count).map(task).collect();
+        }
+        let workers = self.threads.min(count);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= count {
+                                break;
+                            }
+                            local.push((idx, task(idx)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                let local = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                for (idx, value) in local {
+                    slots[idx] = Some(value);
+                }
+            }
+        })
+        .unwrap_or_else(|p| std::panic::resume_unwind(p));
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task index is claimed exactly once"))
+            .collect()
+    }
+
+    /// Fallible variant of [`ParallelRunner::run`]: collects `Ok` values
+    /// in index order, or returns the error of the **lowest-indexed**
+    /// failing task — the same error the sequential loop would surface.
+    /// (The parallel path may still execute tasks after a failing index;
+    /// tasks are expected to be effect-free.)
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed task error.
+    pub fn try_run<T, E, F>(&self, count: usize, task: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        if self.threads <= 1 || count <= 1 {
+            return (0..count).map(task).collect();
+        }
+        self.run(count, &task).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let runner = ParallelRunner::new(8);
+        // Make early tasks the slowest so completion order differs from
+        // index order.
+        let out = runner.run(32, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_any_thread_count() {
+        let task = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let reference = ParallelRunner::sequential().run(100, task);
+        for threads in [2, 3, 8] {
+            assert_eq!(ParallelRunner::new(threads).run(100, task), reference);
+        }
+    }
+
+    #[test]
+    fn try_run_reports_the_lowest_failing_index() {
+        let runner = ParallelRunner::new(4);
+        let result: Result<Vec<usize>, usize> =
+            runner.try_run(64, |i| if i % 10 == 7 { Err(i) } else { Ok(i) });
+        assert_eq!(result, Err(7));
+        let ok: Result<Vec<usize>, usize> = runner.try_run(16, Ok);
+        assert_eq!(ok.unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_single_task_counts_work() {
+        let runner = ParallelRunner::new(4);
+        assert_eq!(runner.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(runner.run(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(ParallelRunner::new(0).threads(), 1);
+        assert!(ParallelRunner::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn task_panics_propagate() {
+        let runner = ParallelRunner::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.run(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        }));
+        assert!(caught.is_err());
+    }
+}
