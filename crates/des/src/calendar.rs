@@ -61,6 +61,7 @@ pub struct Calendar<E> {
     heap: BinaryHeap<Entry<E>>,
     cancelled: HashSet<u64>,
     next_seq: u64,
+    compactions: u64,
 }
 
 impl<E> Calendar<E> {
@@ -70,6 +71,7 @@ impl<E> Calendar<E> {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
+            compactions: 0,
         }
     }
 
@@ -114,6 +116,7 @@ impl<E> Calendar<E> {
             .filter(|e| !self.cancelled.remove(&e.seq))
             .collect();
         self.cancelled.clear();
+        self.compactions += 1;
     }
 
     /// Removes cancelled entries from the top of the heap.
@@ -152,6 +155,12 @@ impl<E> Calendar<E> {
     /// `len_upper_bound / 2` thanks to compaction).
     pub fn tombstone_count(&self) -> usize {
         self.cancelled.len()
+    }
+
+    /// Number of tombstone-triggered heap rebuilds so far (diagnostic;
+    /// surfaced through the telemetry layer as `des.compact` events).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Whether no pending (non-cancelled) events remain.

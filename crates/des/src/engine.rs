@@ -27,6 +27,8 @@
 
 use crate::calendar::{Calendar, EventId};
 use crate::time::SimTime;
+use lb_telemetry::Collector;
+use std::sync::Arc;
 
 /// A discrete-event simulation engine over event payloads of type `E`.
 pub struct Engine<E> {
@@ -35,6 +37,7 @@ pub struct Engine<E> {
     processed: u64,
     horizon: Option<SimTime>,
     max_events: Option<u64>,
+    collector: Option<Arc<dyn Collector>>,
 }
 
 impl<E> Engine<E> {
@@ -46,7 +49,16 @@ impl<E> Engine<E> {
             processed: 0,
             horizon: None,
             max_events: None,
+            collector: None,
         }
+    }
+
+    /// Attaches a telemetry collector. The engine emits `des.compact`
+    /// whenever a cancellation triggers a calendar compaction (heap
+    /// rebuild); all events are purely observational — simulation results
+    /// are bit-identical with or without a collector.
+    pub fn set_collector(&mut self, collector: Arc<dyn Collector>) {
+        self.collector = Some(collector);
     }
 
     /// Bounds the total number of delivered events — a runaway-model
@@ -101,12 +113,43 @@ impl<E> Engine<E> {
 
     /// Cancels a pending event; `true` if it was still pending.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.calendar.cancel(id)
+        let before = self.calendar.compactions();
+        let pending = self.calendar.cancel(id);
+        if self.calendar.compactions() > before {
+            if let Some(c) = lb_telemetry::enabled(self.collector.as_ref()) {
+                c.emit(
+                    "des.compact",
+                    &[
+                        ("t", self.now.as_secs().into()),
+                        ("depth", self.calendar.len_upper_bound().into()),
+                        ("tombstones", self.calendar.tombstone_count().into()),
+                        ("compactions", self.calendar.compactions().into()),
+                    ],
+                );
+            }
+        }
+        pending
     }
 
     /// Time of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.calendar.peek_time()
+    }
+
+    /// Entries currently stored in the calendar (pending events plus
+    /// not-yet-skipped tombstones) — see [`Calendar::len_upper_bound`].
+    pub fn calendar_depth(&self) -> usize {
+        self.calendar.len_upper_bound()
+    }
+
+    /// Tombstones currently buffered in the calendar.
+    pub fn calendar_tombstones(&self) -> usize {
+        self.calendar.tombstone_count()
+    }
+
+    /// Calendar compactions (heap rebuilds) performed so far.
+    pub fn calendar_compactions(&self) -> u64 {
+        self.calendar.compactions()
     }
 
     /// Advances the clock to the next pending event and returns its
@@ -237,6 +280,35 @@ mod tests {
         assert_eq!(n, 100);
         assert_eq!(eng.events_processed(), 100);
         assert_eq!(eng.next_event(), None);
+    }
+
+    #[test]
+    fn collector_sees_compactions_without_perturbing_delivery() {
+        use lb_telemetry::MemoryCollector;
+        // Mass cancellation forces at least one calendar compaction; the
+        // delivered event stream must be identical with and without a
+        // collector attached.
+        let run = |collector: Option<Arc<MemoryCollector>>| {
+            let mut eng = Engine::new();
+            if let Some(c) = &collector {
+                eng.set_collector(c.clone());
+            }
+            let ids: Vec<_> = (0..1000)
+                .map(|i| eng.schedule_in(1.0 + i as f64, i))
+                .collect();
+            for id in ids.iter().take(501) {
+                eng.cancel(*id);
+            }
+            let mut seen = Vec::new();
+            eng.run_with(|_, i| seen.push(i));
+            seen
+        };
+        let plain = run(None);
+        let mem = Arc::new(MemoryCollector::default());
+        let traced = run(Some(mem.clone()));
+        assert_eq!(plain, traced);
+        assert!(mem.count("des.compact") >= 1, "no compaction observed");
+        assert_eq!(traced.len(), 499);
     }
 
     #[test]

@@ -62,6 +62,8 @@ use lb_game::model::SystemModel;
 use lb_game::overload::{shed_to_feasible, OverloadPolicy};
 use lb_game::strategy::{Strategy, StrategyProfile};
 use lb_stats::IterationTrace;
+use lb_telemetry::{Collector, Field};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -80,7 +82,7 @@ pub enum RingInit {
 }
 
 /// Configuration for a distributed NASH run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DistributedNash {
     init: RingInit,
     observation: ObservationModel,
@@ -90,6 +92,26 @@ pub struct DistributedNash {
     run_deadline: Option<Duration>,
     faults: Arc<FaultPlan>,
     overload_policy: OverloadPolicy,
+    collector: Option<Arc<dyn Collector>>,
+}
+
+impl fmt::Debug for DistributedNash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistributedNash")
+            .field("init", &self.init)
+            .field("observation", &self.observation)
+            .field("tolerance", &self.tolerance)
+            .field("max_rounds", &self.max_rounds)
+            .field("round_timeout", &self.round_timeout)
+            .field("run_deadline", &self.run_deadline)
+            .field("faults", &self.faults)
+            .field("overload_policy", &self.overload_policy)
+            .field(
+                "collector",
+                &self.collector.as_ref().map(|_| "<dyn Collector>"),
+            )
+            .finish()
+    }
 }
 
 impl DistributedNash {
@@ -106,6 +128,7 @@ impl DistributedNash {
             run_deadline: None,
             faults: Arc::new(FaultPlan::new()),
             overload_policy: OverloadPolicy::Reject,
+            collector: None,
         }
     }
 
@@ -164,6 +187,19 @@ impl DistributedNash {
     /// [`OverloadPolicy::ShedMaxMin`]).
     pub fn overload_policy(mut self, policy: OverloadPolicy) -> Self {
         self.overload_policy = policy;
+        self
+    }
+
+    /// Attaches a telemetry collector. The coordinator then emits the
+    /// `ring.*` event family — `ring.start`, one `ring.hop` per token
+    /// forward, `ring.round` per completed round, plus `ring.splice`,
+    /// `ring.fault`, `ring.token_lost`, `ring.capacity`, `ring.shed`,
+    /// `ring.epoch`, `ring.report` and `ring.done` as the run unfolds.
+    /// All events are emitted from the coordinator thread *after* the
+    /// state change they describe, so the run's results (trace, profile,
+    /// shed trajectory) are identical with or without a collector.
+    pub fn collector(mut self, collector: Arc<dyn Collector>) -> Self {
+        self.collector = Some(collector);
         self
     }
 
@@ -256,6 +292,26 @@ impl DistributedNash {
         let (event_tx, event_rx) = unbounded::<Event>();
         let stop = Arc::new(AtomicBool::new(false));
 
+        if let Some(c) = lb_telemetry::enabled(self.collector.as_ref()) {
+            c.emit(
+                "ring.start",
+                &[
+                    (
+                        "init",
+                        match self.init {
+                            RingInit::Zero => "NASH_0",
+                            RingInit::Proportional => "NASH_P",
+                        }
+                        .into(),
+                    ),
+                    ("users", m.into()),
+                    ("computers", n.into()),
+                    ("tolerance", self.tolerance.into()),
+                    ("max_rounds", self.max_rounds.into()),
+                ],
+            );
+        }
+
         let mut handles = Vec::with_capacity(m);
         for (j, rx) in rxs.iter_mut().enumerate() {
             let ctx = UserContext {
@@ -310,6 +366,7 @@ impl DistributedNash {
             policy: self.overload_policy,
             faults: Arc::clone(&self.faults),
             shed_log: Vec::new(),
+            collector: self.collector.clone(),
         };
         coord.inject(0, Token::initial());
         let driven = coord.drive(self.run_deadline);
@@ -370,6 +427,18 @@ impl DistributedNash {
             .filter(|(_, (&cur, &nom))| cur < nom)
             .map(|(i, _)| i)
             .collect();
+        if let Some(c) = lb_telemetry::enabled(self.collector.as_ref()) {
+            c.emit(
+                "ring.done",
+                &[
+                    ("rounds", rounds.into()),
+                    ("termination", termination_label(termination).into()),
+                    ("failed", coord.failed.len().into()),
+                    ("survivors", survivors.len().into()),
+                    ("total_updates", total_updates.into()),
+                ],
+            );
+        }
         Ok(DistributedOutcome {
             profile: StrategyProfile::new(rows)?,
             trace: coord.mirror.iter().copied().collect(),
@@ -498,6 +567,15 @@ impl DistributedOutcome {
     }
 }
 
+/// Static label for telemetry `termination` fields.
+fn termination_label(t: Termination) -> &'static str {
+    match t {
+        Termination::Continue => "continue",
+        Termination::Converged => "converged",
+        Termination::Exhausted => "exhausted",
+    }
+}
+
 /// Progress reports from user threads to the coordinator. Every token
 /// forward is announced, so the coordinator always knows which user
 /// should be holding the token — that user is the suspect when the ring
@@ -543,9 +621,18 @@ struct Coordinator {
     policy: OverloadPolicy,
     faults: Arc<FaultPlan>,
     shed_log: Vec<ShedRecord>,
+    collector: Option<Arc<dyn Collector>>,
 }
 
 impl Coordinator {
+    /// Emits a telemetry event if a collector is attached and enabled.
+    /// Runs on the coordinator thread only, so the event stream has a
+    /// single deterministic writer.
+    fn emit(&self, name: &'static str, fields: &[Field]) {
+        if let Some(c) = lb_telemetry::enabled(self.collector.as_ref()) {
+            c.emit(name, fields);
+        }
+    }
     /// The event loop: applies progress events, detects token loss via
     /// timeout, and repairs the ring until every surviving user has
     /// reported.
@@ -601,13 +688,25 @@ impl Coordinator {
 
     fn apply(&mut self, ev: Event) -> Result<(), GameError> {
         match ev {
-            Event::Forwarded { to, epoch } if epoch == self.epoch => self.holder = to,
+            Event::Forwarded { to, epoch } if epoch == self.epoch => {
+                self.holder = to;
+                self.emit("ring.hop", &[("to", to.into()), ("epoch", epoch.into())]);
+            }
             Event::RoundComplete {
                 norm,
                 termination,
                 epoch,
             } if epoch == self.epoch => {
                 self.mirror.push(norm);
+                self.emit(
+                    "ring.round",
+                    &[
+                        ("round", (self.mirror.len() as u64 - 1).into()),
+                        ("norm", norm.into()),
+                        ("epoch", epoch.into()),
+                        ("termination", termination_label(termination).into()),
+                    ],
+                );
                 if termination != Termination::Continue {
                     self.termination = Some(termination);
                 } else {
@@ -622,6 +721,10 @@ impl Coordinator {
                 }
             }
             Event::Spliced { skipped, epoch } if epoch == self.epoch => {
+                self.emit(
+                    "ring.splice",
+                    &[("skipped", skipped.into()), ("epoch", epoch.into())],
+                );
                 if self.alive[skipped] {
                     self.declare_failed(skipped);
                     self.reconfigure();
@@ -634,6 +737,14 @@ impl Coordinator {
                         reason: format!("duplicate final report from user {user}"),
                     });
                 }
+                self.emit(
+                    "ring.report",
+                    &[
+                        ("user", user.into()),
+                        ("response_time", r.response_time.into()),
+                        ("updates", r.updates.into()),
+                    ],
+                );
                 self.reports[user] = Some(r);
             }
             // Events stamped with an old epoch come from a user that was
@@ -684,6 +795,23 @@ impl Coordinator {
                     self.current_mu[i] = self.nominal_mu[i];
                 }
             }
+            self.emit(
+                "ring.capacity",
+                &[
+                    ("round", round.into()),
+                    (
+                        "kind",
+                        match ev {
+                            CapacityEvent::Crash { .. } => "crash",
+                            CapacityEvent::Degrade { .. } => "degrade",
+                            CapacityEvent::Recover { .. } => "recover",
+                        }
+                        .into(),
+                    ),
+                    ("computer", i.into()),
+                    ("rate", self.current_mu[i].into()),
+                ],
+            );
         }
         // Admission control over the *nominal* demand of the live users:
         // recovered capacity re-admits previously shed load automatically.
@@ -699,6 +827,14 @@ impl Coordinator {
         let plan = shed_to_feasible(&self.current_mu, &nominal, self.policy)?;
         self.current_phi = plan.admitted;
         self.epoch += 1;
+        self.emit(
+            "ring.epoch",
+            &[
+                ("epoch", self.epoch.into()),
+                ("round", round.into()),
+                ("cause", "capacity".into()),
+            ],
+        );
         self.shed_log.push(ShedRecord {
             round,
             epoch: self.epoch,
@@ -706,6 +842,17 @@ impl Coordinator {
             admitted: self.current_phi.clone(),
             shed: plan.shed,
         });
+        let record = self.shed_log.last().expect("record just pushed");
+        self.emit(
+            "ring.shed",
+            &[
+                ("round", round.into()),
+                ("epoch", self.epoch.into()),
+                ("capacity_total", self.current_mu.iter().sum::<f64>().into()),
+                ("admitted_total", record.admitted_total().into()),
+                ("shed_total", record.shed_total().into()),
+            ],
+        );
         self.reconfigure();
         let ring = self.alive_ring();
         if let Some(&head) = ring.first() {
@@ -719,6 +866,14 @@ impl Coordinator {
     /// under a fresh epoch.
     fn repair_token_loss(&mut self) -> Result<(), GameError> {
         let suspect = self.holder;
+        self.emit(
+            "ring.token_lost",
+            &[
+                ("suspect", suspect.into()),
+                ("round", (self.mirror.len() as u64).into()),
+                ("epoch", self.epoch.into()),
+            ],
+        );
         self.declare_failed(suspect);
         let ring = self.alive_ring();
         if ring.is_empty() {
@@ -729,6 +884,14 @@ impl Coordinator {
             });
         }
         self.epoch += 1;
+        self.emit(
+            "ring.epoch",
+            &[
+                ("epoch", self.epoch.into()),
+                ("round", (self.mirror.len() as u64).into()),
+                ("cause", "token_lost".into()),
+            ],
+        );
         self.reconfigure();
         let round = self.mirror.len() as u32;
         match self.termination {
@@ -756,6 +919,14 @@ impl Coordinator {
         }
         self.alive[j] = false;
         self.failed.push(j);
+        self.emit(
+            "ring.fault",
+            &[
+                ("user", j.into()),
+                ("round", (self.mirror.len() as u64).into()),
+                ("epoch", self.epoch.into()),
+            ],
+        );
         self.board.clear_row(j);
         // A dead user places no demand; its admitted rate must not count
         // toward feasibility nor show up as shed load in the outcome.
@@ -1152,6 +1323,72 @@ mod tests {
         let gap = epsilon_nash_gap(&m, out.profile()).unwrap();
         let d_avg: f64 = out.user_times().iter().sum::<f64>() / out.user_times().len() as f64;
         assert!(gap < 0.25 * d_avg, "gap {gap} vs avg time {d_avg}");
+    }
+
+    #[test]
+    fn collector_sees_hops_rounds_and_done_without_perturbing_the_run() {
+        use lb_telemetry::MemoryCollector;
+
+        let m = model();
+        let plain = DistributedNash::new().run(&m).unwrap();
+        let mem = Arc::new(MemoryCollector::default());
+        let traced = DistributedNash::new()
+            .collector(mem.clone())
+            .run(&m)
+            .unwrap();
+
+        // The ring replays the same deterministic dynamics.
+        assert_eq!(traced.rounds(), plain.rounds());
+        for (a, b) in traced.trace().values().iter().zip(plain.trace().values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        assert_eq!(mem.count("ring.start"), 1);
+        assert_eq!(mem.count("ring.round"), traced.rounds() as usize);
+        // Every user forwards once per round (tail included), plus the
+        // terminate lap's m-1 forwards; the coordinator's own injections
+        // are not hops. Just require a healthy lower bound.
+        assert!(
+            mem.count("ring.hop") >= traced.rounds() as usize * m.num_users() - 1,
+            "hops {} for {} rounds",
+            mem.count("ring.hop"),
+            traced.rounds()
+        );
+        assert_eq!(mem.count("ring.report"), m.num_users());
+        assert_eq!(mem.count("ring.done"), 1);
+        assert_eq!(mem.count("ring.fault"), 0);
+    }
+
+    #[test]
+    fn collector_sees_faults_and_capacity_churn() {
+        use crate::fault::FaultPlan;
+        use lb_telemetry::MemoryCollector;
+
+        // Four users so the ring survives one crash; degrade then
+        // recover computer 1 to trigger capacity/epoch/shed events.
+        let m = SystemModel::with_equal_users(vec![10.0, 20.0, 50.0], 4, 0.5).unwrap();
+        let mem = Arc::new(MemoryCollector::default());
+        let plan = FaultPlan::new()
+            .drop_token_at(1, 2)
+            .degrade_computer_at(4, 1, 8.0)
+            .recover_computer_at(6, 1);
+        let out = DistributedNash::new()
+            .fault_plan(plan)
+            .round_timeout(Duration::from_millis(300))
+            .overload_policy(OverloadPolicy::ShedProportional { headroom: 0.9 })
+            .collector(mem.clone())
+            .run(&m)
+            .unwrap();
+
+        assert_eq!(out.failed_users(), &[1]);
+        assert_eq!(mem.count("ring.token_lost"), 1);
+        assert_eq!(mem.count("ring.fault"), 1);
+        assert_eq!(mem.count("ring.capacity"), 2);
+        assert_eq!(mem.count("ring.shed"), 2);
+        // One epoch bump per repair/capacity application.
+        assert_eq!(mem.count("ring.epoch"), 3);
+        assert_eq!(mem.count("ring.report"), 3);
+        assert_eq!(mem.count("ring.done"), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! thread setup), and the numbers are still useful as a regression
 //! record for the sequential hot paths.
 
+use crate::report::Table;
 use criterion::Criterion;
 use lb_game::best_reply::{water_fill_flows, water_fill_flows_into, WaterFillScratch};
 use lb_game::error::GameError;
@@ -23,8 +24,10 @@ use lb_sim::harness::simulate_profile_with;
 use lb_sim::parallel::ParallelRunner;
 use lb_sim::scenario::SimulationConfig;
 use lb_stats::ReplicationPlan;
+use lb_telemetry::{Collector, Json, JsonlCollector, NullCollector};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the machine-readable summary written under `--out`.
 pub const BENCH_FILE: &str = "BENCH_nash.json";
@@ -43,6 +46,53 @@ fn bench_nash(c: &mut Criterion) -> Result<(), GameError> {
     g.bench_function("NASH_P", |b| {
         let solver = NashSolver::new(Initialization::Proportional);
         b.iter(|| solver.solve(&model).expect("NASH_P solve"));
+    });
+    g.finish();
+    Ok(())
+}
+
+/// A collector that reports itself disabled: attaching it exercises the
+/// pure "instrumentation compiled in but off" path (one `enabled()`
+/// virtual call per instrumented section, zero event assembly).
+struct DisabledCollector;
+
+impl Collector for DisabledCollector {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn emit(&self, _name: &'static str, _fields: &[lb_telemetry::Field]) {
+        unreachable!("disabled collector never receives events");
+    }
+}
+
+/// The telemetry cost ladder on the NASH_P solve: no collector field at
+/// all; an attached but *disabled* collector (one `enabled()` check per
+/// sweep — the budget for this rung is <1% over "none", gated in CI); an
+/// enabled [`NullCollector`] (event assembly + virtual dispatch, no
+/// serialization); and a [`JsonlCollector`] writing to `io::sink` (the
+/// full encode cost).
+fn bench_collector_overhead(c: &mut Criterion) -> Result<(), GameError> {
+    let model = SystemModel::table1_system(0.6)?;
+    let mut g = c.benchmark_group("nash_collector_overhead");
+    g.bench_function("none", |b| {
+        let solver = NashSolver::new(Initialization::Proportional);
+        b.iter(|| solver.solve(&model).expect("solve"));
+    });
+    g.bench_function("disabled", |b| {
+        let solver =
+            NashSolver::new(Initialization::Proportional).collector(Arc::new(DisabledCollector));
+        b.iter(|| solver.solve(&model).expect("solve"));
+    });
+    g.bench_function("null_collector", |b| {
+        let solver =
+            NashSolver::new(Initialization::Proportional).collector(Arc::new(NullCollector));
+        b.iter(|| solver.solve(&model).expect("solve"));
+    });
+    g.bench_function("jsonl_sink", |b| {
+        let collector: Arc<dyn Collector> =
+            Arc::new(JsonlCollector::new(Box::new(std::io::sink())));
+        let solver = NashSolver::new(Initialization::Proportional).collector(collector);
+        b.iter(|| solver.solve(&model).expect("solve"));
     });
     g.finish();
     Ok(())
@@ -173,26 +223,135 @@ fn summary_json(c: &Criterion) -> String {
             }
         }
     }
+    out.push_str("\n  },\n  \"overheads\": {");
+    let rungs = [
+        ("disabled_collector_vs_none", "disabled"),
+        ("null_collector_vs_none", "null_collector"),
+        ("jsonl_sink_vs_none", "jsonl_sink"),
+    ];
+    let base = ns_of(c, "nash_collector_overhead", "none");
+    let mut first = true;
+    for (name, id) in rungs {
+        if let (Some(b), Some(v)) = (base, ns_of(c, "nash_collector_overhead", id)) {
+            if b > 0.0 {
+                out.push_str(if first { "\n" } else { ",\n" });
+                first = false;
+                let _ = write!(out, "    \"{}\": {:.4}", name, v / b);
+            }
+        }
+    }
     out.push_str("\n  }\n}\n");
     out
 }
 
+/// Extracts `(group, id, ns_per_iter)` rows from a `BENCH_nash.json`
+/// document (parsed with the telemetry layer's JSON parser).
+fn parse_benchmarks(text: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let doc = lb_telemetry::json::parse(text).map_err(|e| format!("bench summary: {e}"))?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .ok_or("bench summary: missing `benchmarks` array")?;
+    benches
+        .iter()
+        .map(|b| {
+            let field = |key: &str| {
+                b.get(key)
+                    .ok_or_else(|| format!("bench summary: entry missing `{key}`"))
+            };
+            Ok((
+                field("group")?
+                    .as_str()
+                    .ok_or("bench summary: `group` not a string")?
+                    .to_string(),
+                field("id")?
+                    .as_str()
+                    .ok_or("bench summary: `id` not a string")?
+                    .to_string(),
+                field("ns_per_iter")?
+                    .as_f64()
+                    .ok_or("bench summary: `ns_per_iter` not a number")?,
+            ))
+        })
+        .collect()
+}
+
+/// Builds the delta-vs-reference table: every benchmark of the current
+/// run next to the reference measurement (matched by group + id) with
+/// the relative change. Benchmarks absent from the reference show "-".
+///
+/// # Errors
+///
+/// A message when either document fails to parse.
+pub fn delta_table(current: &str, reference: &str) -> Result<Table, String> {
+    let cur = parse_benchmarks(current)?;
+    let refs = parse_benchmarks(reference)?;
+    let mut t = Table::new(
+        "Benchmarks vs reference BENCH_nash.json".to_string(),
+        vec![
+            "group".to_string(),
+            "id".to_string(),
+            "ref ns/iter".to_string(),
+            "now ns/iter".to_string(),
+            "delta".to_string(),
+        ],
+    );
+    for (group, id, now) in &cur {
+        let reference = refs
+            .iter()
+            .find(|(g, i, _)| g == group && i == id)
+            .map(|(_, _, ns)| *ns);
+        let (ref_cell, delta_cell) = match reference {
+            Some(r) if r > 0.0 => (format!("{r:.1}"), format!("{:+.1}%", (now - r) / r * 100.0)),
+            _ => ("-".to_string(), "-".to_string()),
+        };
+        t.row(vec![
+            group.clone(),
+            id.clone(),
+            ref_cell,
+            format!("{now:.1}"),
+            delta_cell,
+        ]);
+    }
+    Ok(t)
+}
+
+/// What [`run`] produced: the summary path and, when a reference file
+/// was present before the run, the delta table against it.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Path of the freshly written [`BENCH_FILE`].
+    pub path: PathBuf,
+    /// Delta vs the previous [`BENCH_FILE`] at the same path (the
+    /// committed reference when `--out` is the default `results/`).
+    pub delta: Option<Table>,
+}
+
 /// Runs every benchmark group and writes [`BENCH_FILE`] under `out_dir`.
+/// A pre-existing summary at that path — normally the committed
+/// reference under `results/` — is read *before* being overwritten and
+/// reported as a delta table.
 ///
 /// # Errors
 ///
 /// A human-readable message on model/solver failures or I/O errors.
-pub fn run(out_dir: &Path) -> Result<PathBuf, String> {
+pub fn run(out_dir: &Path) -> Result<BenchReport, String> {
     let mut c = Criterion::default();
     bench_nash(&mut c).map_err(|e| format!("nash bench: {e}"))?;
+    bench_collector_overhead(&mut c).map_err(|e| format!("overhead bench: {e}"))?;
     bench_water_fill(&mut c);
     bench_simulation(&mut c).map_err(|e| format!("simulation bench: {e}"))?;
     bench_jacobi(&mut c).map_err(|e| format!("jacobi bench: {e}"))?;
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
     let path = out_dir.join(BENCH_FILE);
-    std::fs::write(&path, summary_json(&c))
-        .map_err(|e| format!("writing {}: {e}", path.display()))?;
-    Ok(path)
+    let reference = std::fs::read_to_string(&path).ok();
+    let summary = summary_json(&c);
+    std::fs::write(&path, &summary).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    let delta = match reference {
+        Some(ref_text) => Some(delta_table(&summary, &ref_text)?),
+        None => None,
+    };
+    Ok(BenchReport { path, delta })
 }
 
 #[cfg(test)]
@@ -205,22 +364,47 @@ mod tests {
         // other lb-experiments tests never read this variable.
         std::env::set_var("CRITERION_QUICK", "1");
         let dir = std::env::temp_dir().join("lb_bench_smoke_test");
-        let path = run(&dir).unwrap();
-        assert_eq!(path.file_name().unwrap(), BENCH_FILE);
-        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let report = run(&dir).unwrap();
+        assert_eq!(report.path.file_name().unwrap(), BENCH_FILE);
+        // First run: nothing to compare against.
+        assert!(report.delta.is_none());
+        let json = std::fs::read_to_string(&report.path).unwrap();
         for needle in [
             "\"threads\":",
             "\"group\": \"nash_table1_rho60\"",
             "\"id\": \"NASH_P\"",
+            "\"group\": \"nash_collector_overhead\"",
+            "\"id\": \"disabled\"",
+            "\"id\": \"jsonl_sink\"",
             "\"group\": \"water_fill_n256\"",
             "\"id\": \"reused_scratch\"",
             "\"group\": \"simulate_profile_reps30\"",
             "\"group\": \"jacobi_round_table1\"",
             "\"simulate_profile_parallel_vs_sequential\":",
             "\"jacobi_round_parallel_vs_sequential\":",
+            "\"overheads\":",
+            "\"disabled_collector_vs_none\":",
+            "\"null_collector_vs_none\":",
+            "\"jsonl_sink_vs_none\":",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+        // The summary parses with the telemetry JSON parser, and the
+        // recorded overheads are sane positive ratios.
+        let doc = lb_telemetry::json::parse(&json).unwrap();
+        let overheads = doc.get("overheads").unwrap().as_object().unwrap();
+        assert_eq!(overheads.len(), 3);
+        for (name, ratio) in overheads {
+            let r = ratio.as_f64().unwrap();
+            assert!(r > 0.0, "{name} ratio {r}");
+        }
+        // Second run: the first summary becomes the reference and the
+        // delta table covers every benchmark.
+        let report2 = run(&dir).unwrap();
+        let delta = report2.delta.expect("reference present on second run");
+        assert_eq!(delta.len(), parse_benchmarks(&json).unwrap().len());
+        std::fs::remove_dir_all(&dir).ok();
         // ns_per_iter figures must be positive numbers.
         for line in json.lines().filter(|l| l.contains("ns_per_iter")) {
             let v: f64 = line

@@ -9,7 +9,7 @@
 use lb_experiments::cli::{self, Options};
 use lb_experiments::fig4::SimOptions;
 use lb_experiments::report::Table;
-use lb_experiments::{bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1};
+use lb_experiments::{bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1, trace};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -128,8 +128,27 @@ fn run(opts: &Options) -> Result<(), String> {
                 emit(&beyond::render_churn(&rows), &opts.out, "ext_churn")?;
             }
             "bench" => {
-                let path = bench::run(&opts.out)?;
-                println!("[bench] {}", path.display());
+                let report = bench::run(&opts.out)?;
+                if let Some(delta) = &report.delta {
+                    println!("{}", delta.render());
+                } else {
+                    println!("(no reference {} to compare against)", bench::BENCH_FILE);
+                }
+                println!("[bench] {}", report.path.display());
+            }
+            "trace" => {
+                let report = trace::run(&opts.out, opts.verbose)?;
+                for table in &report.tables {
+                    println!("{}", table.render());
+                }
+                println!(
+                    "[trace] {} ({} events, schema v{})",
+                    report.log_path.display(),
+                    report.log.events.len(),
+                    report.log.version
+                );
+                println!("[metrics] {}", report.metrics_json_path.display());
+                println!("[metrics] {}", report.metrics_prom_path.display());
             }
             other => return Err(format!("unknown command `{other}`\n{}", cli::usage())),
         }

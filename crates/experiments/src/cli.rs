@@ -8,7 +8,7 @@ use std::path::PathBuf;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Subcommand (`table1`, `fig2`…`fig6`, `all`, `ext`, `ext-*`,
-    /// `bench`).
+    /// `bench`, `trace`).
     pub command: String,
     /// Whether to run the DES alongside the analytic path.
     pub simulate: bool,
@@ -18,13 +18,15 @@ pub struct Options {
     pub replications: u32,
     /// Output directory for CSV artifacts.
     pub out: PathBuf,
+    /// Mirror telemetry events to stderr (`trace` subcommand).
+    pub verbose: bool,
 }
 
 /// The usage string.
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
-     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|bench> \
-     [--simulate] [--jobs N] [--replications R] [--out DIR]"
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|bench|trace> \
+     [--simulate] [--jobs N] [--replications R] [--out DIR] [--verbose]"
         .to_string()
 }
 
@@ -42,10 +44,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
         jobs: 1_000_000,
         replications: 5,
         out: PathBuf::from(config::RESULTS_DIR),
+        verbose: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--simulate" => opts.simulate = true,
+            "--verbose" => opts.verbose = true,
             "--jobs" => {
                 opts.jobs = args
                     .next()
@@ -103,6 +107,7 @@ mod tests {
         let o = parse(args(&["fig4"])).unwrap();
         assert_eq!(o.command, "fig4");
         assert!(!o.simulate);
+        assert!(!o.verbose);
         assert_eq!(o.jobs, 1_000_000);
         assert_eq!(o.replications, 5);
         assert_eq!(o.out, PathBuf::from("results"));
@@ -119,9 +124,11 @@ mod tests {
             "2",
             "--out",
             "/tmp/x",
+            "--verbose",
         ]))
         .unwrap();
         assert!(o.simulate);
+        assert!(o.verbose);
         assert_eq!(o.jobs, 5000);
         assert_eq!(o.replications, 2);
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
@@ -151,7 +158,7 @@ mod tests {
         for c in expand_command("all")
             .iter()
             .chain(expand_command("ext").iter())
-            .chain(["bench"].iter())
+            .chain(["bench", "trace"].iter())
         {
             assert!(u.contains(c), "usage missing {c}");
         }

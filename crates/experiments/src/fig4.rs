@@ -17,10 +17,12 @@ use lb_game::schemes::{
     GlobalOptimalScheme, IndividualOptimalScheme, LoadBalancingScheme, NashScheme,
     ProportionalScheme,
 };
-use lb_sim::harness::simulate_profile;
+use lb_sim::harness::simulate_profile_traced;
 use lb_sim::parallel::ParallelRunner;
 use lb_sim::scenario::SimulationConfig;
 use lb_stats::ReplicationPlan;
+use lb_telemetry::Collector;
+use std::sync::Arc;
 
 /// Simulation options for the figures that the paper measured by DES.
 #[derive(Debug, Clone, Copy)]
@@ -90,10 +92,28 @@ pub fn evaluate_schemes(
     model: &SystemModel,
     sim: Option<SimOptions>,
 ) -> Result<Vec<SchemeRow>, GameError> {
+    evaluate_schemes_traced(model, sim, None)
+}
+
+/// [`evaluate_schemes`] with an optional telemetry collector: the NASH
+/// solver streams its `solver.*` convergence events and any simulation
+/// runs stream `sim.*` events through it. Collection never perturbs the
+/// numbers — results are bit-identical with or without a collector.
+///
+/// # Errors
+///
+/// Propagates scheme and simulation failures.
+pub fn evaluate_schemes_traced(
+    model: &SystemModel,
+    sim: Option<SimOptions>,
+    collector: Option<&Arc<dyn Collector>>,
+) -> Result<Vec<SchemeRow>, GameError> {
+    let mut nash_solver = NashSolver::new(Initialization::Proportional).tolerance(EPSILON);
+    if let Some(c) = collector.filter(|c| c.enabled()) {
+        nash_solver = nash_solver.collector(Arc::clone(c));
+    }
     let schemes: Vec<Box<dyn LoadBalancingScheme>> = vec![
-        Box::new(NashScheme::with_solver(
-            NashSolver::new(Initialization::Proportional).tolerance(EPSILON),
-        )),
+        Box::new(NashScheme::with_solver(nash_solver)),
         Box::new(GlobalOptimalScheme::default()),
         Box::new(IndividualOptimalScheme),
         Box::new(ProportionalScheme),
@@ -105,7 +125,14 @@ pub fn evaluate_schemes(
             let metrics = evaluate_profile(model, &profile)?;
             let (simulated_time, simulated_fairness) = match sim {
                 Some(opts) => {
-                    let s = simulate_profile(model, &profile, &opts.plan(), opts.config())?;
+                    let s = simulate_profile_traced(
+                        &ParallelRunner::from_env(),
+                        model,
+                        &profile,
+                        &opts.plan(),
+                        opts.config(),
+                        collector,
+                    )?;
                     (Some(s.system_summary.mean), Some(s.fairness))
                 }
                 None => (None, None),
@@ -154,14 +181,54 @@ impl Fig4Point {
 ///
 /// Propagates model/scheme/simulation failures.
 pub fn run(sim: Option<SimOptions>) -> Result<Vec<Fig4Point>, GameError> {
-    ParallelRunner::from_env().try_run(UTILIZATION_SWEEP.len(), |idx| {
-        let rho = UTILIZATION_SWEEP[idx];
-        let model = SystemModel::table1_system(rho)?;
-        Ok(Fig4Point {
-            rho,
-            rows: evaluate_schemes(&model, sim)?,
+    run_traced(sim, None)
+}
+
+/// [`run`] with an optional telemetry collector. When collecting, the
+/// sweep runs sequentially (so the `solver.*`/`sim.*` streams of the
+/// nine utilization points do not interleave) and a `fig4.point {rho,
+/// nash, gos, ios, ps}` summary event closes each point. The numbers are
+/// bit-identical to the plain parallel sweep — the fan-out already
+/// guarantees index-order results, so serializing it changes nothing.
+///
+/// # Errors
+///
+/// Propagates model/scheme/simulation failures.
+pub fn run_traced(
+    sim: Option<SimOptions>,
+    collector: Option<&Arc<dyn Collector>>,
+) -> Result<Vec<Fig4Point>, GameError> {
+    let Some(c) = collector.filter(|c| c.enabled()) else {
+        return ParallelRunner::from_env().try_run(UTILIZATION_SWEEP.len(), |idx| {
+            let rho = UTILIZATION_SWEEP[idx];
+            let model = SystemModel::table1_system(rho)?;
+            Ok(Fig4Point {
+                rho,
+                rows: evaluate_schemes(&model, sim)?,
+            })
+        });
+    };
+    UTILIZATION_SWEEP
+        .iter()
+        .map(|&rho| {
+            let model = SystemModel::table1_system(rho)?;
+            let point = Fig4Point {
+                rho,
+                rows: evaluate_schemes_traced(&model, sim, collector)?,
+            };
+            c.emit(
+                "fig4.point",
+                &[
+                    ("rho", rho.into()),
+                    ("nash", point.scheme("NASH").overall_time.into()),
+                    ("gos", point.scheme("GOS").overall_time.into()),
+                    ("ios", point.scheme("IOS").overall_time.into()),
+                    ("ps", point.scheme("PS").overall_time.into()),
+                ],
+            );
+            Ok(point)
         })
-    })
+        .collect()
 }
 
 /// Renders the response-time panel of Figure 4.
@@ -316,6 +383,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn csv_artifacts_are_byte_identical_with_collection_enabled() {
+        use lb_telemetry::JsonlCollector;
+        let plain = run(None).unwrap();
+        let collector: Arc<dyn Collector> =
+            Arc::new(JsonlCollector::new(Box::new(std::io::sink())));
+        let traced = run_traced(None, Some(&collector)).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("lb_fig4_csv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, render) in [
+            (
+                "times",
+                render_times as fn(&[Fig4Point]) -> crate::report::Table,
+            ),
+            ("fairness", render_fairness),
+        ] {
+            let a = dir.join(format!("plain_{name}.csv"));
+            let b = dir.join(format!("traced_{name}.csv"));
+            render(&plain).write_csv(&a).unwrap();
+            render(&traced).write_csv(&b).unwrap();
+            assert_eq!(
+                std::fs::read(&a).unwrap(),
+                std::fs::read(&b).unwrap(),
+                "{name} CSV differs with collector on"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -39,3 +39,4 @@ pub mod fig5;
 pub mod fig6;
 pub mod report;
 pub mod table1;
+pub mod trace;

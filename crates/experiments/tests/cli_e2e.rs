@@ -60,6 +60,38 @@ fn fig3_csv_has_the_user_sweep() {
 }
 
 #[test]
+fn trace_writes_a_schema_valid_log_and_prints_the_report() {
+    let out = temp_out("trace");
+    let output = bin()
+        .args(["trace", "--out", out.to_str().unwrap(), "--verbose"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("NASH solver convergence"), "{stdout}");
+    assert!(stdout.contains("token-ring fault timeline"), "{stdout}");
+    assert!(stdout.contains("event counts"), "{stdout}");
+    assert!(stdout.contains("schema v1"), "{stdout}");
+    // --verbose mirrors events to stderr as they happen.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("solver.sweep"), "stderr: {stderr}");
+    assert!(stderr.contains("ring.hop"), "stderr: {stderr}");
+    // The log parses under the versioned schema.
+    let text = std::fs::read_to_string(out.join("trace_table1.jsonl")).unwrap();
+    let log = lb_telemetry::parse_log(&text).expect("schema-valid log");
+    assert_eq!(log.version, lb_telemetry::SCHEMA_VERSION);
+    assert!(log.count("solver.sweep") > 0);
+    assert!(log.count("ring.hop") > 0);
+    assert!(std::fs::metadata(out.join("trace_metrics.json")).is_ok());
+    assert!(std::fs::metadata(out.join("trace_metrics.prom")).is_ok());
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let output = bin().arg("fig99").output().expect("binary runs");
     assert!(!output.status.success());

@@ -34,6 +34,9 @@ use crate::model::SystemModel;
 use crate::response::user_response_times;
 use crate::strategy::{Strategy, StrategyProfile};
 use lb_stats::IterationTrace;
+use lb_telemetry::Collector;
+use std::fmt;
+use std::sync::Arc;
 
 /// Starting point of the best-reply iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,13 +65,30 @@ pub enum UpdateOrder {
 }
 
 /// Configuration and entry point for the NASH algorithm.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NashSolver {
     init: Initialization,
     order: UpdateOrder,
     tolerance: f64,
     max_iterations: u32,
     threads: usize,
+    collector: Option<Arc<dyn Collector>>,
+}
+
+impl fmt::Debug for NashSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NashSolver")
+            .field("init", &self.init)
+            .field("order", &self.order)
+            .field("tolerance", &self.tolerance)
+            .field("max_iterations", &self.max_iterations)
+            .field("threads", &self.threads)
+            .field(
+                "collector",
+                &self.collector.as_ref().map(|_| "<dyn Collector>"),
+            )
+            .finish()
+    }
 }
 
 impl NashSolver {
@@ -81,6 +101,7 @@ impl NashSolver {
             tolerance: 1e-4,
             max_iterations: 500,
             threads: 1,
+            collector: None,
         }
     }
 
@@ -111,6 +132,17 @@ impl NashSolver {
     /// (each user sees earlier users' updates) and ignores this knob.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a telemetry collector. The solver then emits
+    /// `solver.start`, one `solver.sweep` per iteration (iterate norm,
+    /// max per-user `D_j` delta, water-fill prefix-size statistics,
+    /// cumulative workspace-refresh count), and `solver.done`. Events
+    /// are emitted strictly *after* the computation they describe, so
+    /// results are bit-identical with or without a collector.
+    pub fn collector(mut self, collector: Arc<dyn Collector>) -> Self {
+        self.collector = Some(collector);
         self
     }
 
@@ -178,8 +210,26 @@ impl NashSolver {
         }
         let mut trace = IterationTrace::new();
 
+        // Resolved once: `None` (the default) keeps the hot loop on a
+        // single pointer check per sweep.
+        let collect = lb_telemetry::enabled(self.collector.as_ref());
+        if let Some(c) = collect {
+            c.emit(
+                "solver.start",
+                &[
+                    ("init", init_label(&self.init).into()),
+                    ("order", order_label(&self.order).into()),
+                    ("users", m.into()),
+                    ("computers", n.into()),
+                    ("tolerance", self.tolerance.into()),
+                    ("max_iterations", self.max_iterations.into()),
+                    ("threads", self.threads.into()),
+                ],
+            );
+        }
+
         for iter in 0..self.max_iterations {
-            let norm = match self.order {
+            let (norm, max_delta) = match self.order {
                 UpdateOrder::GaussSeidel | UpdateOrder::RandomPermutation(_) => {
                     match self.order {
                         UpdateOrder::RandomPermutation(seed) => {
@@ -194,13 +244,16 @@ impl NashSolver {
                     // of the O(n) incremental load updates below.
                     ws.refresh_loads();
                     let mut norm = 0.0;
+                    let mut max_delta = 0.0f64;
                     for idx in 0..m {
                         let j = ws.sweep_order[idx];
                         let d_new = ws.update_user(model, j)?;
-                        norm += (d_new - ws.prev_d[j]).abs();
+                        let delta = (d_new - ws.prev_d[j]).abs();
+                        norm += delta;
+                        max_delta = max_delta.max(delta);
                         ws.prev_d[j] = d_new;
                     }
-                    norm
+                    (norm, max_delta)
                 }
                 UpdateOrder::Jacobi => {
                     // All replies answer the frozen previous round, so
@@ -229,18 +282,50 @@ impl NashSolver {
                     ws.active.fill(true);
                     ws.refresh_loads();
                     let mut norm = 0.0;
+                    let mut max_delta = 0.0f64;
                     for j in 0..m {
                         let d_new = row_time(model, &ws.loads, &ws.flows[j], model.user_rate(j));
-                        norm += (d_new - ws.prev_d[j]).abs();
+                        let delta = (d_new - ws.prev_d[j]).abs();
+                        norm += delta;
+                        max_delta = max_delta.max(delta);
                         ws.prev_d[j] = d_new;
                     }
-                    norm
+                    (norm, max_delta)
                 }
             };
             trace.push(norm);
-            if norm <= self.tolerance {
+            let converged = norm <= self.tolerance;
+            if let Some(c) = collect {
+                // Payload assembly (an O(mn) prefix scan) happens only
+                // with an enabled collector attached.
+                let (p_min, p_max, p_mean) = ws.prefix_stats();
+                c.emit(
+                    "solver.sweep",
+                    &[
+                        ("iter", (iter + 1).into()),
+                        ("norm", norm.into()),
+                        ("max_d_delta", max_delta.into()),
+                        ("wf_prefix_min", p_min.into()),
+                        ("wf_prefix_max", p_max.into()),
+                        ("wf_prefix_mean", p_mean.into()),
+                        ("refreshes", ws.refreshes.into()),
+                        ("converged", converged.into()),
+                    ],
+                );
+            }
+            if converged {
                 let profile = ws.assemble(model)?;
                 let user_times = user_response_times(model, &profile)?;
+                if let Some(c) = collect {
+                    c.emit(
+                        "solver.done",
+                        &[
+                            ("iterations", (iter + 1).into()),
+                            ("converged", true.into()),
+                            ("final_norm", norm.into()),
+                        ],
+                    );
+                }
                 return Ok(NashOutcome {
                     profile,
                     trace,
@@ -250,9 +335,20 @@ impl NashSolver {
                 });
             }
         }
+        let final_norm = trace.last().unwrap_or(f64::INFINITY);
+        if let Some(c) = collect {
+            c.emit(
+                "solver.done",
+                &[
+                    ("iterations", self.max_iterations.into()),
+                    ("converged", false.into()),
+                    ("final_norm", final_norm.into()),
+                ],
+            );
+        }
         Err(GameError::DidNotConverge {
             iterations: self.max_iterations,
-            final_norm: trace.last().unwrap_or(f64::INFINITY),
+            final_norm,
         })
     }
 }
@@ -324,6 +420,9 @@ struct Workspace {
     prev_d: Vec<f64>,
     /// Jacobi double buffer (empty rows unless the order is Jacobi).
     next_flows: Vec<Vec<f64>>,
+    /// Exact `loads` recomputes performed so far (telemetry's
+    /// workspace-refresh marker; one per GS sweep, two per Jacobi).
+    refreshes: u64,
 }
 
 impl Workspace {
@@ -342,6 +441,7 @@ impl Workspace {
             } else {
                 Vec::new()
             },
+            refreshes: 0,
         }
     }
 
@@ -354,6 +454,32 @@ impl Workspace {
             for (l, &x) in self.loads.iter_mut().zip(row) {
                 *l += x;
             }
+        }
+        self.refreshes += 1;
+    }
+
+    /// Water-fill prefix sizes — how many computers each active user's
+    /// reply actually touches — as (min, max, mean) over active users.
+    /// Telemetry-only; never called on the disabled path.
+    fn prefix_stats(&self) -> (u64, u64, f64) {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut total = 0u64;
+        let mut users = 0u64;
+        for (row, &active) in self.flows.iter().zip(&self.active) {
+            if !active {
+                continue;
+            }
+            let prefix = row.iter().filter(|&&x| x > 0.0).count() as u64;
+            min = min.min(prefix);
+            max = max.max(prefix);
+            total += prefix;
+            users += 1;
+        }
+        if users == 0 {
+            (0, 0, 0.0)
+        } else {
+            (min, max, total as f64 / users as f64)
         }
     }
 
@@ -402,6 +528,24 @@ fn row_time(model: &SystemModel, loads: &[f64], row: &[f64], phi: f64) -> f64 {
         }
     }
     d
+}
+
+/// Static label for the `solver.start` init field.
+fn init_label(init: &Initialization) -> &'static str {
+    match init {
+        Initialization::Zero => "NASH_0",
+        Initialization::Proportional => "NASH_P",
+        Initialization::Custom(_) => "custom",
+    }
+}
+
+/// Static label for the `solver.start` order field.
+fn order_label(order: &UpdateOrder) -> &'static str {
+    match order {
+        UpdateOrder::GaussSeidel => "gauss_seidel",
+        UpdateOrder::Jacobi => "jacobi",
+        UpdateOrder::RandomPermutation(_) => "random_permutation",
+    }
 }
 
 /// Restamps an infeasible-best-reply error with the updating user.
@@ -849,6 +993,79 @@ mod tests {
                 .solve(&model)
                 .unwrap_err();
             assert!(matches!(err, GameError::DidNotConverge { .. }));
+        }
+    }
+
+    #[test]
+    fn collector_sees_every_sweep_and_does_not_perturb_the_solve() {
+        use lb_telemetry::{FieldValue, MemoryCollector};
+
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let plain = NashSolver::new(Initialization::Proportional)
+            .solve(&model)
+            .unwrap();
+        let mem = Arc::new(MemoryCollector::default());
+        let traced = NashSolver::new(Initialization::Proportional)
+            .collector(mem.clone())
+            .solve(&model)
+            .unwrap();
+
+        // Bit-identical outcome with the collector attached.
+        assert_eq!(traced.iterations(), plain.iterations());
+        for (a, b) in traced.trace().values().iter().zip(plain.trace().values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // One start, one sweep per iteration, one done.
+        assert_eq!(mem.count("solver.start"), 1);
+        assert_eq!(mem.count("solver.sweep"), plain.iterations() as usize);
+        assert_eq!(mem.count("solver.done"), 1);
+
+        // The sweep norms mirror the outcome's trace exactly.
+        let events = mem.events();
+        let norms: Vec<f64> = events
+            .iter()
+            .filter(|(name, _)| *name == "solver.sweep")
+            .map(
+                |(_, fields)| match fields.iter().find(|(k, _)| *k == "norm").unwrap().1 {
+                    FieldValue::F64(v) => v,
+                    ref other => panic!("norm field was {other:?}"),
+                },
+            )
+            .collect();
+        for (a, b) in norms.iter().zip(plain.trace().values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Sweep payloads carry sensible convergence internals.
+        let (_, last_sweep) = events
+            .iter()
+            .rev()
+            .find(|(name, _)| *name == "solver.sweep")
+            .unwrap();
+        let field = |k: &str| {
+            last_sweep
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(field("converged"), FieldValue::Bool(true));
+        match (field("wf_prefix_min"), field("wf_prefix_max")) {
+            (FieldValue::U64(min), FieldValue::U64(max)) => {
+                assert!(min >= 1 && max <= model.num_computers() as u64 && min <= max);
+            }
+            other => panic!("prefix fields were {other:?}"),
+        }
+        match field("refreshes") {
+            FieldValue::U64(r) => assert_eq!(r, u64::from(plain.iterations()) + 1),
+            other => panic!("refreshes field was {other:?}"),
+        }
+        match (field("max_d_delta"), field("norm")) {
+            (FieldValue::F64(max_d), FieldValue::F64(norm)) => {
+                assert!(max_d <= norm, "max delta {max_d} exceeds norm {norm}");
+            }
+            other => panic!("delta fields were {other:?}"),
         }
     }
 

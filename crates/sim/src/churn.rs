@@ -47,7 +47,9 @@ use lb_game::error::GameError;
 use lb_game::metrics::evaluate_profile;
 use lb_game::model::SystemModel;
 use lb_game::overload::OverloadPolicy;
+use lb_telemetry::Collector;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One piece of the piecewise-constant capacity schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +175,33 @@ pub fn run_churn_replication(
     warmup: f64,
     seed: u64,
 ) -> Result<ChurnResult, GameError> {
+    run_churn_replication_traced(model, phases, policy, backoff, warmup, seed, None)
+}
+
+/// [`run_churn_replication`] with an optional telemetry collector. When
+/// collecting, the run emits one `sim.phase {phase, start, end,
+/// admitted_total, capacity_total, predicted_time}` per resolved phase,
+/// then `sim.goodput {t, phase, served, shed, lost, retries}` plus a
+/// `des.calendar {t, depth, tombstones, compactions, processed}`
+/// snapshot at every phase boundary and once at the end of the run; the
+/// engine itself reports `des.compact` on tombstone-triggered heap
+/// rebuilds. Collection is purely observational — the returned
+/// [`ChurnResult`] is bit-identical with or without a collector.
+///
+/// # Errors
+///
+/// As [`run_churn_replication`].
+#[allow(clippy::too_many_lines)]
+pub fn run_churn_replication_traced(
+    model: &SystemModel,
+    phases: &[ChurnPhase],
+    policy: OverloadPolicy,
+    backoff: RetryBackoff,
+    warmup: f64,
+    seed: u64,
+    collector: Option<&Arc<dyn Collector>>,
+) -> Result<ChurnResult, GameError> {
+    let collect = lb_telemetry::enabled(collector);
     let m = model.num_users();
     let n = model.num_computers();
     let horizon: f64 = phases.iter().map(|p| p.duration).sum();
@@ -220,6 +249,21 @@ pub fn run_churn_replication(
         });
         clock += p.duration;
     }
+    if let Some(c) = collect {
+        for (k, s) in states.iter().enumerate() {
+            c.emit(
+                "sim.phase",
+                &[
+                    ("phase", (k as u64).into()),
+                    ("start", s.start.into()),
+                    ("end", s.end.into()),
+                    ("admitted_total", s.admitted.iter().sum::<f64>().into()),
+                    ("capacity_total", s.capacity.iter().sum::<f64>().into()),
+                    ("predicted_time", s.predicted_time.into()),
+                ],
+            );
+        }
+    }
 
     // Analytic mixture over the post-warmup window, weighted by each
     // phase's admitted throughput (= its share of served jobs).
@@ -266,6 +310,9 @@ pub fn run_churn_replication(
     let mut attempts: HashMap<u64, u32> = HashMap::new();
     let mut engine: Engine<Event> = Engine::new();
     engine.set_horizon(SimTime::new(horizon));
+    if collect.is_some() {
+        engine.set_collector(Arc::clone(collector.expect("enabled implies present")));
+    }
 
     for (j, stream) in arrival_streams.iter_mut().enumerate() {
         let dt = stream.exponential(model.user_rate(j));
@@ -378,8 +425,14 @@ pub fn run_churn_replication(
                         }
                     }
                 }
+                if let Some(c) = collect {
+                    emit_churn_snapshot(c, &engine, &goodput, next);
+                }
             }
         }
+    }
+    if let Some(c) = collect {
+        emit_churn_snapshot(c, &engine, &goodput, current);
     }
 
     let offered = goodput.served() + goodput.shed() + goodput.lost();
@@ -399,6 +452,39 @@ pub fn run_churn_replication(
         predicted_shed_fraction,
         jobs_generated,
     })
+}
+
+/// Emits the goodput tally and a calendar-health snapshot for the
+/// current instant — called at every phase boundary and once at the end
+/// of a traced churn run.
+fn emit_churn_snapshot(
+    c: &dyn Collector,
+    engine: &Engine<Event>,
+    goodput: &GoodputMonitor,
+    phase: usize,
+) {
+    let t = engine.now().as_secs();
+    c.emit(
+        "sim.goodput",
+        &[
+            ("t", t.into()),
+            ("phase", (phase as u64).into()),
+            ("served", goodput.served().into()),
+            ("shed", goodput.shed().into()),
+            ("lost", goodput.lost().into()),
+            ("retries", goodput.retries().into()),
+        ],
+    );
+    c.emit(
+        "des.calendar",
+        &[
+            ("t", t.into()),
+            ("depth", engine.calendar_depth().into()),
+            ("tombstones", engine.calendar_tombstones().into()),
+            ("compactions", engine.calendar_compactions().into()),
+            ("processed", engine.events_processed().into()),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -457,6 +543,41 @@ mod tests {
         assert_ne!(a.measured_mean, c.measured_mean);
         // The prediction is seed-independent.
         assert_eq!(a.predicted_mean, c.predicted_mean);
+    }
+
+    #[test]
+    fn collector_sees_phases_and_goodput_without_perturbing_the_run() {
+        use lb_telemetry::MemoryCollector;
+        let m = model();
+        let policy = OverloadPolicy::ShedProportional { headroom: 0.8 };
+        let plain =
+            run_churn_replication(&m, &crash_phases(), policy, backoff(), 100.0, 7).unwrap();
+        let mem = Arc::new(MemoryCollector::default());
+        let collector: Arc<dyn Collector> = mem.clone();
+        let traced = run_churn_replication_traced(
+            &m,
+            &crash_phases(),
+            policy,
+            backoff(),
+            100.0,
+            7,
+            Some(&collector),
+        )
+        .unwrap();
+        assert_eq!(
+            plain.measured_mean.to_bits(),
+            traced.measured_mean.to_bits()
+        );
+        assert_eq!(plain.served, traced.served);
+        assert_eq!(plain.shed, traced.shed);
+        assert_eq!(plain.lost, traced.lost);
+        assert_eq!(plain.retries, traced.retries);
+        assert_eq!(plain.jobs_generated, traced.jobs_generated);
+        // One sim.phase per schedule entry; a goodput + calendar snapshot
+        // at each of the two phase boundaries plus one at the end.
+        assert_eq!(mem.count("sim.phase"), 3);
+        assert_eq!(mem.count("sim.goodput"), 3);
+        assert_eq!(mem.count("des.calendar"), 3);
     }
 
     #[test]

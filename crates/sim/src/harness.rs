@@ -8,6 +8,8 @@ use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::strategy::StrategyProfile;
 use lb_stats::{jain_index, P2Quantile, ReplicationPlan, ReplicationSet, SampleSummary};
+use lb_telemetry::Collector;
+use std::sync::Arc;
 
 /// Cross-replication estimates for a simulated scheme.
 #[derive(Debug, Clone)]
@@ -69,6 +71,28 @@ pub fn simulate_profile_with(
     plan: &ReplicationPlan,
     config: SimulationConfig,
 ) -> Result<SimulatedMetrics, GameError> {
+    simulate_profile_traced(runner, model, profile, plan, config, None)
+}
+
+/// [`simulate_profile_with`] with an optional telemetry collector. When
+/// collecting, the fold emits one `sim.replication {rep, seed,
+/// system_mean, p95, jobs}` event per replication (in replication order,
+/// after the fan-out joins — so per-worker `runner.worker` events from
+/// the pool precede them) and a closing `sim.summary`. Collection is
+/// purely observational: the returned metrics are bit-identical with or
+/// without a collector attached.
+///
+/// # Errors
+///
+/// Propagates scenario errors (shape mismatches, saturated profiles).
+pub fn simulate_profile_traced(
+    runner: &ParallelRunner,
+    model: &SystemModel,
+    profile: &StrategyProfile,
+    plan: &ReplicationPlan,
+    config: SimulationConfig,
+    collector: Option<&Arc<dyn Collector>>,
+) -> Result<SimulatedMetrics, GameError> {
     let m = model.num_users();
     let mut names: Vec<String> = (0..m).map(|j| format!("user{j}")).collect();
     names.push("system".into());
@@ -76,21 +100,42 @@ pub fn simulate_profile_with(
 
     // Fan out: one task per replication, each fully determined by its
     // seed. The fold below happens in replication order.
-    let replications = runner.try_run(plan.replications as usize, |r| {
-        let seed = plan.seed_for(r as u32);
-        let mut p95 = P2Quantile::new(0.95);
-        let result = run_replication_with_sink(model, profile, config, seed, |_, resp| {
-            p95.push(resp);
-        })?;
-        let mut values = result.user_means;
-        values.push(result.system_mean);
-        Ok::<_, GameError>((values, p95.estimate().unwrap_or(f64::NAN)))
-    })?;
+    let replications = runner.try_run_traced(
+        plan.replications as usize,
+        |r| {
+            let seed = plan.seed_for(r as u32);
+            let mut p95 = P2Quantile::new(0.95);
+            let result = run_replication_with_sink(model, profile, config, seed, |_, resp| {
+                p95.push(resp);
+            })?;
+            let mut values = result.user_means;
+            values.push(result.system_mean);
+            Ok::<_, GameError>((
+                values,
+                p95.estimate().unwrap_or(f64::NAN),
+                result.jobs_generated,
+            ))
+        },
+        collector,
+    )?;
 
+    let collect = lb_telemetry::enabled(collector);
     let mut p95_acc = 0.0;
-    for (values, p95) in &replications {
+    for (r, (values, p95, jobs)) in replications.iter().enumerate() {
         set.record(values);
         p95_acc += p95;
+        if let Some(c) = collect {
+            c.emit(
+                "sim.replication",
+                &[
+                    ("rep", (r as u64).into()),
+                    ("seed", plan.seed_for(r as u32).into()),
+                    ("system_mean", (*values.last().expect("system mean")).into()),
+                    ("p95", (*p95).into()),
+                    ("jobs", (*jobs).into()),
+                ],
+            );
+        }
     }
     let system_p95 = p95_acc / f64::from(plan.replications);
 
@@ -103,7 +148,7 @@ pub fn simulate_profile_with(
         (s, system)
     };
     let user_means: Vec<f64> = user_summaries.iter().map(|s| s.mean).collect();
-    Ok(SimulatedMetrics {
+    let metrics = SimulatedMetrics {
         fairness: jain_index(&user_means).unwrap_or(f64::NAN),
         precise: set.meets_precision(plan.max_relative_error),
         worst_relative_error: set.worst_relative_error(),
@@ -111,7 +156,21 @@ pub fn simulate_profile_with(
         system_summary,
         replications: plan.replications,
         system_p95,
-    })
+    };
+    if let Some(c) = collect {
+        c.emit(
+            "sim.summary",
+            &[
+                ("replications", metrics.replications.into()),
+                ("system_mean", metrics.system_summary.mean.into()),
+                ("system_p95", metrics.system_p95.into()),
+                ("fairness", metrics.fairness.into()),
+                ("precise", metrics.precise.into()),
+                ("worst_rel_err", metrics.worst_relative_error.into()),
+            ],
+        );
+    }
+    Ok(metrics)
 }
 
 #[cfg(test)]
@@ -181,6 +240,63 @@ mod tests {
                 ).unwrap();
                 assert_metrics_bit_identical(&par, &reference, &format!("{threads} threads"));
             }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn metrics_are_bit_identical_with_collection_enabled(
+            base_seed in 0u64..u64::MAX,
+            threads in 1usize..5,
+        ) {
+            use lb_telemetry::{parse_log, JsonlCollector};
+
+            /// Shared in-memory sink so the test can read the log back.
+            #[derive(Clone, Default)]
+            struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+            impl std::io::Write for SharedBuf {
+                fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                    self.0.lock().unwrap().extend_from_slice(buf);
+                    Ok(buf.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    Ok(())
+                }
+            }
+
+            let model = SystemModel::new(vec![10.0, 20.0], vec![6.0, 6.0]).unwrap();
+            let profile = ProportionalScheme.compute(&model).unwrap();
+            let plan = ReplicationPlan {
+                replications: 3,
+                base_seed,
+                ..ReplicationPlan::paper()
+            };
+            let config = SimulationConfig {
+                target_jobs: 1_000,
+                ..SimulationConfig::quick()
+            };
+            let runner = ParallelRunner::new(threads);
+            let plain =
+                simulate_profile_traced(&runner, &model, &profile, &plan, config, None).unwrap();
+
+            let buf = SharedBuf::default();
+            let collector: Arc<dyn Collector> =
+                Arc::new(JsonlCollector::new(Box::new(buf.clone())));
+            let traced = simulate_profile_traced(
+                &runner, &model, &profile, &plan, config, Some(&collector),
+            )
+            .unwrap();
+            collector.flush();
+
+            assert_metrics_bit_identical(&traced, &plain, "collector on vs off");
+
+            // The emitted log is schema-valid and covers the whole fold.
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            let log = parse_log(&text).unwrap();
+            prop_assert_eq!(log.count("sim.replication"), 3);
+            prop_assert_eq!(log.count("sim.summary"), 1);
+            prop_assert!(log.count("runner.worker") >= 1);
         }
     }
 

@@ -43,7 +43,12 @@ pub mod pools;
 pub mod scenario;
 pub mod validate;
 
-pub use churn::{breakdown_schedule, run_churn_replication, ChurnPhase, ChurnResult};
-pub use harness::{simulate_profile, simulate_profile_with, SimulatedMetrics};
+pub use churn::{
+    breakdown_schedule, run_churn_replication, run_churn_replication_traced, ChurnPhase,
+    ChurnResult,
+};
+pub use harness::{
+    simulate_profile, simulate_profile_traced, simulate_profile_with, SimulatedMetrics,
+};
 pub use parallel::ParallelRunner;
 pub use scenario::{DistributionFamily, SimulationConfig, SimulationResult};

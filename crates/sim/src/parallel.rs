@@ -13,7 +13,10 @@
 //! variable: unset, `0`, or `auto` use all cores; `1` forces the
 //! sequential path; any other `N` uses `N` workers.
 
+use lb_telemetry::Collector;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Environment variable controlling the default worker count.
 pub const THREADS_ENV: &str = "LB_SIM_THREADS";
@@ -120,6 +123,133 @@ impl ParallelRunner {
             .collect()
     }
 
+    /// [`ParallelRunner::run`] with per-worker telemetry: after the pool
+    /// joins, one `runner.worker {worker, tasks, busy_us, idle_us}` event
+    /// is emitted per worker **in worker-index order** (so the event
+    /// stream is as deterministic as the results; only the timing field
+    /// values vary run to run). Falls back to the plain path — no timing
+    /// probes at all — when the collector is absent or disabled, so
+    /// results are byte-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `task` is resumed on the calling thread.
+    pub fn run_traced<T, F>(
+        &self,
+        count: usize,
+        task: F,
+        collector: Option<&Arc<dyn Collector>>,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let Some(c) = lb_telemetry::enabled(collector) else {
+            return self.run(count, task);
+        };
+        if self.threads <= 1 || count <= 1 {
+            let start = Instant::now();
+            let mut busy = std::time::Duration::ZERO;
+            let out = (0..count)
+                .map(|i| {
+                    let t0 = Instant::now();
+                    let v = task(i);
+                    busy += t0.elapsed();
+                    v
+                })
+                .collect();
+            let idle = start.elapsed().saturating_sub(busy);
+            c.emit(
+                "runner.worker",
+                &[
+                    ("worker", 0u64.into()),
+                    ("tasks", (count as u64).into()),
+                    ("busy_us", (busy.as_micros() as u64).into()),
+                    ("idle_us", (idle.as_micros() as u64).into()),
+                ],
+            );
+            return out;
+        }
+        let workers = self.threads.min(count);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let mut stats: Vec<(u64, u64, u64)> = Vec::with_capacity(workers);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let start = Instant::now();
+                        let mut busy = std::time::Duration::ZERO;
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= count {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let value = task(idx);
+                            busy += t0.elapsed();
+                            local.push((idx, value));
+                        }
+                        let idle = start.elapsed().saturating_sub(busy);
+                        (local, busy.as_micros() as u64, idle.as_micros() as u64)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (local, busy_us, idle_us) =
+                    h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                stats.push((local.len() as u64, busy_us, idle_us));
+                for (idx, value) in local {
+                    slots[idx] = Some(value);
+                }
+            }
+        })
+        .unwrap_or_else(|p| std::panic::resume_unwind(p));
+        for (worker, (tasks, busy_us, idle_us)) in stats.into_iter().enumerate() {
+            c.emit(
+                "runner.worker",
+                &[
+                    ("worker", (worker as u64).into()),
+                    ("tasks", tasks.into()),
+                    ("busy_us", busy_us.into()),
+                    ("idle_us", idle_us.into()),
+                ],
+            );
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task index is claimed exactly once"))
+            .collect()
+    }
+
+    /// Fallible variant of [`ParallelRunner::run_traced`], with
+    /// [`ParallelRunner::try_run`]'s error semantics (lowest-indexed
+    /// failure wins). Note the traced path runs every task even after a
+    /// failure — tasks are expected to be effect-free.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed task error.
+    pub fn try_run_traced<T, E, F>(
+        &self,
+        count: usize,
+        task: F,
+        collector: Option<&Arc<dyn Collector>>,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        if lb_telemetry::enabled(collector).is_none() {
+            return self.try_run(count, task);
+        }
+        self.run_traced(count, &task, collector)
+            .into_iter()
+            .collect()
+    }
+
     /// Fallible variant of [`ParallelRunner::run`]: collects `Ok` values
     /// in index order, or returns the error of the **lowest-indexed**
     /// failing task — the same error the sequential loop would surface.
@@ -190,6 +320,41 @@ mod tests {
     fn thread_count_is_clamped() {
         assert_eq!(ParallelRunner::new(0).threads(), 1);
         assert!(ParallelRunner::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_and_accounts_every_task() {
+        use lb_telemetry::{FieldValue, MemoryCollector};
+        let task = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let reference = ParallelRunner::sequential().run(64, task);
+        for threads in [1usize, 4] {
+            let runner = ParallelRunner::new(threads);
+            let mem = Arc::new(MemoryCollector::default());
+            let collector: Arc<dyn Collector> = mem.clone();
+            let out = runner.run_traced(64, task, Some(&collector));
+            assert_eq!(out, reference, "{threads} threads");
+            let events = mem.events();
+            assert_eq!(events.len(), threads, "one event per worker");
+            let mut total = 0u64;
+            for (worker, (name, fields)) in events.iter().enumerate() {
+                assert_eq!(*name, "runner.worker");
+                assert_eq!(fields[0], ("worker", FieldValue::U64(worker as u64)));
+                let ("tasks", FieldValue::U64(tasks)) = &fields[1] else {
+                    panic!("missing tasks field: {fields:?}");
+                };
+                total += *tasks;
+            }
+            assert_eq!(total, 64, "every task accounted to a worker");
+        }
+    }
+
+    #[test]
+    fn traced_run_without_collector_is_the_plain_path() {
+        let runner = ParallelRunner::new(3);
+        let out = runner.run_traced(10, |i| i * 2, None);
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        let ok: Result<Vec<usize>, usize> = runner.try_run_traced(10, Ok, None);
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
     }
 
     #[test]

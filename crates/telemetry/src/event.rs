@@ -1,0 +1,221 @@
+//! The [`Collector`] trait and the typed event payloads it receives.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A single typed key/value pair attached to an event. Keys are static
+/// so emit sites never allocate for them.
+pub type Field = (&'static str, FieldValue);
+
+/// The value side of a [`Field`]. Numeric variants are kept distinct so
+/// the JSONL encoding round-trips types exactly (a `U64` never comes
+/// back as a float).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned counter-like values (iterations, rounds, indices).
+    U64(u64),
+    /// Signed values (deltas that may be negative).
+    I64(i64),
+    /// Measurements (norms, rates, timings in fractional units).
+    F64(f64),
+    /// Flags (converged, degraded).
+    Bool(bool),
+    /// Labels (scheme names, event kinds). `Cow` keeps static label
+    /// emission allocation-free.
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(Cow::Owned(v))
+    }
+}
+
+/// An event/span sink. Instrumented code holds an
+/// `Option<Arc<dyn Collector>>` (default `None`) and guards every emit
+/// site with [`enabled`], so a disabled collector costs one pointer
+/// check and an enabled-but-null one costs a virtual call.
+///
+/// Implementations stamp their own timestamps and sequence numbers;
+/// emit sites stay clock-free so instrumentation cannot perturb
+/// deterministic replay.
+pub trait Collector: Send + Sync {
+    /// Whether events should be assembled at all. Call sites that build
+    /// non-trivial payloads (e.g. water-fill prefix statistics) check
+    /// this first and skip the work when it returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one named event with its typed fields.
+    fn emit(&self, name: &'static str, fields: &[Field]);
+
+    /// Flushes any buffered output (a no-op for most collectors).
+    fn flush(&self) {}
+}
+
+/// Resolves an optional collector handle to an active `&dyn Collector`,
+/// or `None` when collection is off. This is the single disabled-path
+/// check every instrumented hot loop performs.
+#[inline]
+pub fn enabled(collector: Option<&Arc<dyn Collector>>) -> Option<&dyn Collector> {
+    match collector {
+        Some(c) if c.enabled() => Some(&**c),
+        _ => None,
+    }
+}
+
+/// A collector that accepts events and discards them. Used to measure
+/// the cost of the emit path itself (event assembly + virtual call)
+/// separately from serialization.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn emit(&self, _name: &'static str, _fields: &[Field]) {}
+}
+
+/// A scoped timer: measures wall time from construction and emits one
+/// event carrying `elapsed_us` (plus any extra fields) when dropped or
+/// finished. The span event is emitted *after* the timed work, so spans
+/// are as replay-safe as plain events.
+pub struct SpanTimer<'a> {
+    collector: &'a dyn Collector,
+    name: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts a span that will emit `name` when it ends.
+    pub fn new(collector: &'a dyn Collector, name: &'static str) -> Self {
+        SpanTimer {
+            collector,
+            name,
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Ends the span now, attaching `extra` fields after `elapsed_us`.
+    pub fn finish(mut self, extra: &[Field]) {
+        self.emit(extra);
+    }
+
+    fn emit(&mut self, extra: &[Field]) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let elapsed = self.start.elapsed().as_micros() as u64;
+        let mut fields: Vec<Field> = Vec::with_capacity(extra.len() + 1);
+        fields.push(("elapsed_us", FieldValue::U64(elapsed)));
+        fields.extend_from_slice(extra);
+        self.collector.emit(self.name, &fields);
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.emit(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectors::MemoryCollector;
+
+    #[test]
+    fn enabled_resolves_none_and_disabled_to_none() {
+        assert!(enabled(None).is_none());
+        let on: Arc<dyn Collector> = Arc::new(NullCollector);
+        assert!(enabled(Some(&on)).is_some());
+
+        struct Off;
+        impl Collector for Off {
+            fn enabled(&self) -> bool {
+                false
+            }
+            fn emit(&self, _: &'static str, _: &[Field]) {
+                panic!("disabled collector must never receive events");
+            }
+        }
+        let off: Arc<dyn Collector> = Arc::new(Off);
+        assert!(enabled(Some(&off)).is_none());
+    }
+
+    #[test]
+    fn span_timer_emits_once_with_elapsed_and_extras() {
+        let mem = MemoryCollector::default();
+        {
+            let span = SpanTimer::new(&mem, "unit.span");
+            span.finish(&[("tag", FieldValue::from("done"))]);
+        }
+        let events = mem.events();
+        assert_eq!(events.len(), 1);
+        let (name, fields) = &events[0];
+        assert_eq!(*name, "unit.span");
+        assert_eq!(fields[0].0, "elapsed_us");
+        assert!(matches!(fields[0].1, FieldValue::U64(_)));
+        assert_eq!(fields[1], ("tag", FieldValue::from("done")));
+    }
+
+    #[test]
+    fn span_timer_emits_on_drop() {
+        let mem = MemoryCollector::default();
+        {
+            let _span = SpanTimer::new(&mem, "unit.drop");
+        }
+        assert_eq!(mem.events().len(), 1);
+    }
+}

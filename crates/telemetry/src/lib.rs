@@ -1,0 +1,38 @@
+//! `lb-telemetry`: a zero-external-dependency structured observability
+//! layer, in the spirit of the `compat/` shims.
+//!
+//! The crate has three parts:
+//!
+//! - [`Collector`]: the event/span sink trait the runtime crates are
+//!   instrumented against. Hot paths hold an
+//!   `Option<Arc<dyn Collector>>` that defaults to `None`, so the
+//!   disabled path is a single pointer check (budget: <1% overhead on
+//!   the solver benchmarks, measured by the `bench` subcommand).
+//!   Implementations: [`NullCollector`] (enabled-but-discarding, for
+//!   overhead measurement), [`JsonlCollector`] (append-only versioned
+//!   event log), [`StderrCollector`] (human-readable CLI progress),
+//!   [`TeeCollector`] (fan-out), [`MemoryCollector`] (tests).
+//! - [`schema`]: the versioned JSONL event-log format — a header line
+//!   `{"schema":"lb-telemetry","version":1}` followed by one event
+//!   object per line — plus a parser/validator ([`parse_log`]) built on
+//!   the minimal JSON codec in [`json`].
+//! - [`MetricsRegistry`]: counters, gauges, and log-linear histograms
+//!   with p50/p95/p99, exportable as JSON and Prometheus text format.
+//!
+//! Instrumentation never perturbs results: events are emitted *after*
+//! the computation they describe and nothing ever flows back. The
+//! experiment CSVs are byte-identical with collection on or off
+//! (property-tested in `lb-sim` and asserted end-to-end in
+//! `lb-experiments`).
+
+pub mod collectors;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod schema;
+
+pub use collectors::{JsonlCollector, MemoryCollector, StderrCollector, TeeCollector};
+pub use event::{enabled, Collector, Field, FieldValue, NullCollector, SpanTimer};
+pub use json::Json;
+pub use metrics::{HistogramSnapshot, MetricsRegistry};
+pub use schema::{parse_log, EventLog, LogEvent, SCHEMA_NAME, SCHEMA_VERSION};

@@ -1,0 +1,367 @@
+//! A process-local metrics registry: counters, gauges, and log-linear
+//! histograms with streaming p50/p95/p99 — exportable as JSON and as
+//! Prometheus text exposition format.
+
+use crate::json::{escape_str, fmt_f64};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Linear sub-buckets per power-of-two octave. Eight sub-buckets bound
+/// the relative quantile error by 1/8 = 12.5% within an octave.
+const SUBS_PER_OCTAVE: i64 = 8;
+
+/// A log-linear histogram: values are bucketed by octave
+/// (`floor(log2 v)`) and then linearly within the octave. Memory is
+/// proportional to the number of *occupied* buckets, and quantiles are
+/// answered with bounded relative error without storing samples.
+#[derive(Debug, Default, Clone)]
+pub struct LogLinearHistogram {
+    buckets: BTreeMap<i64, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogLinearHistogram {
+    /// Bucket key for a value. Non-positive and non-finite values share
+    /// the lowest bucket (they are still tracked in min/max/sum).
+    fn key(v: f64) -> i64 {
+        if !v.is_finite() || v <= 0.0 {
+            return i64::MIN;
+        }
+        let octave = v.log2().floor();
+        let octave = octave.clamp(-1024.0, 1024.0) as i64;
+        let base = (octave as f64).exp2();
+        let sub = (((v / base) - 1.0) * SUBS_PER_OCTAVE as f64).floor() as i64;
+        octave * SUBS_PER_OCTAVE + sub.clamp(0, SUBS_PER_OCTAVE - 1)
+    }
+
+    /// Upper bound of a bucket — the representative value quantile
+    /// queries report.
+    fn upper_bound(key: i64) -> f64 {
+        if key == i64::MIN {
+            return 0.0;
+        }
+        let octave = key.div_euclid(SUBS_PER_OCTAVE);
+        let sub = key.rem_euclid(SUBS_PER_OCTAVE);
+        (octave as f64).exp2() * (1.0 + (sub + 1) as f64 / SUBS_PER_OCTAVE as f64)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        *self.buckets.entry(Self::key(v)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the q-th observation, clamped to the observed
+    /// min/max. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&key, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::upper_bound(key).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// A summary snapshot (count, sum, min, max, p50/p95/p99).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { f64::NAN } else { self.min },
+            max: if self.count == 0 { f64::NAN } else { self.max },
+            p50: self.quantile(0.50).unwrap_or(f64::NAN),
+            p95: self.quantile(0.95).unwrap_or(f64::NAN),
+            p99: self.quantile(0.99).unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Point-in-time summary of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`NaN` when empty).
+    pub min: f64,
+    /// Largest observation (`NaN` when empty).
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogLinearHistogram>,
+}
+
+/// A thread-safe registry of named metrics. Names are free-form dotted
+/// paths (`ring.hops`); the Prometheus exporter sanitizes them.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to a counter, creating it at zero.
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records an observation into a histogram, creating it on first
+    /// use.
+    pub fn observe(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Current value of a counter (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.histograms.get(name).map(LogLinearHistogram::snapshot)
+    }
+
+    /// Renders every metric as a single JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in inner.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_str(&mut out, name);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in inner.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_str(&mut out, name);
+            out.push_str(": ");
+            fmt_f64(&mut out, *v);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in inner.histograms.iter().enumerate() {
+            let s = h.snapshot();
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_str(&mut out, name);
+            let _ = write!(out, ": {{\"count\": {}, \"sum\": ", s.count);
+            fmt_f64(&mut out, s.sum);
+            for (label, v) in [
+                ("min", s.min),
+                ("max", s.max),
+                ("p50", s.p50),
+                ("p95", s.p95),
+                ("p99", s.p99),
+            ] {
+                let _ = write!(out, ", \"{label}\": ");
+                fmt_f64(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders every metric in Prometheus text exposition format.
+    /// Histograms are exported as summaries with `quantile` labels.
+    pub fn to_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut out = String::new();
+        for (name, v) in &inner.counters {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} counter");
+            let _ = writeln!(out, "{prom} {v}");
+        }
+        for (name, v) in &inner.gauges {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} gauge");
+            let _ = writeln!(out, "{prom} {v}");
+        }
+        for (name, h) in &inner.histograms {
+            let prom = prom_name(name);
+            let s = h.snapshot();
+            let _ = writeln!(out, "# TYPE {prom} summary");
+            for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                let _ = writeln!(out, "{prom}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{prom}_sum {}", s.sum);
+            let _ = writeln!(out, "{prom}_count {}", s.count);
+        }
+        out
+    }
+}
+
+/// Sanitizes a dotted metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixing `lb_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("lb_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn histogram_quantiles_have_bounded_relative_error() {
+        let mut h = LogLinearHistogram::default();
+        for i in 1..=1000 {
+            h.observe(f64::from(i));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        for (q, exact) in [(s.p50, 500.0), (s.p95, 950.0), (s.p99, 990.0)] {
+            let rel = (q - exact).abs() / exact;
+            assert!(rel <= 0.125 + 1e-9, "estimate {q} vs exact {exact}");
+            assert!(
+                q >= exact * 0.999,
+                "quantile must not underestimate: {q} < {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_inputs() {
+        let mut h = LogLinearHistogram::default();
+        assert!(h.quantile(0.5).is_none());
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(5.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 5.0);
+        assert!(s.p50 >= -3.0 && s.p50 <= 5.0);
+    }
+
+    #[test]
+    fn registry_tracks_all_three_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.inc("ring.hops", 3);
+        reg.inc("ring.hops", 2);
+        reg.set_gauge("calendar.depth", 17.0);
+        for v in [1.0, 2.0, 4.0] {
+            reg.observe("sweep.norm", v);
+        }
+        assert_eq!(reg.counter("ring.hops"), 5);
+        assert_eq!(reg.gauge("calendar.depth"), Some(17.0));
+        let h = reg.histogram("sweep.norm").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 7.0);
+        assert_eq!(reg.counter("absent"), 0);
+        assert!(reg.gauge("absent").is_none());
+        assert!(reg.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn json_export_is_parseable_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.inc("a.count", 1);
+        reg.set_gauge("b.level", 2.5);
+        reg.observe("c.time", 10.0);
+        let text = reg.to_json();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(
+            v.get("counters").unwrap().get("a.count").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("gauges").unwrap().get("b.level").unwrap().as_f64(),
+            Some(2.5)
+        );
+        let hist = v.get("histograms").unwrap().get("c.time").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert!(hist.get("p95").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn prometheus_export_uses_sanitized_names_and_summaries() {
+        let reg = MetricsRegistry::new();
+        reg.inc("ring.hops", 7);
+        reg.set_gauge("calendar.depth", 3.0);
+        reg.observe("sweep.norm", 2.0);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE lb_ring_hops counter"));
+        assert!(text.contains("lb_ring_hops 7"));
+        assert!(text.contains("# TYPE lb_calendar_depth gauge"));
+        assert!(text.contains("# TYPE lb_sweep_norm summary"));
+        assert!(text.contains("lb_sweep_norm{quantile=\"0.95\"}"));
+        assert!(text.contains("lb_sweep_norm_count 1"));
+    }
+}

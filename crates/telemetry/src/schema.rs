@@ -1,0 +1,314 @@
+//! The versioned JSONL event-log schema.
+//!
+//! A log is UTF-8 text, one JSON object per line:
+//!
+//! ```text
+//! {"schema":"lb-telemetry","version":1}
+//! {"seq":0,"t_us":0,"event":"solver.start","fields":{"users":40,"computers":32}}
+//! {"seq":1,"t_us":13,"event":"solver.sweep","fields":{"iter":1,"norm":1.25}}
+//! ```
+//!
+//! The first line is the header; every following line is an event with
+//! a strictly increasing `seq`, a non-decreasing microsecond timestamp
+//! `t_us`, a non-empty `event` name, and a flat `fields` object whose
+//! values are numbers, booleans, or strings (non-finite floats are
+//! encoded as the strings `"NaN"`/`"inf"`/`"-inf"`). Any change to this
+//! shape bumps [`SCHEMA_VERSION`]; the golden test in
+//! `tests/golden.rs` pins the byte-level format of version 1.
+
+use crate::event::{Field, FieldValue};
+use crate::json::{self, Json};
+use std::fmt::Write as _;
+
+/// Schema identifier carried in the header line.
+pub const SCHEMA_NAME: &str = "lb-telemetry";
+
+/// Current schema version; bumped on any incompatible format change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Renders the header line (without trailing newline).
+pub fn header_line() -> String {
+    format!("{{\"schema\":\"{SCHEMA_NAME}\",\"version\":{SCHEMA_VERSION}}}")
+}
+
+/// Renders one event line (without trailing newline).
+pub fn encode_event_line(seq: u64, t_us: u64, name: &str, fields: &[Field]) -> String {
+    let mut out = String::with_capacity(64 + 24 * fields.len());
+    let _ = write!(out, "{{\"seq\":{seq},\"t_us\":{t_us},\"event\":");
+    json::escape_str(&mut out, name);
+    out.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_str(&mut out, key);
+        out.push(':');
+        encode_field_value(&mut out, value);
+    }
+    out.push_str("}}");
+    out
+}
+
+fn encode_field_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) => json::fmt_f64(out, *v),
+        FieldValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::Str(s) => json::escape_str(out, s),
+    }
+}
+
+/// One parsed event from a log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEvent {
+    /// Sequence number (strictly increasing within a log).
+    pub seq: u64,
+    /// Microseconds since the collector was created (non-decreasing).
+    pub t_us: u64,
+    /// Event name, e.g. `solver.sweep`.
+    pub name: String,
+    /// Fields in emission order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl LogEvent {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A fully parsed and validated event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    /// Schema version from the header.
+    pub version: u32,
+    /// Events in log order.
+    pub events: Vec<LogEvent>,
+}
+
+impl EventLog {
+    /// Number of events with the given name.
+    pub fn count(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// Iterator over events with the given name.
+    pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a LogEvent> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+}
+
+/// Parses and validates a complete JSONL event log: header first, then
+/// events with strictly increasing `seq`, non-decreasing `t_us`, and
+/// flat scalar field values.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending line (1-based).
+pub fn parse_log(text: &str) -> Result<EventLog, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((header_no, header_text)) = lines.next() else {
+        return Err("empty log: missing header line".into());
+    };
+    let header = json::parse(header_text).map_err(|e| format!("line {}: {e}", header_no + 1))?;
+    match header.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA_NAME) => {}
+        other => {
+            return Err(format!(
+                "line {}: header schema is {other:?}, expected {SCHEMA_NAME:?}",
+                header_no + 1
+            ))
+        }
+    }
+    let version = header
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {}: header missing integer version", header_no + 1))?;
+    if version != u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "line {}: schema version {version} unsupported (expected {SCHEMA_VERSION})",
+            header_no + 1
+        ));
+    }
+
+    let mut events = Vec::new();
+    let mut next_seq = 0u64;
+    let mut last_t_us = 0u64;
+    for (no, line) in lines {
+        let lineno = no + 1;
+        let value = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let seq = value
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {lineno}: missing integer seq"))?;
+        if seq != next_seq {
+            return Err(format!(
+                "line {lineno}: seq {seq} out of order (expected {next_seq})"
+            ));
+        }
+        next_seq = seq + 1;
+        let t_us = value
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {lineno}: missing integer t_us"))?;
+        if t_us < last_t_us {
+            return Err(format!(
+                "line {lineno}: t_us {t_us} went backwards (previous {last_t_us})"
+            ));
+        }
+        last_t_us = t_us;
+        let name = value
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string event"))?;
+        if name.is_empty() {
+            return Err(format!("line {lineno}: empty event name"));
+        }
+        let fields = value
+            .get("fields")
+            .and_then(Json::as_object)
+            .ok_or_else(|| format!("line {lineno}: missing fields object"))?;
+        for (key, v) in fields {
+            match v {
+                Json::Int(_) | Json::UInt(_) | Json::Float(_) | Json::Bool(_) | Json::Str(_) => {}
+                other => {
+                    return Err(format!(
+                        "line {lineno}: field {key:?} has non-scalar value {other:?}"
+                    ))
+                }
+            }
+        }
+        events.push(LogEvent {
+            seq,
+            t_us,
+            name: name.to_string(),
+            fields: fields.to_vec(),
+        });
+    }
+    Ok(EventLog {
+        version: version as u32,
+        events,
+    })
+}
+
+/// Whether a parsed field value is the faithful decoding of an emitted
+/// [`FieldValue`] under this schema (used by the round-trip proptest).
+pub fn field_round_trips(original: &FieldValue, parsed: &Json) -> bool {
+    match (original, parsed) {
+        (FieldValue::U64(a), p) => p.as_u64() == Some(*a),
+        (FieldValue::I64(a), p) => p.as_i64() == Some(*a),
+        (FieldValue::Bool(a), Json::Bool(b)) => a == b,
+        (FieldValue::Str(a), Json::Str(b)) => a.as_ref() == b,
+        (FieldValue::F64(a), Json::Float(b)) => a.to_bits() == b.to_bits(),
+        (FieldValue::F64(a), Json::Str(b)) => {
+            (a.is_nan() && b == "NaN")
+                || (*a == f64::INFINITY && b == "inf")
+                || (*a == f64::NEG_INFINITY && b == "-inf")
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_then_parse_yields_same_events() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            header_line(),
+            encode_event_line(
+                0,
+                0,
+                "solver.start",
+                &[("users", 40u64.into()), ("scheme", "NASH_P".into())]
+            ),
+            encode_event_line(
+                1,
+                7,
+                "solver.sweep",
+                &[
+                    ("iter", 1u64.into()),
+                    ("norm", 0.25.into()),
+                    ("converged", false.into()),
+                ]
+            ),
+        );
+        let log = parse_log(&text).unwrap();
+        assert_eq!(log.version, SCHEMA_VERSION);
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.events[0].name, "solver.start");
+        assert_eq!(
+            log.events[0].field("scheme").unwrap().as_str(),
+            Some("NASH_P")
+        );
+        assert_eq!(log.events[1].field("norm").unwrap().as_f64(), Some(0.25));
+        assert_eq!(log.count("solver.sweep"), 1);
+        assert_eq!(log.named("solver.sweep").count(), 1);
+    }
+
+    #[test]
+    fn parse_log_rejects_bad_logs() {
+        let header = header_line();
+        let ok = encode_event_line(0, 0, "e", &[]);
+        let cases = [
+            ("".to_string(), "missing header"),
+            ("{\"schema\":\"other\",\"version\":1}".to_string(), "schema"),
+            (
+                format!("{{\"schema\":\"{SCHEMA_NAME}\",\"version\":99}}"),
+                "version",
+            ),
+            (
+                format!("{header}\n{}", encode_event_line(5, 0, "e", &[])),
+                "seq",
+            ),
+            (
+                format!(
+                    "{header}\n{}\n{}",
+                    encode_event_line(0, 10, "e", &[]),
+                    encode_event_line(1, 3, "e", &[])
+                ),
+                "t_us",
+            ),
+            (format!("{header}\n{{\"seq\":0,\"t_us\":0}}"), "event"),
+            (
+                format!(
+                    "{header}\n{{\"seq\":0,\"t_us\":0,\"event\":\"e\",\"fields\":{{\"x\":[1]}}}}"
+                ),
+                "non-scalar",
+            ),
+            (ok, "header"),
+        ];
+        for (text, why) in cases {
+            assert!(parse_log(&text).is_err(), "accepted bad log ({why})");
+        }
+    }
+
+    #[test]
+    fn field_round_trips_covers_non_finite_floats() {
+        assert!(field_round_trips(
+            &FieldValue::F64(f64::NAN),
+            &Json::Str("NaN".into())
+        ));
+        assert!(field_round_trips(
+            &FieldValue::F64(f64::INFINITY),
+            &Json::Str("inf".into())
+        ));
+        assert!(!field_round_trips(
+            &FieldValue::F64(1.0),
+            &Json::Str("inf".into())
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Golden-file test pinning schema version 1 at the byte level.
+//!
+//! If this test fails because the format changed intentionally, bump
+//! `SCHEMA_VERSION` and regenerate the golden file by running the test
+//! with `LB_TELEMETRY_BLESS=1`.
+
+use lb_telemetry::{parse_log, Collector, FieldValue, JsonlCollector, SCHEMA_VERSION};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v1.jsonl");
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Emits one representative event of every field type through a
+/// fixed-clock collector — the exact byte stream is the golden file.
+fn render_reference_log() -> String {
+    let buf = SharedBuf::default();
+    let collector = JsonlCollector::with_fixed_clock(Box::new(buf.clone()), 10);
+    collector.emit(
+        "solver.start",
+        &[
+            ("scheme", FieldValue::from("NASH_P")),
+            ("users", FieldValue::from(40u64)),
+            ("computers", FieldValue::from(32u64)),
+            ("tolerance", FieldValue::from(1e-4)),
+        ],
+    );
+    collector.emit(
+        "solver.sweep",
+        &[
+            ("iter", FieldValue::from(1u64)),
+            ("norm", FieldValue::from(0.5)),
+            ("max_d_delta", FieldValue::from(0.125)),
+            ("converged", FieldValue::from(false)),
+        ],
+    );
+    collector.emit(
+        "ring.shed",
+        &[
+            ("round", FieldValue::from(3u64)),
+            ("delta", FieldValue::from(-2i64)),
+            ("fraction", FieldValue::from(0.0625)),
+        ],
+    );
+    collector.emit(
+        "edge.cases",
+        &[
+            ("nan", FieldValue::from(f64::NAN)),
+            ("inf", FieldValue::from(f64::INFINITY)),
+            ("neg_inf", FieldValue::from(f64::NEG_INFINITY)),
+            ("integral_float", FieldValue::from(2.0)),
+            (
+                "label",
+                FieldValue::from("quote\" slash\\ tab\t".to_string()),
+            ),
+        ],
+    );
+    collector.flush();
+    let bytes = buf.0.lock().unwrap().clone();
+    String::from_utf8(bytes).unwrap()
+}
+
+#[test]
+fn schema_v1_bytes_match_the_golden_file() {
+    let rendered = render_reference_log();
+    if std::env::var_os("LB_TELEMETRY_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file present; regenerate with LB_TELEMETRY_BLESS=1");
+    assert_eq!(
+        rendered, golden,
+        "schema output drifted from the version-{SCHEMA_VERSION} golden file; \
+         if intentional, bump SCHEMA_VERSION and re-bless"
+    );
+}
+
+#[test]
+fn golden_file_is_schema_valid() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap();
+    let log = parse_log(&golden).unwrap();
+    assert_eq!(log.version, SCHEMA_VERSION);
+    assert_eq!(log.events.len(), 4);
+    assert_eq!(log.events[0].name, "solver.start");
+    assert_eq!(log.events[3].field("nan").unwrap().as_str(), Some("NaN"));
+    assert_eq!(
+        log.events[3].field("integral_float").unwrap().as_f64(),
+        Some(2.0)
+    );
+}
