@@ -27,8 +27,11 @@
 
 use crate::calendar::{Calendar, EventId};
 use crate::time::SimTime;
-use lb_telemetry::Collector;
+use lb_telemetry::{Collector, Span, SpanHandle};
 use std::sync::Arc;
+
+/// Default number of delivered events covered by one `des.batch` span.
+pub const DEFAULT_BATCH_EVENTS: u64 = 4096;
 
 /// A discrete-event simulation engine over event payloads of type `E`.
 pub struct Engine<E> {
@@ -38,6 +41,16 @@ pub struct Engine<E> {
     horizon: Option<SimTime>,
     max_events: Option<u64>,
     collector: Option<Arc<dyn Collector>>,
+    /// Parent for `des.batch` spans (see [`Engine::set_span_parent`]).
+    span_parent: Option<SpanHandle>,
+    /// The open `des.batch` span, when batch spans are armed.
+    batch_span: Option<Span>,
+    /// Events per batch span.
+    batch_size: u64,
+    /// Events remaining in the current batch; 0 disarms the per-event
+    /// countdown entirely, so the unarmed hot path pays one integer
+    /// compare per event.
+    batch_left: u64,
 }
 
 impl<E> Engine<E> {
@@ -50,6 +63,10 @@ impl<E> Engine<E> {
             horizon: None,
             max_events: None,
             collector: None,
+            span_parent: None,
+            batch_span: None,
+            batch_size: DEFAULT_BATCH_EVENTS,
+            batch_left: 0,
         }
     }
 
@@ -59,6 +76,82 @@ impl<E> Engine<E> {
     /// are bit-identical with or without a collector.
     pub fn set_collector(&mut self, collector: Arc<dyn Collector>) {
         self.collector = Some(collector);
+    }
+
+    /// Arms per-batch causal spans: every [`Engine::batch_events`]
+    /// delivered events close one `des.batch` span (carrying the event
+    /// count, sim time, and calendar depth) and open the next, all
+    /// parented under `parent` — typically the `sim.replication` or
+    /// `sim.churn` span driving this engine. The final partial batch
+    /// closes when [`Engine::next_event`] first returns `None`.
+    ///
+    /// Spans are observational only; delivery order and results are
+    /// bit-identical whether or not batch spans are armed.
+    pub fn set_span_parent(&mut self, parent: SpanHandle) {
+        self.span_parent = Some(parent);
+        self.arm_batch_spans();
+    }
+
+    /// Sets the batch-span granularity (events per `des.batch` span,
+    /// clamped to ≥ 1). Takes effect from the next batch boundary, or
+    /// immediately if batch spans are already armed.
+    pub fn set_batch_events(&mut self, events: u64) {
+        self.batch_size = events.max(1);
+        if self.span_parent.is_some() {
+            self.arm_batch_spans();
+        }
+    }
+
+    /// The current batch-span granularity.
+    pub fn batch_events(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// Closes any open batch span and opens a fresh one under the
+    /// configured parent.
+    fn arm_batch_spans(&mut self) {
+        self.finish_batch_span();
+        if let Some(parent) = &self.span_parent {
+            self.batch_span = Some(parent.child(
+                "des.batch",
+                &[
+                    ("batch", self.batch_size.into()),
+                    ("start", self.processed.into()),
+                ],
+            ));
+            self.batch_left = self.batch_size;
+        }
+    }
+
+    /// Closes the current batch span (full batch) and rolls to the next.
+    fn roll_batch_span(&mut self) {
+        if let Some(span) = self.batch_span.take() {
+            span.close_with(&[
+                ("events", self.batch_size.into()),
+                ("t", self.now.as_secs().into()),
+                ("depth", (self.calendar.len_upper_bound() as u64).into()),
+            ]);
+        }
+        if let Some(parent) = &self.span_parent {
+            self.batch_span = Some(parent.child(
+                "des.batch",
+                &[
+                    ("batch", self.batch_size.into()),
+                    ("start", self.processed.into()),
+                ],
+            ));
+            self.batch_left = self.batch_size;
+        }
+    }
+
+    /// Closes the partial batch at end of delivery and disarms the
+    /// countdown (re-arm with [`Engine::set_span_parent`]).
+    fn finish_batch_span(&mut self) {
+        if let Some(span) = self.batch_span.take() {
+            let done = self.batch_size - self.batch_left;
+            span.close_with(&[("events", done.into()), ("t", self.now.as_secs().into())]);
+        }
+        self.batch_left = 0;
     }
 
     /// Bounds the total number of delivered events — a runaway-model
@@ -159,19 +252,30 @@ impl<E> Engine<E> {
     pub fn next_event(&mut self) -> Option<E> {
         if let Some(max) = self.max_events {
             if self.processed >= max {
+                self.finish_batch_span();
                 return None;
             }
         }
-        let next = self.calendar.peek_time()?;
+        let Some(next) = self.calendar.peek_time() else {
+            self.finish_batch_span();
+            return None;
+        };
         if let Some(h) = self.horizon {
             if next > h {
                 self.now = self.now.max(h);
+                self.finish_batch_span();
                 return None;
             }
         }
         let (time, payload) = self.calendar.pop()?;
         self.now = time;
         self.processed += 1;
+        if self.batch_left > 0 {
+            self.batch_left -= 1;
+            if self.batch_left == 0 {
+                self.roll_batch_span();
+            }
+        }
         Some(payload)
     }
 
@@ -309,6 +413,77 @@ mod tests {
         assert_eq!(plain, traced);
         assert!(mem.count("des.compact") >= 1, "no compaction observed");
         assert_eq!(traced.len(), 499);
+    }
+
+    #[test]
+    fn batch_spans_partition_the_run_and_close_on_exhaustion() {
+        use lb_telemetry::{FieldValue, MemoryCollector, SPAN_CLOSE, SPAN_OPEN};
+
+        let mem = Arc::new(MemoryCollector::default());
+        let collector: Arc<dyn Collector> = mem.clone();
+        let root = Span::root(Some(&collector), "test.root", &[]).unwrap();
+
+        let mut eng = Engine::new();
+        eng.set_collector(Arc::clone(&collector));
+        eng.set_batch_events(100);
+        eng.set_span_parent(root.handle());
+        for i in 0..250u32 {
+            eng.schedule_in(1.0 + f64::from(i), i);
+        }
+        let delivered = eng.run_with(|_, _| {});
+        assert_eq!(delivered, 250);
+        root.close();
+
+        // Three batch spans (100 + 100 + 50) plus the test root, all
+        // closed, each parented under the root.
+        assert_eq!(mem.count(SPAN_OPEN), 4);
+        assert_eq!(mem.count(SPAN_CLOSE), 4);
+        let events = mem.events();
+        let field_u64 = |fields: &[lb_telemetry::Field], key: &str| -> Option<u64> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| match v {
+                    FieldValue::U64(n) => *n,
+                    other => panic!("field {key} was {other:?}"),
+                })
+        };
+        let root_id = field_u64(&events[0].1, "span").unwrap();
+        let mut batch_events = Vec::new();
+        for (name, fields) in &events {
+            if *name == SPAN_OPEN && field_u64(fields, "span") != Some(root_id) {
+                assert_eq!(field_u64(fields, "parent"), Some(root_id));
+            }
+            if *name == SPAN_CLOSE && field_u64(fields, "span") != Some(root_id) {
+                batch_events.push(field_u64(fields, "events").unwrap());
+            }
+        }
+        assert_eq!(batch_events, vec![100, 100, 50]);
+    }
+
+    #[test]
+    fn batch_spans_do_not_perturb_delivery() {
+        use lb_telemetry::MemoryCollector;
+
+        let run = |spans: bool| {
+            let mem = Arc::new(MemoryCollector::default());
+            let collector: Arc<dyn Collector> = mem.clone();
+            let root = Span::root(Some(&collector), "test.root", &[]).unwrap();
+            let mut eng = Engine::new();
+            if spans {
+                eng.set_collector(Arc::clone(&collector));
+                eng.set_batch_events(7);
+                eng.set_span_parent(root.handle());
+            }
+            for i in 0..100u32 {
+                eng.schedule_in(1.0 + f64::from(i % 13), i);
+            }
+            let mut seen = Vec::new();
+            eng.run_with(|_, i| seen.push(i));
+            root.close();
+            seen
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

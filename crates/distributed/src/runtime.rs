@@ -62,7 +62,7 @@ use lb_game::model::SystemModel;
 use lb_game::overload::{shed_to_feasible, OverloadPolicy};
 use lb_game::strategy::{Strategy, StrategyProfile};
 use lb_stats::IterationTrace;
-use lb_telemetry::{Collector, Field};
+use lb_telemetry::{Collector, Field, Span};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -346,6 +346,13 @@ impl DistributedNash {
         }
         drop(event_tx);
 
+        // Root span for the whole distributed run; the coordinator rolls
+        // `ring.round` / `ring.hold` children under it as the token moves.
+        let run_span = Span::root(
+            self.collector.as_ref(),
+            "ring.run",
+            &[("users", m.into()), ("computers", n.into())],
+        );
         let mut coord = Coordinator {
             m,
             board: Arc::clone(&board),
@@ -367,6 +374,9 @@ impl DistributedNash {
             faults: Arc::clone(&self.faults),
             shed_log: Vec::new(),
             collector: self.collector.clone(),
+            hold_span: None,
+            round_span: None,
+            run_span,
         };
         coord.inject(0, Token::initial());
         let driven = coord.drive(self.run_deadline);
@@ -427,6 +437,7 @@ impl DistributedNash {
             .filter(|(_, (&cur, &nom))| cur < nom)
             .map(|(i, _)| i)
             .collect();
+        coord.finish_run_span(termination_label(termination));
         if let Some(c) = lb_telemetry::enabled(self.collector.as_ref()) {
             c.emit(
                 "ring.done",
@@ -622,6 +633,15 @@ struct Coordinator {
     faults: Arc<FaultPlan>,
     shed_log: Vec<ShedRecord>,
     collector: Option<Arc<dyn Collector>>,
+    // Span fields are declared leaf-first so that, if the coordinator is
+    // dropped on an error path, the implicit drop-closes arrive in
+    // child-before-parent order.
+    /// Open `ring.hold` span: the interval one user holds the token.
+    hold_span: Option<Span>,
+    /// Open `ring.round` span covering the round in progress.
+    round_span: Option<Span>,
+    /// Root `ring.run` span for the whole distributed computation.
+    run_span: Option<Span>,
 }
 
 impl Coordinator {
@@ -631,6 +651,81 @@ impl Coordinator {
     fn emit(&self, name: &'static str, fields: &[Field]) {
         if let Some(c) = lb_telemetry::enabled(self.collector.as_ref()) {
             c.emit(name, fields);
+        }
+    }
+
+    /// Lazily opens the `ring.round` span for the round in progress.
+    /// The round index is the count of completed rounds so far; during
+    /// the terminate lap that index equals the final round count, so the
+    /// lap shows up as one last `ring.round` interval.
+    fn ensure_round_span(&mut self) {
+        if self.round_span.is_none() {
+            if let Some(run) = &self.run_span {
+                self.round_span = Some(run.child(
+                    "ring.round",
+                    &[
+                        ("round", (self.mirror.len() as u64).into()),
+                        ("epoch", self.epoch.into()),
+                    ],
+                ));
+            }
+        }
+    }
+
+    /// Rolls the `ring.hold` span to the token's new holder: the open
+    /// hold closes and a new one opens under the current round span, so
+    /// the spans partition the round into per-user token-holding
+    /// intervals (the ring's causal order, serialized by the token).
+    fn begin_hold(&mut self, user: usize) {
+        if self.run_span.is_none() {
+            return;
+        }
+        if let Some(hold) = self.hold_span.take() {
+            hold.close();
+        }
+        self.ensure_round_span();
+        if let Some(round) = &self.round_span {
+            self.hold_span = Some(round.child(
+                "ring.hold",
+                &[("user", user.into()), ("epoch", self.epoch.into())],
+            ));
+        }
+    }
+
+    /// Closes the hold and round spans at a completed round boundary.
+    fn finish_round_span(&mut self, norm: f64) {
+        if let Some(hold) = self.hold_span.take() {
+            hold.close();
+        }
+        if let Some(round) = self.round_span.take() {
+            round.close_with(&[("norm", norm.into())]);
+        }
+    }
+
+    /// Closes any open hold/round spans when the round was cut short
+    /// (token loss) rather than completed.
+    fn interrupt_spans(&mut self, cause: &'static str) {
+        if let Some(hold) = self.hold_span.take() {
+            hold.close_with(&[("interrupted", true.into())]);
+        }
+        if let Some(round) = self.round_span.take() {
+            round.close_with(&[("interrupted", true.into()), ("cause", cause.into())]);
+        }
+    }
+
+    /// Closes the whole span stack at the end of the run.
+    fn finish_run_span(&mut self, termination: &'static str) {
+        if let Some(hold) = self.hold_span.take() {
+            hold.close();
+        }
+        if let Some(round) = self.round_span.take() {
+            round.close();
+        }
+        if let Some(run) = self.run_span.take() {
+            run.close_with(&[
+                ("rounds", (self.mirror.len() as u64).into()),
+                ("termination", termination.into()),
+            ]);
         }
     }
     /// The event loop: applies progress events, detects token loss via
@@ -691,6 +786,7 @@ impl Coordinator {
             Event::Forwarded { to, epoch } if epoch == self.epoch => {
                 self.holder = to;
                 self.emit("ring.hop", &[("to", to.into()), ("epoch", epoch.into())]);
+                self.begin_hold(to);
             }
             Event::RoundComplete {
                 norm,
@@ -707,6 +803,7 @@ impl Coordinator {
                         ("termination", termination_label(termination).into()),
                     ],
                 );
+                self.finish_round_span(norm);
                 if termination != Termination::Continue {
                     self.termination = Some(termination);
                 } else {
@@ -874,6 +971,7 @@ impl Coordinator {
                 ("epoch", self.epoch.into()),
             ],
         );
+        self.interrupt_spans("token_lost");
         self.declare_failed(suspect);
         let ring = self.alive_ring();
         if ring.is_empty() {
@@ -959,6 +1057,7 @@ impl Coordinator {
 
     fn inject(&mut self, target: usize, token: Token) {
         self.holder = target;
+        self.begin_hold(target);
         let _ = self.txs[target].send(RingMsg::Token(token));
     }
 
@@ -1274,6 +1373,74 @@ mod tests {
         let out = DistributedNash::new().run(&m).unwrap();
         assert!(epsilon_nash_gap(&m, out.profile()).unwrap() < 1e-6);
         assert_eq!(out.total_updates(), out.rounds());
+    }
+
+    #[test]
+    fn ring_spans_nest_run_round_hold_and_all_close() {
+        use lb_telemetry::{FieldValue, MemoryCollector, SPAN_CLOSE, SPAN_OPEN};
+
+        let m = model();
+        let mem = Arc::new(MemoryCollector::default());
+        let out = DistributedNash::new()
+            .collector(mem.clone())
+            .run(&m)
+            .unwrap();
+
+        let events = mem.events();
+        let field_u64 = |fields: &[Field], key: &str| -> Option<u64> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| match v {
+                    FieldValue::U64(n) => *n,
+                    other => panic!("field {key} was {other:?}"),
+                })
+        };
+        let opens: Vec<_> = events.iter().filter(|(n, _)| *n == SPAN_OPEN).collect();
+        let closes = events.iter().filter(|(n, _)| *n == SPAN_CLOSE).count();
+        assert_eq!(opens.len(), closes, "unbalanced span open/close");
+
+        // One run root; every round span is its child; every hold span is
+        // a child of some round span. The completed rounds match the
+        // outcome (plus one optional terminate-lap interval).
+        let mut run_id = None;
+        let mut round_ids = std::collections::BTreeSet::new();
+        let (mut rounds, mut holds) = (0usize, 0usize);
+        for (_, fields) in &opens {
+            let id = field_u64(fields, "span").unwrap();
+            let parent = field_u64(fields, "parent");
+            let name = match &fields.iter().find(|(k, _)| *k == "name").unwrap().1 {
+                FieldValue::Str(s) => s.to_string(),
+                other => panic!("name was {other:?}"),
+            };
+            match name.as_str() {
+                "ring.run" => {
+                    assert!(run_id.replace(id).is_none(), "two run roots");
+                    assert_eq!(parent, None);
+                }
+                "ring.round" => {
+                    rounds += 1;
+                    round_ids.insert(id);
+                    assert_eq!(parent, run_id, "round not parented under run");
+                }
+                "ring.hold" => {
+                    holds += 1;
+                    assert!(
+                        round_ids.contains(&parent.unwrap()),
+                        "hold not parented under a round"
+                    );
+                }
+                other => panic!("unexpected span {other}"),
+            }
+        }
+        let completed = out.rounds() as usize;
+        assert!(
+            rounds == completed || rounds == completed + 1,
+            "round spans {rounds} vs completed rounds {completed}"
+        );
+        // Each round holds the token once per user (2 users here), and
+        // the terminate lap adds at most one partial lap of holds.
+        assert!(holds >= completed * 2, "holds {holds}");
     }
 
     #[test]

@@ -32,6 +32,16 @@ use std::sync::Arc;
 /// File name of the machine-readable summary written under `--out`.
 pub const BENCH_FILE: &str = "BENCH_nash.json";
 
+/// File name of the append-only bench history under `--out`: one JSON
+/// object per run, timestamped, holding every measurement — the perf
+/// trajectory of the repo when `--out` is the committed `results/`.
+pub const HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// Relative slowdown beyond which a benchmark counts as a regression
+/// (25% — generous enough to absorb shared-runner noise, tight enough
+/// to catch a real hot-path pessimization long before it doubles).
+pub const REGRESSION_THRESHOLD: f64 = 0.25;
+
 /// Replications for the DES fan-out benchmark (the ISSUE floor is 30).
 const SIM_REPLICATIONS: u32 = 30;
 
@@ -316,21 +326,138 @@ pub fn delta_table(current: &str, reference: &str) -> Result<Table, String> {
     Ok(t)
 }
 
-/// What [`run`] produced: the summary path and, when a reference file
-/// was present before the run, the delta table against it.
+/// One benchmark whose slowdown vs the reference exceeded the noise
+/// threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark group.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Reference ns/iter.
+    pub reference_ns: f64,
+    /// Current ns/iter.
+    pub current_ns: f64,
+}
+
+impl Regression {
+    /// Slowdown factor (current / reference).
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.reference_ns
+    }
+}
+
+/// Compares two bench summaries (current vs reference, both in the
+/// [`BENCH_FILE`] format) and returns every benchmark whose slowdown
+/// exceeds `threshold` (e.g. `0.25` flags anything >1.25× slower).
+/// Benchmarks missing from either side are ignored; speedups never
+/// flag.
+///
+/// # Errors
+///
+/// A message when either document fails to parse.
+pub fn regressions(
+    current: &str,
+    reference: &str,
+    threshold: f64,
+) -> Result<Vec<Regression>, String> {
+    let cur = parse_benchmarks(current)?;
+    let refs = parse_benchmarks(reference)?;
+    let mut out = Vec::new();
+    for (group, id, now) in cur {
+        let Some(r) = refs
+            .iter()
+            .find(|(g, i, _)| *g == group && *i == id)
+            .map(|(_, _, ns)| *ns)
+        else {
+            continue;
+        };
+        if r > 0.0 && now / r > 1.0 + threshold {
+            out.push(Regression {
+                group,
+                id,
+                reference_ns: r,
+                current_ns: now,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders flagged regressions as a table.
+pub fn render_regressions(regs: &[Regression]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Bench regressions (>{:.0}% slower than reference)",
+            REGRESSION_THRESHOLD * 100.0
+        ),
+        vec![
+            "group".to_string(),
+            "id".to_string(),
+            "ref ns/iter".to_string(),
+            "now ns/iter".to_string(),
+            "slowdown".to_string(),
+        ],
+    );
+    for r in regs {
+        t.row(vec![
+            r.group.clone(),
+            r.id.clone(),
+            format!("{:.1}", r.reference_ns),
+            format!("{:.1}", r.current_ns),
+            format!("{:.2}x", r.ratio()),
+        ]);
+    }
+    t
+}
+
+/// Renders one history line: the run's timestamp, thread count, and
+/// every measurement as a single JSON object (no trailing newline).
+fn history_line(c: &Criterion, unix_s: u64) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"unix_s\":{unix_s},\"threads\":{},\"benchmarks\":[",
+        ParallelRunner::from_env().threads()
+    );
+    for (i, r) in c.results().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"group\":\"{}\",\"id\":\"{}\",\"ns_per_iter\":{:.1}}}",
+            r.group, r.id, r.ns_per_iter
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// What [`run`] produced: the summary path, the appended history line,
+/// and — when a reference file was present before the run — the delta
+/// table and flagged regressions against it.
 #[derive(Debug)]
 pub struct BenchReport {
     /// Path of the freshly written [`BENCH_FILE`].
     pub path: PathBuf,
+    /// Path of the append-only [`HISTORY_FILE`].
+    pub history_path: PathBuf,
     /// Delta vs the previous [`BENCH_FILE`] at the same path (the
     /// committed reference when `--out` is the default `results/`).
     pub delta: Option<Table>,
+    /// Benchmarks slower than the reference beyond
+    /// [`REGRESSION_THRESHOLD`] (empty when no reference existed).
+    pub regressions: Vec<Regression>,
 }
 
-/// Runs every benchmark group and writes [`BENCH_FILE`] under `out_dir`.
-/// A pre-existing summary at that path — normally the committed
-/// reference under `results/` — is read *before* being overwritten and
-/// reported as a delta table.
+/// Runs every benchmark group, writes [`BENCH_FILE`] under `out_dir`,
+/// and appends a timestamped line to [`HISTORY_FILE`]. A pre-existing
+/// summary at the [`BENCH_FILE`] path — normally the committed
+/// reference under `results/` — is read *before* being overwritten,
+/// reported as a delta table, and checked for regressions beyond
+/// [`REGRESSION_THRESHOLD`] (report-only: flagged regressions are
+/// returned, never turned into an error, so CI can decide).
 ///
 /// # Errors
 ///
@@ -347,11 +474,33 @@ pub fn run(out_dir: &Path) -> Result<BenchReport, String> {
     let reference = std::fs::read_to_string(&path).ok();
     let summary = summary_json(&c);
     std::fs::write(&path, &summary).map_err(|e| format!("writing {}: {e}", path.display()))?;
-    let delta = match reference {
-        Some(ref_text) => Some(delta_table(&summary, &ref_text)?),
-        None => None,
+    let (delta, regs) = match reference {
+        Some(ref_text) => (
+            Some(delta_table(&summary, &ref_text)?),
+            regressions(&summary, &ref_text, REGRESSION_THRESHOLD)?,
+        ),
+        None => (None, Vec::new()),
     };
-    Ok(BenchReport { path, delta })
+
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let history_path = out_dir.join(HISTORY_FILE);
+    let mut history = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .map_err(|e| format!("opening {}: {e}", history_path.display()))?;
+    use std::io::Write as _;
+    writeln!(history, "{}", history_line(&c, unix_s))
+        .map_err(|e| format!("appending {}: {e}", history_path.display()))?;
+
+    Ok(BenchReport {
+        path,
+        history_path,
+        delta,
+        regressions: regs,
+    })
 }
 
 #[cfg(test)]
@@ -369,6 +518,17 @@ mod tests {
         assert_eq!(report.path.file_name().unwrap(), BENCH_FILE);
         // First run: nothing to compare against.
         assert!(report.delta.is_none());
+        assert!(report.regressions.is_empty());
+        // The history gained exactly one parseable, timestamped line.
+        let history = std::fs::read_to_string(&report.history_path).unwrap();
+        assert_eq!(history.lines().count(), 1);
+        let entry = lb_telemetry::json::parse(history.lines().next().unwrap()).unwrap();
+        assert!(entry.get("unix_s").and_then(Json::as_u64).is_some());
+        assert!(!entry
+            .get("benchmarks")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
         let json = std::fs::read_to_string(&report.path).unwrap();
         for needle in [
             "\"threads\":",
@@ -400,10 +560,12 @@ mod tests {
             assert!(r > 0.0, "{name} ratio {r}");
         }
         // Second run: the first summary becomes the reference and the
-        // delta table covers every benchmark.
+        // delta table covers every benchmark; the history grows.
         let report2 = run(&dir).unwrap();
         let delta = report2.delta.expect("reference present on second run");
         assert_eq!(delta.len(), parse_benchmarks(&json).unwrap().len());
+        let history2 = std::fs::read_to_string(&report2.history_path).unwrap();
+        assert_eq!(history2.lines().count(), 2);
         std::fs::remove_dir_all(&dir).ok();
         // ns_per_iter figures must be positive numbers.
         for line in json.lines().filter(|l| l.contains("ns_per_iter")) {
@@ -416,5 +578,48 @@ mod tests {
                 .unwrap();
             assert!(v > 0.0, "non-positive measurement in {line}");
         }
+    }
+
+    /// Two hand-built summaries: one benchmark 2× slower (flagged), one
+    /// 10% slower (inside the noise threshold), one 2× faster (never
+    /// flagged), one present only on one side (ignored).
+    #[test]
+    fn synthetic_2x_regression_is_flagged_and_noise_is_not() {
+        let summary = |rows: &[(&str, &str, f64)]| {
+            let mut s = String::from("{\n  \"benchmarks\": [");
+            for (i, (g, id, ns)) in rows.iter().enumerate() {
+                s.push_str(if i == 0 { "\n" } else { ",\n" });
+                let _ = write!(
+                    s,
+                    "    {{\"group\": \"{g}\", \"id\": \"{id}\", \"ns_per_iter\": {ns:.1}, \"iters\": 10}}"
+                );
+            }
+            s.push_str("\n  ]\n}\n");
+            s
+        };
+        let reference = summary(&[
+            ("solver", "nash_p", 1000.0),
+            ("solver", "nash_0", 2000.0),
+            ("sim", "parallel", 5000.0),
+            ("only_in_ref", "x", 1.0),
+        ]);
+        let current = summary(&[
+            ("solver", "nash_p", 2000.0), // 2.00x — regression
+            ("solver", "nash_0", 2200.0), // 1.10x — noise
+            ("sim", "parallel", 2500.0),  // 0.50x — speedup
+            ("only_in_cur", "y", 1.0),    // no reference — ignored
+        ]);
+        let regs = regressions(&current, &reference, REGRESSION_THRESHOLD).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].group, "solver");
+        assert_eq!(regs[0].id, "nash_p");
+        assert!((regs[0].ratio() - 2.0).abs() < 1e-12);
+        let table = render_regressions(&regs);
+        assert_eq!(table.len(), 1);
+        assert!(table.render().contains("2.00x"));
+        // Identical summaries flag nothing.
+        assert!(regressions(&reference, &reference, REGRESSION_THRESHOLD)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -9,7 +9,7 @@
 use lb_experiments::cli::{self, Options};
 use lb_experiments::fig4::SimOptions;
 use lb_experiments::report::Table;
-use lb_experiments::{bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1, trace};
+use lb_experiments::{analyze, bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1, trace};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -134,7 +134,37 @@ fn run(opts: &Options) -> Result<(), String> {
                 } else {
                     println!("(no reference {} to compare against)", bench::BENCH_FILE);
                 }
+                // Report-only: regressions are printed, never fatal —
+                // CI greps for the marker line.
+                if report.regressions.is_empty() {
+                    println!(
+                        "[bench] no regressions beyond +{:.0}% vs reference",
+                        bench::REGRESSION_THRESHOLD * 100.0
+                    );
+                } else {
+                    println!(
+                        "{}",
+                        bench::render_regressions(&report.regressions).render()
+                    );
+                    println!(
+                        "[bench] REGRESSION: {} benchmark(s) slower than reference beyond +{:.0}%",
+                        report.regressions.len(),
+                        bench::REGRESSION_THRESHOLD * 100.0
+                    );
+                }
                 println!("[bench] {}", report.path.display());
+                println!("[bench] history {}", report.history_path.display());
+            }
+            "analyze" => {
+                let report = analyze::run(opts.input.as_deref(), &opts.out)?;
+                for table in &report.tables {
+                    println!("{}", table.render());
+                }
+                println!("{}", report.timeline);
+                println!("[analyze] {}", report.log_path.display());
+                println!("[chrome]  {}", report.chrome_path.display());
+                println!("[folded]  {}", report.folded_path.display());
+                println!("[csv]     {}", report.csv_path.display());
             }
             "trace" => {
                 let report = trace::run(&opts.out, opts.verbose)?;

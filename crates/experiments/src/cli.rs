@@ -8,7 +8,7 @@ use std::path::PathBuf;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Subcommand (`table1`, `fig2`…`fig6`, `all`, `ext`, `ext-*`,
-    /// `bench`, `trace`).
+    /// `bench`, `trace`, `analyze`).
     pub command: String,
     /// Whether to run the DES alongside the analytic path.
     pub simulate: bool,
@@ -20,13 +20,17 @@ pub struct Options {
     pub out: PathBuf,
     /// Mirror telemetry events to stderr (`trace` subcommand).
     pub verbose: bool,
+    /// Positional input path (`analyze <log>`); defaults per command.
+    pub input: Option<PathBuf>,
 }
 
 /// The usage string.
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
-     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|bench|trace> \
-     [--simulate] [--jobs N] [--replications R] [--out DIR] [--verbose]"
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|bench|trace|analyze> \
+     [LOG] [--simulate] [--jobs N] [--replications R] [--out-dir DIR] [--verbose]\n\
+     `analyze [LOG]` profiles a span trace (default LOG: <out-dir>/trace_table1.jsonl);\n\
+     `--out` is accepted as an alias for `--out-dir`"
         .to_string()
 }
 
@@ -45,6 +49,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
         replications: 5,
         out: PathBuf::from(config::RESULTS_DIR),
         verbose: false,
+        input: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -64,8 +69,11 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
                     .parse()
                     .map_err(|e| format!("--replications: {e}"))?;
             }
-            "--out" => {
-                opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            "--out" | "--out-dir" => {
+                opts.out = PathBuf::from(args.next().ok_or(format!("{a} needs a value"))?);
+            }
+            other if !other.starts_with('-') && opts.input.is_none() => {
+                opts.input = Some(PathBuf::from(other));
             }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -111,6 +119,25 @@ mod tests {
         assert_eq!(o.jobs, 1_000_000);
         assert_eq!(o.replications, 5);
         assert_eq!(o.out, PathBuf::from("results"));
+        assert_eq!(o.input, None);
+    }
+
+    #[test]
+    fn out_dir_is_an_alias_for_out() {
+        let o = parse(args(&["trace", "--out-dir", "/tmp/y"])).unwrap();
+        assert_eq!(o.out, PathBuf::from("/tmp/y"));
+        assert!(parse(args(&["trace", "--out-dir"])).is_err());
+    }
+
+    #[test]
+    fn analyze_takes_a_positional_log_path() {
+        let o = parse(args(&["analyze", "results/trace_table1.jsonl"])).unwrap();
+        assert_eq!(o.command, "analyze");
+        assert_eq!(o.input, Some(PathBuf::from("results/trace_table1.jsonl")));
+        // A second positional argument is still an error.
+        assert!(parse(args(&["analyze", "a.jsonl", "b.jsonl"])).is_err());
+        // And the path is optional.
+        assert_eq!(parse(args(&["analyze"])).unwrap().input, None);
     }
 
     #[test]
@@ -158,7 +185,7 @@ mod tests {
         for c in expand_command("all")
             .iter()
             .chain(expand_command("ext").iter())
-            .chain(["bench", "trace"].iter())
+            .chain(["bench", "trace", "analyze"].iter())
         {
             assert!(u.contains(c), "usage missing {c}");
         }

@@ -18,6 +18,9 @@
 //! leaders, dynamic re-equilibration, observation noise). [`bench`] is
 //! the `bench` subcommand: a curated perf harness over the criterion
 //! shim that writes the machine-readable `BENCH_nash.json` summary.
+//! [`trace`] replays a Table-1 scenario with telemetry on; [`analyze`]
+//! reconstructs the resulting span forest into a causal profile
+//! (critical path, self time, Chrome trace JSON, folded stacks).
 //!
 //! Every experiment has an **analytic** path (closed-form response times
 //! under the computed profiles; deterministic) and, where the paper used
@@ -28,6 +31,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod analyze;
 pub mod bench;
 pub mod beyond;
 pub mod cli;

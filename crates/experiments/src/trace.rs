@@ -58,6 +58,8 @@ pub const REQUIRED_EVENTS: &[&str] = &[
     "sim.phase",
     "sim.goodput",
     "des.calendar",
+    "span_open",
+    "span_close",
 ];
 
 /// Everything the `trace` subcommand produced.
@@ -398,6 +400,8 @@ mod tests {
         assert!(REQUIRED_EVENTS.contains(&"solver.sweep"));
         assert!(REQUIRED_EVENTS.contains(&"ring.token_lost"));
         assert!(REQUIRED_EVENTS.contains(&"sim.goodput"));
-        assert!(REQUIRED_EVENTS.len() >= 14);
+        assert!(REQUIRED_EVENTS.contains(&"span_open"));
+        assert!(REQUIRED_EVENTS.contains(&"span_close"));
+        assert!(REQUIRED_EVENTS.len() >= 16);
     }
 }

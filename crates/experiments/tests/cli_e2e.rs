@@ -75,7 +75,7 @@ fn trace_writes_a_schema_valid_log_and_prints_the_report() {
     assert!(stdout.contains("NASH solver convergence"), "{stdout}");
     assert!(stdout.contains("token-ring fault timeline"), "{stdout}");
     assert!(stdout.contains("event counts"), "{stdout}");
-    assert!(stdout.contains("schema v1"), "{stdout}");
+    assert!(stdout.contains("schema v2"), "{stdout}");
     // --verbose mirrors events to stderr as they happen.
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("solver.sweep"), "stderr: {stderr}");
@@ -88,6 +88,53 @@ fn trace_writes_a_schema_valid_log_and_prints_the_report() {
     assert!(log.count("ring.hop") > 0);
     assert!(std::fs::metadata(out.join("trace_metrics.json")).is_ok());
     assert!(std::fs::metadata(out.join("trace_metrics.prom")).is_ok());
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn analyze_profiles_a_trace_and_writes_the_artifacts() {
+    let out = temp_out("analyze");
+    // First produce a trace, then profile it with an explicit log path
+    // and the --out-dir alias.
+    let trace = bin()
+        .args(["trace", "--out-dir", out.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        trace.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&trace.stderr)
+    );
+    let log = out.join("trace_table1.jsonl");
+    let output = bin()
+        .args([
+            "analyze",
+            log.to_str().unwrap(),
+            "--out-dir",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("span forest"), "{stdout}");
+    assert!(stdout.contains("per-name attribution"), "{stdout}");
+    assert!(stdout.contains("solver.solve"), "{stdout}");
+    // Zero orphans on a clean trace.
+    let orphan_line = stdout
+        .lines()
+        .find(|l| l.contains("orphans"))
+        .expect("orphans row");
+    assert!(orphan_line.trim_end().ends_with('0'), "{orphan_line}");
+    let chrome = std::fs::read_to_string(out.join("trace_table1_chrome.json")).unwrap();
+    lb_telemetry::json::parse(&chrome).expect("chrome JSON parses");
+    let folded = std::fs::read_to_string(out.join("trace_table1_folded.txt")).unwrap();
+    assert!(folded.lines().count() > 5, "{folded}");
+    assert!(std::fs::metadata(out.join("trace_table1_spans.csv")).is_ok());
     let _ = std::fs::remove_dir_all(&out);
 }
 

@@ -227,8 +227,23 @@ impl NashSolver {
                 ],
             );
         }
+        // Causal span for the whole solve; `None` when collection is
+        // off, so the span layer costs nothing on the default path.
+        let solve_span = lb_telemetry::Span::root(
+            self.collector.as_ref(),
+            "solver.solve",
+            &[
+                ("init", init_label(&self.init).into()),
+                ("order", order_label(&self.order).into()),
+                ("users", m.into()),
+                ("computers", n.into()),
+            ],
+        );
 
         for iter in 0..self.max_iterations {
+            let sweep_span = solve_span
+                .as_ref()
+                .map(|s| s.child("solver.sweep", &[("iter", (iter + 1).into())]));
             let (norm, max_delta) = match self.order {
                 UpdateOrder::GaussSeidel | UpdateOrder::RandomPermutation(_) => {
                     match self.order {
@@ -247,7 +262,16 @@ impl NashSolver {
                     let mut max_delta = 0.0f64;
                     for idx in 0..m {
                         let j = ws.sweep_order[idx];
+                        // One span per best-reply, so the critical path
+                        // attributes sweep time to individual users. (If
+                        // the reply errors, the span closes on drop.)
+                        let reply_span = sweep_span
+                            .as_ref()
+                            .map(|s| s.child("solver.best_reply", &[("user", j.into())]));
                         let d_new = ws.update_user(model, j)?;
+                        if let Some(span) = reply_span {
+                            span.close_with(&[("d", d_new.into())]);
+                        }
                         let delta = (d_new - ws.prev_d[j]).abs();
                         norm += delta;
                         max_delta = max_delta.max(delta);
@@ -260,6 +284,14 @@ impl NashSolver {
                     // they are independent and (optionally) fan out
                     // across threads bit-identically.
                     ws.refresh_loads();
+                    // Jacobi replies are one batch against the frozen
+                    // round, so a single span covers all m of them.
+                    let batch_span = sweep_span.as_ref().map(|s| {
+                        s.child(
+                            "solver.jacobi",
+                            &[("users", m.into()), ("threads", self.threads.into())],
+                        )
+                    });
                     if self.threads > 1 && m > 1 {
                         jacobi_replies_parallel(
                             model,
@@ -277,6 +309,9 @@ impl NashSolver {
                             &mut ws.wf,
                             &mut ws.next_flows,
                         )?;
+                    }
+                    if let Some(span) = batch_span {
+                        span.close();
                     }
                     std::mem::swap(&mut ws.flows, &mut ws.next_flows);
                     ws.active.fill(true);
@@ -313,6 +348,9 @@ impl NashSolver {
                     ],
                 );
             }
+            if let Some(span) = sweep_span {
+                span.close_with(&[("norm", norm.into()), ("converged", converged.into())]);
+            }
             if converged {
                 let profile = ws.assemble(model)?;
                 let user_times = user_response_times(model, &profile)?;
@@ -325,6 +363,12 @@ impl NashSolver {
                             ("final_norm", norm.into()),
                         ],
                     );
+                }
+                if let Some(span) = solve_span {
+                    span.close_with(&[
+                        ("iterations", (iter + 1).into()),
+                        ("converged", true.into()),
+                    ]);
                 }
                 return Ok(NashOutcome {
                     profile,
@@ -345,6 +389,12 @@ impl NashSolver {
                     ("final_norm", final_norm.into()),
                 ],
             );
+        }
+        if let Some(span) = solve_span {
+            span.close_with(&[
+                ("iterations", self.max_iterations.into()),
+                ("converged", false.into()),
+            ]);
         }
         Err(GameError::DidNotConverge {
             iterations: self.max_iterations,
@@ -1067,6 +1117,73 @@ mod tests {
             }
             other => panic!("delta fields were {other:?}"),
         }
+    }
+
+    #[test]
+    fn solver_spans_form_a_complete_three_level_tree() {
+        use lb_telemetry::{FieldValue, MemoryCollector, SPAN_CLOSE, SPAN_OPEN};
+
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let mem = Arc::new(MemoryCollector::default());
+        let outcome = NashSolver::new(Initialization::Proportional)
+            .collector(mem.clone())
+            .solve(&model)
+            .unwrap();
+
+        let events = mem.events();
+        let field_u64 = |fields: &[lb_telemetry::Field], key: &str| -> Option<u64> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| match v {
+                    FieldValue::U64(n) => *n,
+                    other => panic!("field {key} was {other:?}"),
+                })
+        };
+        let field_str = |fields: &[lb_telemetry::Field], key: &str| -> String {
+            match &fields.iter().find(|(k, _)| *k == key).unwrap().1 {
+                FieldValue::Str(s) => s.to_string(),
+                other => panic!("field {key} was {other:?}"),
+            }
+        };
+
+        // Every opened span closes.
+        let opens: Vec<_> = events.iter().filter(|(n, _)| *n == SPAN_OPEN).collect();
+        let closes = events.iter().filter(|(n, _)| *n == SPAN_CLOSE).count();
+        assert_eq!(opens.len(), closes, "unbalanced span open/close");
+
+        // Exactly one solve root, one sweep per iteration, and one
+        // best_reply per (iteration, user) — all correctly parented.
+        let iters = outcome.iterations() as usize;
+        let m = model.num_users();
+        let mut solve_id = None;
+        let mut sweep_ids = std::collections::BTreeSet::new();
+        let (mut sweeps, mut replies) = (0usize, 0usize);
+        for (_, fields) in &opens {
+            let id = field_u64(fields, "span").unwrap();
+            let parent = field_u64(fields, "parent");
+            match field_str(fields, "name").as_str() {
+                "solver.solve" => {
+                    assert!(solve_id.replace(id).is_none(), "two solve roots");
+                    assert_eq!(parent, None);
+                }
+                "solver.sweep" => {
+                    sweeps += 1;
+                    sweep_ids.insert(id);
+                    assert_eq!(parent, solve_id, "sweep not parented under solve");
+                }
+                "solver.best_reply" => {
+                    replies += 1;
+                    assert!(
+                        sweep_ids.contains(&parent.unwrap()),
+                        "best_reply not parented under a sweep"
+                    );
+                }
+                other => panic!("unexpected span {other}"),
+            }
+        }
+        assert_eq!(sweeps, iters);
+        assert_eq!(replies, iters * m);
     }
 
     #[test]

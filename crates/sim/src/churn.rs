@@ -185,7 +185,9 @@ pub fn run_churn_replication(
 /// `des.calendar {t, depth, tombstones, compactions, processed}`
 /// snapshot at every phase boundary and once at the end of the run; the
 /// engine itself reports `des.compact` on tombstone-triggered heap
-/// rebuilds. Collection is purely observational — the returned
+/// rebuilds. The run is also wrapped in a causal span tree — `sim.churn`
+/// → `sim.phase_run` per phase, with the engine's `des.batch` spans
+/// under the root. Collection is purely observational — the returned
 /// [`ChurnResult`] is bit-identical with or without a collector.
 ///
 /// # Errors
@@ -313,6 +315,25 @@ pub fn run_churn_replication_traced(
     if collect.is_some() {
         engine.set_collector(Arc::clone(collector.expect("enabled implies present")));
     }
+    // Causal spans: one `sim.churn` root for the replication, one
+    // `sim.phase_run` child per capacity phase (wall time spent
+    // simulating that phase), and the engine's `des.batch` spans hanging
+    // off the root.
+    let churn_span = lb_telemetry::Span::root(
+        collector,
+        "sim.churn",
+        &[
+            ("seed", seed.into()),
+            ("phases", (states.len() as u64).into()),
+            ("horizon", horizon.into()),
+        ],
+    );
+    if let Some(span) = &churn_span {
+        engine.set_span_parent(span.handle());
+    }
+    let mut phase_span = churn_span
+        .as_ref()
+        .map(|s| s.child("sim.phase_run", &[("phase", 0u64.into())]));
 
     for (j, stream) in arrival_streams.iter_mut().enumerate() {
         let dt = stream.exponential(model.user_rate(j));
@@ -428,11 +449,27 @@ pub fn run_churn_replication_traced(
                 if let Some(c) = collect {
                     emit_churn_snapshot(c, &engine, &goodput, next);
                 }
+                if let Some(prev) = phase_span.take() {
+                    prev.close_with(&[("t", engine.now().as_secs().into())]);
+                }
+                phase_span = churn_span
+                    .as_ref()
+                    .map(|s| s.child("sim.phase_run", &[("phase", (next as u64).into())]));
             }
         }
     }
     if let Some(c) = collect {
         emit_churn_snapshot(c, &engine, &goodput, current);
+    }
+    if let Some(span) = phase_span.take() {
+        span.close_with(&[("t", engine.now().as_secs().into())]);
+    }
+    if let Some(span) = churn_span {
+        span.close_with(&[
+            ("served", goodput.served().into()),
+            ("shed", goodput.shed().into()),
+            ("lost", goodput.lost().into()),
+        ]);
     }
 
     let offered = goodput.served() + goodput.shed() + goodput.lost();
@@ -578,6 +615,27 @@ mod tests {
         assert_eq!(mem.count("sim.phase"), 3);
         assert_eq!(mem.count("sim.goodput"), 3);
         assert_eq!(mem.count("des.calendar"), 3);
+        // Span tree: balanced, with the churn root, one phase interval
+        // per schedule entry, and at least one engine batch span.
+        use lb_telemetry::{FieldValue, SPAN_CLOSE, SPAN_OPEN};
+        assert_eq!(mem.count(SPAN_OPEN), mem.count(SPAN_CLOSE));
+        let span_names: Vec<String> = mem
+            .events()
+            .iter()
+            .filter(|(n, _)| *n == SPAN_OPEN)
+            .map(
+                |(_, fields)| match &fields.iter().find(|(k, _)| *k == "name").unwrap().1 {
+                    FieldValue::Str(s) => s.to_string(),
+                    other => panic!("name was {other:?}"),
+                },
+            )
+            .collect();
+        assert_eq!(span_names.iter().filter(|n| *n == "sim.churn").count(), 1);
+        assert_eq!(
+            span_names.iter().filter(|n| *n == "sim.phase_run").count(),
+            3
+        );
+        assert!(span_names.iter().any(|n| n == "des.batch"));
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! over replications".
 
 use crate::parallel::ParallelRunner;
-use crate::scenario::{run_replication_with_sink, SimulationConfig};
+use crate::scenario::{run_replication_spanned, SimulationConfig};
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::strategy::StrategyProfile;
 use lb_stats::{jain_index, P2Quantile, ReplicationPlan, ReplicationSet, SampleSummary};
-use lb_telemetry::Collector;
+use lb_telemetry::{Collector, Span};
 use std::sync::Arc;
 
 /// Cross-replication estimates for a simulated scheme.
@@ -78,7 +78,9 @@ pub fn simulate_profile_with(
 /// collecting, the fold emits one `sim.replication {rep, seed,
 /// system_mean, p95, jobs}` event per replication (in replication order,
 /// after the fan-out joins — so per-worker `runner.worker` events from
-/// the pool precede them) and a closing `sim.summary`. Collection is
+/// the pool precede them) and a closing `sim.summary`, and the run is
+/// wrapped in a causal span tree: `sim.run` → `runner.pool` →
+/// `runner.worker` → `sim.replication` → `des.batch`. Collection is
 /// purely observational: the returned metrics are bit-identical with or
 /// without a collector attached.
 ///
@@ -98,16 +100,49 @@ pub fn simulate_profile_traced(
     names.push("system".into());
     let mut set = ReplicationSet::new(names, plan.confidence);
 
+    // Root span for the whole simulation study; worker spans from the
+    // pool and one `sim.replication` span per task nest under it, and
+    // each replication's DES engine hangs its `des.batch` spans off its
+    // replication span.
+    let sim_span = Span::root(
+        collector,
+        "sim.run",
+        &[
+            ("users", m.into()),
+            ("replications", plan.replications.into()),
+            ("target_jobs", config.target_jobs.into()),
+        ],
+    );
+    let sim_handle = sim_span.as_ref().map(Span::handle);
+
     // Fan out: one task per replication, each fully determined by its
     // seed. The fold below happens in replication order.
-    let replications = runner.try_run_traced(
+    let replications = runner.try_run_spanned(
         plan.replications as usize,
-        |r| {
+        |r, worker| {
             let seed = plan.seed_for(r as u32);
+            let rep_span = worker.map(|w| {
+                w.child(
+                    "sim.replication",
+                    &[("rep", (r as u64).into()), ("seed", seed.into())],
+                )
+            });
+            let rep_handle = rep_span.as_ref().map(Span::handle);
             let mut p95 = P2Quantile::new(0.95);
-            let result = run_replication_with_sink(model, profile, config, seed, |_, resp| {
-                p95.push(resp);
-            })?;
+            let result = run_replication_spanned(
+                model,
+                profile,
+                config,
+                seed,
+                collector,
+                rep_handle.as_ref(),
+                |_, resp| {
+                    p95.push(resp);
+                },
+            )?;
+            if let Some(span) = rep_span {
+                span.close_with(&[("jobs", result.jobs_generated.into())]);
+            }
             let mut values = result.user_means;
             values.push(result.system_mean);
             Ok::<_, GameError>((
@@ -117,6 +152,7 @@ pub fn simulate_profile_traced(
             ))
         },
         collector,
+        sim_handle.as_ref(),
     )?;
 
     let collect = lb_telemetry::enabled(collector);
@@ -169,6 +205,12 @@ pub fn simulate_profile_traced(
                 ("worst_rel_err", metrics.worst_relative_error.into()),
             ],
         );
+    }
+    if let Some(span) = sim_span {
+        span.close_with(&[
+            ("replications", metrics.replications.into()),
+            ("system_mean", metrics.system_summary.mean.into()),
+        ]);
     }
     Ok(metrics)
 }
@@ -297,6 +339,23 @@ mod tests {
             prop_assert_eq!(log.count("sim.replication"), 3);
             prop_assert_eq!(log.count("sim.summary"), 1);
             prop_assert!(log.count("runner.worker") >= 1);
+            // The span tree is present and balanced: parse_log already
+            // validated causality (unique ids, parents opened first);
+            // every opened span also closed, and each layer shows up.
+            prop_assert!(log.count("span_open") > 0);
+            prop_assert_eq!(log.count("span_open"), log.count("span_close"));
+            let span_names: Vec<String> = log
+                .events
+                .iter()
+                .filter(|e| e.name == "span_open")
+                .filter_map(|e| e.field("name").and_then(|v| v.as_str().map(String::from)))
+                .collect();
+            for expected in ["sim.run", "runner.pool", "runner.worker", "sim.replication"] {
+                prop_assert!(
+                    span_names.iter().any(|n| n == expected),
+                    "missing span {}", expected
+                );
+            }
         }
     }
 

@@ -13,7 +13,7 @@
 //! variable: unset, `0`, or `auto` use all cores; `1` forces the
 //! sequential path; any other `N` uses `N` workers.
 
-use lb_telemetry::Collector;
+use lb_telemetry::{Collector, FieldValue, Span, SpanHandle};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -127,9 +127,10 @@ impl ParallelRunner {
     /// joins, one `runner.worker {worker, tasks, busy_us, idle_us}` event
     /// is emitted per worker **in worker-index order** (so the event
     /// stream is as deterministic as the results; only the timing field
-    /// values vary run to run). Falls back to the plain path — no timing
-    /// probes at all — when the collector is absent or disabled, so
-    /// results are byte-identical either way.
+    /// values vary run to run), and the run is wrapped in a causal span
+    /// tree (see [`ParallelRunner::run_spanned`]). Falls back to the
+    /// plain path — no timing probes at all — when the collector is
+    /// absent or disabled, so results are byte-identical either way.
     ///
     /// # Panics
     ///
@@ -144,55 +145,123 @@ impl ParallelRunner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_spanned(count, |i, _| task(i), collector, None)
+    }
+
+    /// The fully-instrumented fan-out: like [`ParallelRunner::run_traced`]
+    /// but additionally opens a `runner.pool` span (a child of `parent`
+    /// when given, a root span otherwise) for the whole run and one live
+    /// `runner.worker` span per worker, **from the worker's own thread**,
+    /// so span timestamps bracket the actual concurrent execution. Each
+    /// task receives a handle to its worker's span and may parent its own
+    /// spans under it (e.g. one `sim.replication` span per task). Worker
+    /// spans close with `{tasks, busy_us, idle_us}`; the flat
+    /// `runner.worker` events of `run_traced` are still emitted after the
+    /// join, in worker-index order.
+    ///
+    /// When the collector is absent or disabled the task is invoked with
+    /// `None` and the untimed [`ParallelRunner::run`] path is used, so
+    /// results are byte-identical with collection on or off.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `task` is resumed on the calling thread.
+    pub fn run_spanned<T, F>(
+        &self,
+        count: usize,
+        task: F,
+        collector: Option<&Arc<dyn Collector>>,
+        parent: Option<&SpanHandle>,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Option<&SpanHandle>) -> T + Sync,
+    {
         let Some(c) = lb_telemetry::enabled(collector) else {
-            return self.run(count, task);
+            return self.run(count, |i| task(i, None));
         };
-        if self.threads <= 1 || count <= 1 {
+        let workers = if self.threads <= 1 || count <= 1 {
+            1
+        } else {
+            self.threads.min(count)
+        };
+        let pool_fields = [
+            ("tasks", FieldValue::U64(count as u64)),
+            ("workers", FieldValue::U64(workers as u64)),
+        ];
+        let pool = match parent {
+            Some(p) => p.child("runner.pool", &pool_fields),
+            None => Span::root(collector, "runner.pool", &pool_fields)
+                .expect("collector enablement was checked above"),
+        };
+        if workers == 1 {
             let start = Instant::now();
             let mut busy = std::time::Duration::ZERO;
+            let wspan = pool.child("runner.worker", &[("worker", 0u64.into())]);
+            let whandle = wspan.handle();
             let out = (0..count)
                 .map(|i| {
                     let t0 = Instant::now();
-                    let v = task(i);
+                    let v = task(i, Some(&whandle));
                     busy += t0.elapsed();
                     v
                 })
                 .collect();
             let idle = start.elapsed().saturating_sub(busy);
+            let busy_us = busy.as_micros() as u64;
+            let idle_us = idle.as_micros() as u64;
+            wspan.close_with(&[
+                ("tasks", (count as u64).into()),
+                ("busy_us", busy_us.into()),
+                ("idle_us", idle_us.into()),
+            ]);
             c.emit(
                 "runner.worker",
                 &[
                     ("worker", 0u64.into()),
                     ("tasks", (count as u64).into()),
-                    ("busy_us", (busy.as_micros() as u64).into()),
-                    ("idle_us", (idle.as_micros() as u64).into()),
+                    ("busy_us", busy_us.into()),
+                    ("idle_us", idle_us.into()),
                 ],
             );
+            pool.close();
             return out;
         }
-        let workers = self.threads.min(count);
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
         let mut stats: Vec<(u64, u64, u64)> = Vec::with_capacity(workers);
+        let pool_handle = pool.handle();
+        let task = &task;
+        let next_ref = &next;
         crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|_| {
+                .map(|w| {
+                    let handle = pool_handle.clone();
+                    s.spawn(move |_| {
                         let start = Instant::now();
                         let mut busy = std::time::Duration::ZERO;
+                        let wspan = handle.child("runner.worker", &[("worker", (w as u64).into())]);
+                        let whandle = wspan.handle();
                         let mut local = Vec::new();
                         loop {
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            let idx = next_ref.fetch_add(1, Ordering::Relaxed);
                             if idx >= count {
                                 break;
                             }
                             let t0 = Instant::now();
-                            let value = task(idx);
+                            let value = task(idx, Some(&whandle));
                             busy += t0.elapsed();
                             local.push((idx, value));
                         }
                         let idle = start.elapsed().saturating_sub(busy);
-                        (local, busy.as_micros() as u64, idle.as_micros() as u64)
+                        let busy_us = busy.as_micros() as u64;
+                        let idle_us = idle.as_micros() as u64;
+                        wspan.close_with(&[
+                            ("tasks", (local.len() as u64).into()),
+                            ("busy_us", busy_us.into()),
+                            ("idle_us", idle_us.into()),
+                        ]);
+                        (local, busy_us, idle_us)
                     })
                 })
                 .collect();
@@ -217,6 +286,7 @@ impl ParallelRunner {
                 ],
             );
         }
+        pool.close();
         slots
             .into_iter()
             .map(|slot| slot.expect("every task index is claimed exactly once"))
@@ -242,10 +312,33 @@ impl ParallelRunner {
         E: Send,
         F: Fn(usize) -> Result<T, E> + Sync,
     {
+        self.try_run_spanned(count, |i, _| task(i), collector, None)
+    }
+
+    /// Fallible variant of [`ParallelRunner::run_spanned`], with
+    /// [`ParallelRunner::try_run`]'s error semantics (lowest-indexed
+    /// failure wins). The spanned path runs every task even after a
+    /// failure — tasks are expected to be effect-free.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed task error.
+    pub fn try_run_spanned<T, E, F>(
+        &self,
+        count: usize,
+        task: F,
+        collector: Option<&Arc<dyn Collector>>,
+        parent: Option<&SpanHandle>,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize, Option<&SpanHandle>) -> Result<T, E> + Sync,
+    {
         if lb_telemetry::enabled(collector).is_none() {
-            return self.try_run(count, task);
+            return self.try_run(count, |i| task(i, None));
         }
-        self.run_traced(count, &task, collector)
+        self.run_spanned(count, &task, collector, parent)
             .into_iter()
             .collect()
     }
@@ -324,7 +417,7 @@ mod tests {
 
     #[test]
     fn traced_run_matches_plain_and_accounts_every_task() {
-        use lb_telemetry::{FieldValue, MemoryCollector};
+        use lb_telemetry::{MemoryCollector, SPAN_CLOSE, SPAN_OPEN};
         let task = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let reference = ParallelRunner::sequential().run(64, task);
         for threads in [1usize, 4] {
@@ -333,11 +426,17 @@ mod tests {
             let collector: Arc<dyn Collector> = mem.clone();
             let out = runner.run_traced(64, task, Some(&collector));
             assert_eq!(out, reference, "{threads} threads");
-            let events = mem.events();
-            assert_eq!(events.len(), threads, "one event per worker");
+            // One pool span plus one worker span per worker wrap the run.
+            assert_eq!(mem.count(SPAN_OPEN), 1 + threads, "pool + worker spans");
+            assert_eq!(mem.count(SPAN_CLOSE), 1 + threads, "all spans closed");
+            let flat: Vec<_> = mem
+                .events()
+                .into_iter()
+                .filter(|(name, _)| *name == "runner.worker")
+                .collect();
+            assert_eq!(flat.len(), threads, "one flat event per worker");
             let mut total = 0u64;
-            for (worker, (name, fields)) in events.iter().enumerate() {
-                assert_eq!(*name, "runner.worker");
+            for (worker, (_, fields)) in flat.iter().enumerate() {
                 assert_eq!(fields[0], ("worker", FieldValue::U64(worker as u64)));
                 let ("tasks", FieldValue::U64(tasks)) = &fields[1] else {
                     panic!("missing tasks field: {fields:?}");
@@ -345,6 +444,27 @@ mod tests {
                 total += *tasks;
             }
             assert_eq!(total, 64, "every task accounted to a worker");
+        }
+    }
+
+    #[test]
+    fn spanned_run_hands_tasks_a_worker_span_and_stays_bit_identical() {
+        use lb_telemetry::MemoryCollector;
+        let task = |i: usize, worker: Option<&SpanHandle>| {
+            // A per-task child span parented under the worker's span.
+            let _child = worker.map(|w| w.child("test.task", &[("i", (i as u64).into())]));
+            (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
+        let reference = ParallelRunner::sequential().run_spanned(32, task, None, None);
+        for threads in [1usize, 4] {
+            let runner = ParallelRunner::new(threads);
+            let mem = Arc::new(MemoryCollector::default());
+            let collector: Arc<dyn Collector> = mem.clone();
+            let out = runner.run_spanned(32, task, Some(&collector), None);
+            assert_eq!(out, reference, "{threads} threads");
+            // pool + workers + one span per task, all closed.
+            assert_eq!(mem.count("span_open"), 1 + threads + 32);
+            assert_eq!(mem.count("span_close"), 1 + threads + 32);
         }
     }
 

@@ -15,6 +15,8 @@ use lb_des::time::SimTime;
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::strategy::StrategyProfile;
+use lb_telemetry::{Collector, SpanHandle};
+use std::sync::Arc;
 
 /// Service-time distribution family, parameterized so computer `i` keeps
 /// its mean service time `1/μ_i` while the *shape* (variability) changes.
@@ -191,6 +193,28 @@ pub fn run_replication_with_sink<F: FnMut(usize, f64)>(
     profile: &StrategyProfile,
     config: SimulationConfig,
     seed: u64,
+    sink: F,
+) -> Result<SimulationResult, GameError> {
+    run_replication_spanned(model, profile, config, seed, None, None, sink)
+}
+
+/// Like [`run_replication_with_sink`], additionally wiring the engine
+/// into the telemetry pipeline: the collector receives the engine's
+/// `des.compact` events, and — when `span_parent` is given — `des.batch`
+/// spans partition the event loop under that parent (typically the
+/// caller's `sim.replication` span). Purely observational; results are
+/// bit-identical with or without either hook.
+///
+/// # Errors
+///
+/// As for [`run_replication`].
+pub fn run_replication_spanned<F: FnMut(usize, f64)>(
+    model: &SystemModel,
+    profile: &StrategyProfile,
+    config: SimulationConfig,
+    seed: u64,
+    collector: Option<&Arc<dyn Collector>>,
+    span_parent: Option<&SpanHandle>,
     mut sink: F,
 ) -> Result<SimulationResult, GameError> {
     profile.check_stability(model)?;
@@ -221,6 +245,12 @@ pub fn run_replication_with_sink<F: FnMut(usize, f64)>(
     let mut monitor = ResponseTimeMonitor::new(m, warmup);
     let mut engine: Engine<Event> = Engine::new();
     engine.set_horizon(SimTime::new(horizon_secs));
+    if lb_telemetry::enabled(collector).is_some() {
+        engine.set_collector(Arc::clone(collector.expect("enabled implies present")));
+    }
+    if let Some(parent) = span_parent {
+        engine.set_span_parent(parent.clone());
+    }
 
     // Prime the arrival processes.
     for j in 0..m {

@@ -144,14 +144,33 @@ impl Collector for StderrCollector {
 
 /// Fans every event out to a list of collectors (e.g. JSONL file plus
 /// stderr for a `--verbose` CLI run). Enabled when any child is.
+///
+/// The fan-out is atomic: an internal lock serializes `emit` calls so
+/// that every enabled child receives events in the *same* order. Each
+/// sink stamps its own `seq`/`t_us` from arrival order, so without the
+/// lock two threads emitting concurrently could be interleaved
+/// differently by different children — sink A records `E1` before `E2`
+/// while sink B records `E2` before `E1`, making the sinks' sequence
+/// numbers disagree about which event happened "first". That broke the
+/// cross-sink meaning of `seq`/`t_us` monotonicity whenever children
+/// differed (e.g. only one side `enabled()`), because the skipped child
+/// re-joined the stream at an arbitrary interleaving point. Enablement
+/// is also sampled once per event, under the same lock, so a child
+/// whose `enabled()` answer changes mid-emit cannot observe a torn
+/// fan-out.
 pub struct TeeCollector {
     children: Vec<Arc<dyn Collector>>,
+    /// Serializes the fan-out loop (see the type-level docs).
+    order: Mutex<()>,
 }
 
 impl TeeCollector {
     /// Wraps the given collectors.
     pub fn new(children: Vec<Arc<dyn Collector>>) -> Self {
-        TeeCollector { children }
+        TeeCollector {
+            children,
+            order: Mutex::new(()),
+        }
     }
 }
 
@@ -161,6 +180,7 @@ impl Collector for TeeCollector {
     }
 
     fn emit(&self, name: &'static str, fields: &[Field]) {
+        let _order = self.order.lock().expect("tee lock");
         for child in &self.children {
             if child.enabled() {
                 child.emit(name, fields);
@@ -169,6 +189,7 @@ impl Collector for TeeCollector {
     }
 
     fn flush(&self) {
+        let _order = self.order.lock().expect("tee lock");
         for child in &self.children {
             child.flush();
         }

@@ -13,26 +13,31 @@
 //!   event log), [`StderrCollector`] (human-readable CLI progress),
 //!   [`TeeCollector`] (fan-out), [`MemoryCollector`] (tests).
 //! - [`schema`]: the versioned JSONL event-log format — a header line
-//!   `{"schema":"lb-telemetry","version":1}` followed by one event
+//!   `{"schema":"lb-telemetry","version":2}` followed by one event
 //!   object per line — plus a parser/validator ([`parse_log`]) built on
 //!   the minimal JSON codec in [`json`].
+//! - [`span`]: causal spans ([`Span`], [`SpanId`]) layered on the flat
+//!   event stream as `span_open`/`span_close` events, giving logs a
+//!   reconstructable parent/child tree for critical-path analysis.
 //! - [`MetricsRegistry`]: counters, gauges, and log-linear histograms
 //!   with p50/p95/p99, exportable as JSON and Prometheus text format.
 //!
-//! Instrumentation never perturbs results: events are emitted *after*
-//! the computation they describe and nothing ever flows back. The
-//! experiment CSVs are byte-identical with collection on or off
-//! (property-tested in `lb-sim` and asserted end-to-end in
-//! `lb-experiments`).
+//! Instrumentation never perturbs results: nothing ever flows back
+//! from a collector into the computation, and emit sites are
+//! clock-free (collectors stamp `seq`/`t_us`). The experiment CSVs are
+//! byte-identical with collection on or off (property-tested in
+//! `lb-sim` and asserted end-to-end in `lb-experiments`).
 
 pub mod collectors;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod schema;
+pub mod span;
 
 pub use collectors::{JsonlCollector, MemoryCollector, StderrCollector, TeeCollector};
 pub use event::{enabled, Collector, Field, FieldValue, NullCollector, SpanTimer};
 pub use json::Json;
 pub use metrics::{HistogramSnapshot, MetricsRegistry};
 pub use schema::{parse_log, EventLog, LogEvent, SCHEMA_NAME, SCHEMA_VERSION};
+pub use span::{Span, SpanHandle, SpanId, SPAN_CLOSE, SPAN_OPEN};

@@ -128,6 +128,7 @@ struct RegistryInner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, LogLinearHistogram>,
+    help: BTreeMap<String, String>,
 }
 
 /// A thread-safe registry of named metrics. Names are free-form dotted
@@ -153,6 +154,14 @@ impl MetricsRegistry {
     pub fn set_gauge(&self, name: &str, v: f64) {
         let mut inner = self.inner.lock().expect("metrics lock");
         inner.gauges.insert(name.to_string(), v);
+    }
+
+    /// Attaches a help string to a metric, rendered as a `# HELP` line
+    /// by [`MetricsRegistry::to_prometheus`] (with `\` and newlines
+    /// escaped per the exposition format).
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.help.insert(name.to_string(), help.to_string());
     }
 
     /// Records an observation into a histogram, creating it on first
@@ -229,30 +238,70 @@ impl MetricsRegistry {
 
     /// Renders every metric in Prometheus text exposition format.
     /// Histograms are exported as summaries with `quantile` labels.
+    /// Help strings ([`MetricsRegistry::describe`]) and label values go
+    /// through [`escape_help`]/[`escape_label_value`], so metadata
+    /// containing `\`, `"`, or newlines cannot corrupt the exposition.
     pub fn to_prometheus(&self) -> String {
         let inner = self.inner.lock().expect("metrics lock");
         let mut out = String::new();
+        let help_line = |out: &mut String, name: &str, prom: &str| {
+            if let Some(help) = inner.help.get(name) {
+                let _ = write!(out, "# HELP {prom} ");
+                escape_help(out, help);
+                out.push('\n');
+            }
+        };
         for (name, v) in &inner.counters {
             let prom = prom_name(name);
+            help_line(&mut out, name, &prom);
             let _ = writeln!(out, "# TYPE {prom} counter");
             let _ = writeln!(out, "{prom} {v}");
         }
         for (name, v) in &inner.gauges {
             let prom = prom_name(name);
+            help_line(&mut out, name, &prom);
             let _ = writeln!(out, "# TYPE {prom} gauge");
             let _ = writeln!(out, "{prom} {v}");
         }
         for (name, h) in &inner.histograms {
             let prom = prom_name(name);
+            help_line(&mut out, name, &prom);
             let s = h.snapshot();
             let _ = writeln!(out, "# TYPE {prom} summary");
             for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
-                let _ = writeln!(out, "{prom}{{quantile=\"{q}\"}} {v}");
+                let _ = write!(out, "{prom}{{quantile=\"");
+                escape_label_value(&mut out, q);
+                let _ = writeln!(out, "\"}} {v}");
             }
             let _ = writeln!(out, "{prom}_sum {}", s.sum);
             let _ = writeln!(out, "{prom}_count {}", s.count);
         }
         out
+    }
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, and line
+/// feed become `\\`, `\"`, and `\n` per the text exposition format.
+pub fn escape_label_value(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Escapes a `# HELP` docstring: backslash and line feed become `\\`
+/// and `\n` (double quotes are legal in help text and pass through).
+pub fn escape_help(out: &mut String, help: &str) {
+    for ch in help.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
     }
 }
 
@@ -348,6 +397,84 @@ mod tests {
         let hist = v.get("histograms").unwrap().get("c.time").unwrap();
         assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
         assert!(hist.get("p95").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn histogram_empty_quantiles_are_nan() {
+        let h = LogLinearHistogram::default();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert!(s.min.is_nan() && s.max.is_nan());
+        assert!(s.p50.is_nan(), "p50 of empty histogram: {}", s.p50);
+        assert!(s.p95.is_nan(), "p95 of empty histogram: {}", s.p95);
+        assert!(s.p99.is_nan(), "p99 of empty histogram: {}", s.p99);
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles_are_the_sample() {
+        for v in [1e-6, 0.5, 1.0, 7.3, 1e9] {
+            let mut h = LogLinearHistogram::default();
+            h.observe(v);
+            let s = h.snapshot();
+            assert_eq!(s.count, 1);
+            assert_eq!(s.sum, v);
+            for (label, q) in [("p50", s.p50), ("p95", s.p95), ("p99", s.p99)] {
+                assert_eq!(q, v, "{label} of single sample {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_identical_samples_collapse_to_the_value() {
+        // All-identical values occupy one bucket; min/max clamping must
+        // make every quantile exact, not the bucket's upper bound.
+        let mut h = LogLinearHistogram::default();
+        for _ in 0..1000 {
+            h.observe(42.5);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 42.5);
+        assert_eq!(s.max, 42.5);
+        for (label, q) in [("p50", s.p50), ("p95", s.p95), ("p99", s.p99)] {
+            assert_eq!(q, 42.5, "{label} of identical samples");
+        }
+    }
+
+    #[test]
+    fn label_values_and_help_strings_are_escaped() {
+        let mut out = String::new();
+        escape_label_value(&mut out, "a\\b\"c\nd");
+        assert_eq!(out, "a\\\\b\\\"c\\nd");
+
+        let mut out = String::new();
+        escape_help(&mut out, "line one\nwith \\ and \"quotes\"");
+        assert_eq!(out, "line one\\nwith \\\\ and \"quotes\"");
+    }
+
+    #[test]
+    fn prometheus_help_lines_are_emitted_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.inc("ring.hops", 1);
+        reg.describe("ring.hops", "token hops\nacross the \\ ring");
+        reg.set_gauge("calendar.depth", 2.0);
+        reg.observe("sweep.norm", 1.0);
+        reg.describe("sweep.norm", "per-sweep L1 norm");
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains("# HELP lb_ring_hops token hops\\nacross the \\\\ ring"),
+            "{text}"
+        );
+        assert!(text.contains("# HELP lb_sweep_norm per-sweep L1 norm"));
+        // Undescribed metrics get no HELP line.
+        assert!(!text.contains("# HELP lb_calendar_depth"));
+        // Every exposition line is still a single physical line.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("lb_"),
+                "stray line {line:?}"
+            );
+        }
     }
 
     #[test]

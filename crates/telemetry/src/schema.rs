@@ -12,9 +12,19 @@
 //! a strictly increasing `seq`, a non-decreasing microsecond timestamp
 //! `t_us`, a non-empty `event` name, and a flat `fields` object whose
 //! values are numbers, booleans, or strings (non-finite floats are
-//! encoded as the strings `"NaN"`/`"inf"`/`"-inf"`). Any change to this
-//! shape bumps [`SCHEMA_VERSION`]; the golden test in
-//! `tests/golden.rs` pins the byte-level format of version 1.
+//! encoded as the strings `"NaN"`/`"inf"`/`"-inf"`).
+//!
+//! Version 2 adds causal spans (see [`crate::span`]): `span_open`
+//! events carry an integer `span` id, a string `name`, and an optional
+//! integer `parent`; `span_close` events carry the `span` id of an
+//! open span. The parser validates span causality — ids are unique,
+//! parents were opened earlier in the log, and closes reference spans
+//! that are actually open. Spans left open at end-of-log are legal
+//! (a truncated run); analysis tools decide how to treat them.
+//!
+//! Any change to this shape bumps [`SCHEMA_VERSION`]; the golden test
+//! in `tests/golden.rs` pins the byte-level format of the current
+//! version. Version-1 logs (no span events) still parse.
 
 use crate::event::{Field, FieldValue};
 use crate::json::{self, Json};
@@ -24,7 +34,10 @@ use std::fmt::Write as _;
 pub const SCHEMA_NAME: &str = "lb-telemetry";
 
 /// Current schema version; bumped on any incompatible format change.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version the parser still accepts.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Renders the header line (without trailing newline).
 pub fn header_line() -> String {
@@ -135,9 +148,10 @@ pub fn parse_log(text: &str) -> Result<EventLog, String> {
         .get("version")
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("line {}: header missing integer version", header_no + 1))?;
-    if version != u64::from(SCHEMA_VERSION) {
+    if version < u64::from(MIN_SCHEMA_VERSION) || version > u64::from(SCHEMA_VERSION) {
         return Err(format!(
-            "line {}: schema version {version} unsupported (expected {SCHEMA_VERSION})",
+            "line {}: schema version {version} unsupported \
+             (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})",
             header_no + 1
         ));
     }
@@ -145,6 +159,7 @@ pub fn parse_log(text: &str) -> Result<EventLog, String> {
     let mut events = Vec::new();
     let mut next_seq = 0u64;
     let mut last_t_us = 0u64;
+    let mut spans = SpanValidator::default();
     for (no, line) in lines {
         let lineno = no + 1;
         let value = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
@@ -189,17 +204,76 @@ pub fn parse_log(text: &str) -> Result<EventLog, String> {
                 }
             }
         }
-        events.push(LogEvent {
+        let event = LogEvent {
             seq,
             t_us,
             name: name.to_string(),
             fields: fields.to_vec(),
-        });
+        };
+        spans
+            .check(&event)
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        events.push(event);
     }
     Ok(EventLog {
         version: version as u32,
         events,
     })
+}
+
+/// Streaming validator for the span causality rules of schema v2.
+#[derive(Default)]
+struct SpanValidator {
+    /// Every span id ever opened (ids are never reused within a log).
+    opened: std::collections::BTreeSet<u64>,
+    /// Span ids opened but not yet closed.
+    open: std::collections::BTreeSet<u64>,
+}
+
+impl SpanValidator {
+    fn check(&mut self, event: &LogEvent) -> Result<(), String> {
+        match event.name.as_str() {
+            crate::span::SPAN_OPEN => {
+                let id = event
+                    .field("span")
+                    .and_then(Json::as_u64)
+                    .ok_or("span_open missing integer span id")?;
+                if id == 0 {
+                    return Err("span id 0 is reserved".into());
+                }
+                match event.field("name").and_then(Json::as_str) {
+                    Some(n) if !n.is_empty() => {}
+                    _ => return Err(format!("span_open {id} missing non-empty name")),
+                }
+                if !self.opened.insert(id) {
+                    return Err(format!("span id {id} opened twice"));
+                }
+                if let Some(parent) = event.field("parent") {
+                    let parent = parent
+                        .as_u64()
+                        .ok_or(format!("span_open {id} has non-integer parent"))?;
+                    if !self.opened.contains(&parent) {
+                        return Err(format!(
+                            "span_open {id} references parent {parent} never opened"
+                        ));
+                    }
+                }
+                self.open.insert(id);
+                Ok(())
+            }
+            crate::span::SPAN_CLOSE => {
+                let id = event
+                    .field("span")
+                    .and_then(Json::as_u64)
+                    .ok_or("span_close missing integer span id")?;
+                if !self.open.remove(&id) {
+                    return Err(format!("span_close for span {id} that is not open"));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Whether a parsed field value is the faithful decoding of an emitted
@@ -293,6 +367,73 @@ mod tests {
         ];
         for (text, why) in cases {
             assert!(parse_log(&text).is_err(), "accepted bad log ({why})");
+        }
+    }
+
+    #[test]
+    fn version_1_logs_still_parse() {
+        let text = format!(
+            "{{\"schema\":\"{SCHEMA_NAME}\",\"version\":1}}\n{}",
+            encode_event_line(0, 0, "e", &[])
+        );
+        let log = parse_log(&text).unwrap();
+        assert_eq!(log.version, 1);
+        assert_eq!(log.events.len(), 1);
+    }
+
+    #[test]
+    fn span_causality_is_validated() {
+        let open = |seq, t, fields: &[Field]| encode_event_line(seq, t, "span_open", fields);
+        let close = |seq, t, fields: &[Field]| encode_event_line(seq, t, "span_close", fields);
+        let span = |id: u64| ("span", FieldValue::U64(id));
+        let name = |n: &'static str| ("name", FieldValue::from(n));
+        let parent = |id: u64| ("parent", FieldValue::U64(id));
+
+        // A well-formed nested pair parses.
+        let good = format!(
+            "{}\n{}\n{}\n{}\n{}\n",
+            header_line(),
+            open(0, 0, &[span(1), name("outer")]),
+            open(1, 1, &[span(2), parent(1), name("inner")]),
+            close(2, 2, &[span(2)]),
+            close(3, 3, &[span(1)]),
+        );
+        assert!(parse_log(&good).is_ok());
+
+        // A span left open at end-of-log is legal (truncated run).
+        let truncated = format!("{}\n{}\n", header_line(), open(0, 0, &[span(1), name("x")]));
+        assert!(parse_log(&truncated).is_ok());
+
+        let bad_cases: Vec<(String, &str)> = vec![
+            (open(0, 0, &[name("x")]), "open without id"),
+            (open(0, 0, &[span(0), name("x")]), "id zero"),
+            (open(0, 0, &[span(1)]), "open without name"),
+            (
+                format!(
+                    "{}\n{}",
+                    open(0, 0, &[span(1), name("a")]),
+                    open(1, 1, &[span(1), name("b")])
+                ),
+                "duplicate id",
+            ),
+            (
+                open(0, 0, &[span(2), parent(1), name("x")]),
+                "unknown parent",
+            ),
+            (close(0, 0, &[span(9)]), "close of never-opened span"),
+            (
+                format!(
+                    "{}\n{}\n{}",
+                    open(0, 0, &[span(1), name("a")]),
+                    close(1, 1, &[span(1)]),
+                    close(2, 2, &[span(1)])
+                ),
+                "double close",
+            ),
+        ];
+        for (body, why) in bad_cases {
+            let text = format!("{}\n{body}\n", header_line());
+            assert!(parse_log(&text).is_err(), "accepted bad span log ({why})");
         }
     }
 

@@ -1,4 +1,4 @@
-//! Golden-file test pinning schema version 1 at the byte level.
+//! Golden-file test pinning schema version 2 at the byte level.
 //!
 //! If this test fails because the format changed intentionally, bump
 //! `SCHEMA_VERSION` and regenerate the golden file by running the test
@@ -8,7 +8,7 @@ use lb_telemetry::{parse_log, Collector, FieldValue, JsonlCollector, SCHEMA_VERS
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v1.jsonl");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v2.jsonl");
 
 #[derive(Clone, Default)]
 struct SharedBuf(Arc<Mutex<Vec<u8>>>);
@@ -67,13 +67,46 @@ fn render_reference_log() -> String {
             ),
         ],
     );
+    // The version-2 additions: causal span open/close pairs, nested.
+    collector.emit(
+        "span_open",
+        &[
+            ("span", FieldValue::from(1u64)),
+            ("name", FieldValue::from("solver.solve")),
+            ("users", FieldValue::from(40u64)),
+        ],
+    );
+    collector.emit(
+        "span_open",
+        &[
+            ("span", FieldValue::from(2u64)),
+            ("parent", FieldValue::from(1u64)),
+            ("name", FieldValue::from("solver.sweep")),
+            ("iter", FieldValue::from(1u64)),
+        ],
+    );
+    collector.emit(
+        "span_close",
+        &[
+            ("span", FieldValue::from(2u64)),
+            ("name", FieldValue::from("solver.sweep")),
+            ("norm", FieldValue::from(0.5)),
+        ],
+    );
+    collector.emit(
+        "span_close",
+        &[
+            ("span", FieldValue::from(1u64)),
+            ("name", FieldValue::from("solver.solve")),
+        ],
+    );
     collector.flush();
     let bytes = buf.0.lock().unwrap().clone();
     String::from_utf8(bytes).unwrap()
 }
 
 #[test]
-fn schema_v1_bytes_match_the_golden_file() {
+fn schema_v2_bytes_match_the_golden_file() {
     let rendered = render_reference_log();
     if std::env::var_os("LB_TELEMETRY_BLESS").is_some() {
         std::fs::write(GOLDEN_PATH, &rendered).unwrap();
@@ -92,11 +125,16 @@ fn golden_file_is_schema_valid() {
     let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap();
     let log = parse_log(&golden).unwrap();
     assert_eq!(log.version, SCHEMA_VERSION);
-    assert_eq!(log.events.len(), 4);
+    assert_eq!(log.events.len(), 8);
     assert_eq!(log.events[0].name, "solver.start");
     assert_eq!(log.events[3].field("nan").unwrap().as_str(), Some("NaN"));
     assert_eq!(
         log.events[3].field("integral_float").unwrap().as_f64(),
         Some(2.0)
     );
+    // The span pair parses with intact causality metadata.
+    assert_eq!(log.events[4].name, "span_open");
+    assert_eq!(log.events[5].field("parent").unwrap().as_u64(), Some(1));
+    assert_eq!(log.events[6].field("norm").unwrap().as_f64(), Some(0.5));
+    assert_eq!(log.events[7].name, "span_close");
 }
