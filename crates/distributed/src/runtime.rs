@@ -60,7 +60,9 @@ use lb_game::best_reply::water_fill_flows;
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::overload::{shed_to_feasible, OverloadPolicy};
+use lb_game::stopping::{relative_regret, user_regret};
 use lb_game::strategy::{Strategy, StrategyProfile};
+use lb_game::{Certificate, StoppingRule};
 use lb_stats::IterationTrace;
 use lb_telemetry::{Collector, Field, Span};
 use std::fmt;
@@ -87,6 +89,7 @@ pub struct DistributedNash {
     init: RingInit,
     observation: ObservationModel,
     tolerance: f64,
+    stopping: StoppingRule,
     max_rounds: u32,
     round_timeout: Duration,
     run_deadline: Option<Duration>,
@@ -101,6 +104,7 @@ impl fmt::Debug for DistributedNash {
             .field("init", &self.init)
             .field("observation", &self.observation)
             .field("tolerance", &self.tolerance)
+            .field("stopping", &self.stopping)
             .field("max_rounds", &self.max_rounds)
             .field("round_timeout", &self.round_timeout)
             .field("run_deadline", &self.run_deadline)
@@ -123,6 +127,7 @@ impl DistributedNash {
             init: RingInit::Proportional,
             observation: ObservationModel::Exact,
             tolerance: 1e-4,
+            stopping: StoppingRule::default(),
             max_rounds: 500,
             round_timeout: Duration::from_secs(5),
             run_deadline: None,
@@ -144,9 +149,25 @@ impl DistributedNash {
         self
     }
 
-    /// Sets the convergence tolerance ε.
+    /// Sets the convergence tolerance ε. Under the default
+    /// [`StoppingRule::CertifiedGap`] this is the certified relative
+    /// gap; under the norm rules it is the norm threshold.
     pub fn tolerance(mut self, eps: f64) -> Self {
         self.tolerance = eps;
+        if let StoppingRule::CertifiedGap { epsilon } = &mut self.stopping {
+            *epsilon = eps;
+        }
+        self
+    }
+
+    /// Selects the ring tail's convergence criterion. Passing
+    /// [`StoppingRule::CertifiedGap`] also adopts its ε as the
+    /// tolerance, mirroring [`lb_game::nash::NashSolver`].
+    pub fn stopping_rule(mut self, rule: StoppingRule) -> Self {
+        self.stopping = rule;
+        if let StoppingRule::CertifiedGap { epsilon } = rule {
+            self.tolerance = epsilon;
+        }
         self
     }
 
@@ -307,6 +328,7 @@ impl DistributedNash {
                     ("users", m.into()),
                     ("computers", n.into()),
                     ("tolerance", self.tolerance.into()),
+                    ("stopping", self.stopping.label().into()),
                     ("max_rounds", self.max_rounds.into()),
                 ],
             );
@@ -329,6 +351,7 @@ impl DistributedNash {
                 events: event_tx.clone(),
                 observer: Observer::new(self.observation, j),
                 tolerance: self.tolerance,
+                stopping: self.stopping,
                 max_rounds: self.max_rounds,
                 initial_d: initial_d[j],
                 faults: Arc::clone(&self.faults),
@@ -595,9 +618,11 @@ enum Event {
     /// A user handed the token to `to`.
     Forwarded { to: usize, epoch: u32 },
     /// The tail completed a round with this norm (and possibly decided
-    /// termination).
+    /// termination). `certificate` carries the round's certified
+    /// relative regret bound when the stopping rule computes one.
     RoundComplete {
         norm: f64,
+        certificate: Option<f64>,
         termination: Termination,
         epoch: u32,
     },
@@ -790,19 +815,21 @@ impl Coordinator {
             }
             Event::RoundComplete {
                 norm,
+                certificate,
                 termination,
                 epoch,
             } if epoch == self.epoch => {
                 self.mirror.push(norm);
-                self.emit(
-                    "ring.round",
-                    &[
-                        ("round", (self.mirror.len() as u64 - 1).into()),
-                        ("norm", norm.into()),
-                        ("epoch", epoch.into()),
-                        ("termination", termination_label(termination).into()),
-                    ],
-                );
+                let mut fields: Vec<Field> = vec![
+                    ("round", (self.mirror.len() as u64 - 1).into()),
+                    ("norm", norm.into()),
+                    ("epoch", epoch.into()),
+                    ("termination", termination_label(termination).into()),
+                ];
+                if let Some(rel) = certificate {
+                    fields.push(("cert_rel", rel.into()));
+                }
+                self.emit("ring.round", &fields);
                 self.finish_round_span(norm);
                 if termination != Termination::Continue {
                     self.termination = Some(termination);
@@ -1093,6 +1120,7 @@ struct UserContext {
     events: Sender<Event>,
     observer: Observer,
     tolerance: f64,
+    stopping: StoppingRule,
     max_rounds: u32,
     initial_d: f64,
     faults: Arc<FaultPlan>,
@@ -1180,44 +1208,94 @@ fn handle_token(
                 _ => {}
             }
 
+            // Certified stopping measures each user's *current* strategy
+            // against the live board BEFORE it updates — measuring after
+            // a best reply is vacuous (a fresh reply has ~zero regret by
+            // construction). The regret is read from the true board, so
+            // observation noise cannot launder it, and an ε-optimal user
+            // skips its update entirely: once every user skips, the
+            // board is static, the round's norm is exactly zero, and the
+            // state all regrets were measured against is the state the
+            // ring returns.
+            let mut skip = false;
+            if ctx.stopping.needs_certificate() {
+                ctx.board.total_flows_into(&mut ctx.scratch_totals);
+                ctx.board.row_into(ctx.user, &mut ctx.scratch_row);
+                let placed: f64 = ctx.scratch_row.iter().sum();
+                let (regret, dj) = if (placed - ctx.phi).abs() <= 1e-9 * ctx.phi {
+                    user_regret(&ctx.mu, &ctx.scratch_totals, &ctx.scratch_row, ctx.phi)
+                } else {
+                    // The row does not carry the admitted demand — an
+                    // unseeded NASH_0 start, or a stale allocation from
+                    // before a capacity event changed φ. Nothing can be
+                    // certified about it, and it must update.
+                    (f64::INFINITY, f64::INFINITY)
+                };
+                token.certificate.absorb(regret, dj);
+                skip = relative_regret(regret, dj) <= ctx.tolerance;
+            }
+
             // Observe, best-respond, publish. A stale-round fault replays
             // the previous observation instead of re-reading the board.
-            let avail = match fault {
-                Some(FaultAction::StaleRound) => {
-                    ctx.observer.last_observation().map(<[f64]>::to_vec)
-                }
-                _ => None,
-            };
-            let avail = avail.unwrap_or_else(|| {
-                ctx.board
-                    .flows_excluding_into(ctx.user, &mut ctx.scratch_others);
-                ctx.observer.observe(&ctx.mu, &ctx.scratch_others)
-            });
-            match water_fill_flows(&avail, ctx.phi) {
-                Ok(flows) => {
-                    ctx.board.publish(ctx.user, &flows);
-                    *updates += 1;
-                }
-                Err(_) => {
-                    // A (noisy or stale) observation made the subproblem
-                    // look infeasible; keep the current strategy.
+            if !skip {
+                let avail = match fault {
+                    Some(FaultAction::StaleRound) => {
+                        ctx.observer.last_observation().map(<[f64]>::to_vec)
+                    }
+                    _ => None,
+                };
+                let avail = avail.unwrap_or_else(|| {
+                    ctx.board
+                        .flows_excluding_into(ctx.user, &mut ctx.scratch_others);
+                    ctx.observer.observe(&ctx.mu, &ctx.scratch_others)
+                });
+                match water_fill_flows(&avail, ctx.phi) {
+                    Ok(flows) => {
+                        ctx.board.publish(ctx.user, &flows);
+                        *updates += 1;
+                    }
+                    Err(_) => {
+                        // A (noisy or stale) observation made the
+                        // subproblem look infeasible; keep the current
+                        // strategy.
+                    }
                 }
             }
             let d = response_time_from_board(ctx);
             token.norm_acc += (d - *prev_d).abs();
+            token.d_acc += d;
             *prev_d = d;
 
             if ctx.is_tail {
                 let norm = token.norm_acc;
+                let total_d = token.d_acc;
+                let certificate = token.certificate;
                 token.round += 1;
                 token.norm_acc = 0.0;
-                if norm <= ctx.tolerance {
+                token.d_acc = 0.0;
+                token.certificate = Certificate::zero();
+                let converged = match ctx.stopping {
+                    // Regrets are measured pre-update at each user's
+                    // turn; requiring a quiescent round (norm exactly
+                    // zero — nobody moved, so the board the regrets
+                    // were measured against IS the returned state)
+                    // makes the acceptance a sound ε-Nash certificate.
+                    StoppingRule::CertifiedGap { epsilon } => {
+                        certificate.relative <= epsilon && norm == 0.0
+                    }
+                    rule => rule.accepts(ctx.tolerance, norm, total_d, Some(&certificate)),
+                };
+                if converged {
                     token.terminate = Termination::Converged;
                 } else if token.round >= ctx.max_rounds {
                     token.terminate = Termination::Exhausted;
                 }
                 let _ = ctx.events.send(Event::RoundComplete {
                     norm,
+                    certificate: ctx
+                        .stopping
+                        .needs_certificate()
+                        .then_some(certificate.relative),
                     termination: token.terminate,
                     epoch: ctx.epoch,
                 });
@@ -1372,7 +1450,8 @@ mod tests {
         let m = SystemModel::new(vec![10.0, 20.0], vec![12.0]).unwrap();
         let out = DistributedNash::new().run(&m).unwrap();
         assert!(epsilon_nash_gap(&m, out.profile()).unwrap() < 1e-6);
-        assert_eq!(out.total_updates(), out.rounds());
+        // The accepting round is quiescent: the lone user skips it.
+        assert_eq!(out.total_updates(), out.rounds() - 1);
     }
 
     #[test]
@@ -1477,11 +1556,15 @@ mod tests {
     #[test]
     fn noisy_observation_still_roughly_equilibrates() {
         let m = SystemModel::table1_system(0.5).unwrap();
+        // Noise keeps the true regret above any tight ε forever, so the
+        // certified rule would (rightly) never accept — this test is
+        // about rough equilibration and pins the paper's norm rule.
         let out = DistributedNash::new()
             .observation(ObservationModel::Noisy {
                 rel_std: 0.02,
                 seed: 11,
             })
+            .stopping_rule(StoppingRule::AbsoluteNorm)
             .tolerance(5e-3)
             .max_rounds(2000)
             .run(&m)
@@ -1565,6 +1648,9 @@ mod tests {
         let gap = epsilon_nash_gap(&m, out.profile()).unwrap();
         assert!(gap < 1e-2, "gap {gap}");
         assert_eq!(out.profile().num_users(), 10);
-        assert_eq!(out.total_updates(), 10 * out.rounds());
+        // Users skip once ε-optimal (the accepting round is fully
+        // quiescent), so updates land strictly below users × rounds.
+        assert!(out.total_updates() < 10 * out.rounds());
+        assert!(out.total_updates() >= 10 * (out.rounds() - 1) / 2);
     }
 }

@@ -19,6 +19,7 @@ use lb_game::best_reply::{water_fill_flows, water_fill_flows_into, WaterFillScra
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::nash::{jacobi_round, Initialization, NashSolver};
+use lb_game::sampled::SampledNashSolver;
 use lb_game::schemes::{LoadBalancingScheme, ProportionalScheme};
 use lb_sim::harness::simulate_profile_with;
 use lb_sim::parallel::ParallelRunner;
@@ -172,6 +173,52 @@ fn bench_jacobi(c: &mut Criterion) -> Result<(), GameError> {
     let profile = ProportionalScheme.compute(&model)?;
     let auto_threads = ParallelRunner::from_env().threads();
     let mut g = c.benchmark_group("jacobi_round_table1");
+    g.bench_function("threads_1", |b| {
+        b.iter(|| jacobi_round(&model, &profile, 1).expect("round"));
+    });
+    g.bench_function("threads_auto", |b| {
+        b.iter(|| jacobi_round(&model, &profile, auto_threads).expect("round"));
+    });
+    g.finish();
+    Ok(())
+}
+
+/// The web-scale groups behind `--large`.
+///
+/// `nash_large_sampled` is the headline: the power-of-k sampled solver
+/// certifying a relative ε-Nash gap of 1e-3 on n = 10,000 computers ×
+/// m = 100,000 users — a scale where the dense solvers cannot even hold
+/// a strategy profile (10⁹ fractions ≈ 8 GB). `nash_large_jacobi` runs
+/// one dense synchronous sweep at the largest size the dense
+/// representation sensibly holds (n = 1,000 × m = 10,000, ≈ 80 MB), as
+/// the bridge between the Table-1 groups and the sampled scale.
+fn bench_nash_large(c: &mut Criterion) -> Result<(), GameError> {
+    let n = 10_000;
+    let m = 100_000;
+    let rates: Vec<f64> = (0..n).map(|i| 10.0 + (i % 97) as f64).collect();
+    let phi = 0.6 * rates.iter().sum::<f64>() / m as f64;
+    let model = SystemModel::new(rates, vec![phi; m])?;
+    let auto_threads = ParallelRunner::from_env().threads();
+    let mut g = c.benchmark_group("nash_large_sampled");
+    for (id, threads) in [("threads_1", 1), ("threads_auto", auto_threads)] {
+        g.bench_function(id, |b| {
+            let solver = SampledNashSolver::new().epsilon(1e-3).threads(threads);
+            b.iter(|| {
+                let out = solver.solve(&model).expect("large sampled solve");
+                assert!(out.converged(), "did not certify within budget");
+                out.iterations()
+            });
+        });
+    }
+    g.finish();
+
+    let n = 1_000;
+    let m = 10_000;
+    let rates: Vec<f64> = (0..n).map(|i| 10.0 + (i % 97) as f64).collect();
+    let phi = 0.6 * rates.iter().sum::<f64>() / m as f64;
+    let model = SystemModel::new(rates, vec![phi; m])?;
+    let profile = ProportionalScheme.compute(&model)?;
+    let mut g = c.benchmark_group("nash_large_jacobi");
     g.bench_function("threads_1", |b| {
         b.iter(|| jacobi_round(&model, &profile, 1).expect("round"));
     });
@@ -451,24 +498,28 @@ pub struct BenchReport {
     pub regressions: Vec<Regression>,
 }
 
-/// Runs every benchmark group, writes [`BENCH_FILE`] under `out_dir`,
-/// and appends a timestamped line to [`HISTORY_FILE`]. A pre-existing
-/// summary at the [`BENCH_FILE`] path — normally the committed
-/// reference under `results/` — is read *before* being overwritten,
-/// reported as a delta table, and checked for regressions beyond
-/// [`REGRESSION_THRESHOLD`] (report-only: flagged regressions are
-/// returned, never turned into an error, so CI can decide).
+/// Runs every benchmark group (plus the web-scale groups when `large`
+/// is set), writes [`BENCH_FILE`] under `out_dir`, and appends a
+/// timestamped line to [`HISTORY_FILE`]. A pre-existing summary at the
+/// [`BENCH_FILE`] path — normally the committed reference under
+/// `results/` — is read *before* being overwritten, reported as a delta
+/// table, and checked for regressions beyond [`REGRESSION_THRESHOLD`]
+/// (report-only: flagged regressions are returned, never turned into an
+/// error, so CI can decide).
 ///
 /// # Errors
 ///
 /// A human-readable message on model/solver failures or I/O errors.
-pub fn run(out_dir: &Path) -> Result<BenchReport, String> {
+pub fn run(out_dir: &Path, large: bool) -> Result<BenchReport, String> {
     let mut c = Criterion::default();
     bench_nash(&mut c).map_err(|e| format!("nash bench: {e}"))?;
     bench_collector_overhead(&mut c).map_err(|e| format!("overhead bench: {e}"))?;
     bench_water_fill(&mut c);
     bench_simulation(&mut c).map_err(|e| format!("simulation bench: {e}"))?;
     bench_jacobi(&mut c).map_err(|e| format!("jacobi bench: {e}"))?;
+    if large {
+        bench_nash_large(&mut c).map_err(|e| format!("large bench: {e}"))?;
+    }
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
     let path = out_dir.join(BENCH_FILE);
     let reference = std::fs::read_to_string(&path).ok();
@@ -514,7 +565,7 @@ mod tests {
         std::env::set_var("CRITERION_QUICK", "1");
         let dir = std::env::temp_dir().join("lb_bench_smoke_test");
         std::fs::remove_dir_all(&dir).ok();
-        let report = run(&dir).unwrap();
+        let report = run(&dir, false).unwrap();
         assert_eq!(report.path.file_name().unwrap(), BENCH_FILE);
         // First run: nothing to compare against.
         assert!(report.delta.is_none());
@@ -561,7 +612,7 @@ mod tests {
         }
         // Second run: the first summary becomes the reference and the
         // delta table covers every benchmark; the history grows.
-        let report2 = run(&dir).unwrap();
+        let report2 = run(&dir, false).unwrap();
         let delta = report2.delta.expect("reference present on second run");
         assert_eq!(delta.len(), parse_benchmarks(&json).unwrap().len());
         let history2 = std::fs::read_to_string(&report2.history_path).unwrap();
@@ -578,6 +629,27 @@ mod tests {
                 .unwrap();
             assert!(v > 0.0, "non-positive measurement in {line}");
         }
+    }
+
+    /// The web-scale groups end to end: n = 10,000 × m = 100,000 must
+    /// certify ε = 1e-3 and land in the machine-readable summary.
+    #[test]
+    #[ignore = "release-build soak: several minutes even under CRITERION_QUICK"]
+    fn large_bench_records_web_scale_groups() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let dir = std::env::temp_dir().join("lb_bench_large_smoke_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let report = run(&dir, true).unwrap();
+        let json = std::fs::read_to_string(&report.path).unwrap();
+        for needle in [
+            "\"group\": \"nash_large_sampled\"",
+            "\"group\": \"nash_large_jacobi\"",
+            "\"id\": \"threads_1\"",
+            "\"id\": \"threads_auto\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Two hand-built summaries: one benchmark 2× slower (flagged), one

@@ -127,8 +127,12 @@ fn run(opts: &Options) -> Result<(), String> {
                     beyond::server_churn(opts.replications.min(5)).map_err(|e| e.to_string())?;
                 emit(&beyond::render_churn(&rows), &opts.out, "ext_churn")?;
             }
+            "ext-anytime" => {
+                let points = beyond::anytime_frontier().map_err(|e| e.to_string())?;
+                emit(&beyond::render_anytime(&points), &opts.out, "ext_anytime")?;
+            }
             "bench" => {
-                let report = bench::run(&opts.out)?;
+                let report = bench::run(&opts.out, opts.large)?;
                 if let Some(delta) = &report.delta {
                     println!("{}", delta.render());
                 } else {

@@ -20,6 +20,8 @@ pub struct Options {
     pub out: PathBuf,
     /// Mirror telemetry events to stderr (`trace` subcommand).
     pub verbose: bool,
+    /// Include the web-scale benchmark groups (`bench` subcommand).
+    pub large: bool,
     /// Positional input path (`analyze <log>`); defaults per command.
     pub input: Option<PathBuf>,
 }
@@ -27,9 +29,10 @@ pub struct Options {
 /// The usage string.
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
-     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|bench|trace|analyze> \
-     [LOG] [--simulate] [--jobs N] [--replications R] [--out-dir DIR] [--verbose]\n\
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|ext-anytime|bench|trace|analyze> \
+     [LOG] [--simulate] [--jobs N] [--replications R] [--out-dir DIR] [--verbose] [--large]\n\
      `analyze [LOG]` profiles a span trace (default LOG: <out-dir>/trace_table1.jsonl);\n\
+     `bench --large` adds the n=10,000 × m=100,000 solver groups;\n\
      `--out` is accepted as an alias for `--out-dir`"
         .to_string()
 }
@@ -49,12 +52,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
         replications: 5,
         out: PathBuf::from(config::RESULTS_DIR),
         verbose: false,
+        large: false,
         input: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--simulate" => opts.simulate = true,
             "--verbose" => opts.verbose = true,
+            "--large" => opts.large = true,
             "--jobs" => {
                 opts.jobs = args
                     .next()
@@ -97,6 +102,7 @@ pub fn expand_command(command: &str) -> Vec<&str> {
             "ext-policies",
             "ext-tails",
             "ext-churn",
+            "ext-anytime",
         ],
         other => vec![other],
     }
@@ -120,6 +126,13 @@ mod tests {
         assert_eq!(o.replications, 5);
         assert_eq!(o.out, PathBuf::from("results"));
         assert_eq!(o.input, None);
+        assert!(!o.large);
+    }
+
+    #[test]
+    fn large_flag_parses() {
+        let o = parse(args(&["bench", "--large"])).unwrap();
+        assert!(o.large);
     }
 
     #[test]
@@ -174,7 +187,7 @@ mod tests {
     fn umbrellas_expand() {
         assert_eq!(expand_command("all").len(), 6);
         let ext = expand_command("ext");
-        assert_eq!(ext.len(), 10);
+        assert_eq!(ext.len(), 11);
         assert!(ext.iter().all(|c| c.starts_with("ext-")));
         assert_eq!(expand_command("fig3"), vec!["fig3"]);
     }

@@ -11,6 +11,7 @@ use lb_game::diagnostics::ConvergenceReport;
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::nash::{Initialization, NashSolver};
+use lb_game::StoppingRule;
 use lb_stats::IterationTrace;
 
 /// The two norm traces of Figure 2.
@@ -60,11 +61,15 @@ pub fn run() -> Result<Fig2Result, GameError> {
 ///
 /// Propagates model-construction and solver failures.
 pub fn run_at(rho: f64, eps: f64) -> Result<Fig2Result, GameError> {
+    // Figure 2 *is* the paper's norm trace, so it pins the paper's
+    // absolute-norm criterion; the solver default is the certified rule.
     let model = SystemModel::table1_system(rho)?;
     let nash0 = NashSolver::new(Initialization::Zero)
+        .stopping_rule(StoppingRule::AbsoluteNorm)
         .tolerance(eps)
         .solve(&model)?;
     let nashp = NashSolver::new(Initialization::Proportional)
+        .stopping_rule(StoppingRule::AbsoluteNorm)
         .tolerance(eps)
         .solve(&model)?;
     Ok(Fig2Result {

@@ -9,6 +9,7 @@ use crate::report::Table;
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::nash::{Initialization, NashSolver};
+use lb_game::StoppingRule;
 
 /// One sweep point of Figure 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +41,14 @@ pub fn run_sweep(users: &[usize], rho: f64, eps: f64) -> Result<Vec<Fig3Point>, 
         .iter()
         .map(|&m| {
             let model = SystemModel::with_equal_users(SystemModel::table1_rates(), m, rho)?;
+            // Iteration counts are the figure's payload: pin the
+            // paper's absolute-norm criterion for byte-identical repro.
             let nash0 = NashSolver::new(Initialization::Zero)
+                .stopping_rule(StoppingRule::AbsoluteNorm)
                 .tolerance(eps)
                 .solve(&model)?;
             let nashp = NashSolver::new(Initialization::Proportional)
+                .stopping_rule(StoppingRule::AbsoluteNorm)
                 .tolerance(eps)
                 .solve(&model)?;
             Ok(Fig3Point {

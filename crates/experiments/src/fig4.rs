@@ -17,6 +17,7 @@ use lb_game::schemes::{
     GlobalOptimalScheme, IndividualOptimalScheme, LoadBalancingScheme, NashScheme,
     ProportionalScheme,
 };
+use lb_game::StoppingRule;
 use lb_sim::harness::simulate_profile_traced;
 use lb_sim::parallel::ParallelRunner;
 use lb_sim::scenario::SimulationConfig;
@@ -108,7 +109,12 @@ pub fn evaluate_schemes_traced(
     sim: Option<SimOptions>,
     collector: Option<&Arc<dyn Collector>>,
 ) -> Result<Vec<SchemeRow>, GameError> {
-    let mut nash_solver = NashSolver::new(Initialization::Proportional).tolerance(EPSILON);
+    // Pin the paper's absolute-norm criterion so the figure CSVs stay
+    // byte-identical to the published reference (the certified default
+    // stops at slightly different profiles).
+    let mut nash_solver = NashSolver::new(Initialization::Proportional)
+        .stopping_rule(StoppingRule::AbsoluteNorm)
+        .tolerance(EPSILON);
     if let Some(c) = collector.filter(|c| c.enabled()) {
         nash_solver = nash_solver.collector(Arc::clone(c));
     }

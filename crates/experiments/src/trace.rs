@@ -26,6 +26,7 @@ use lb_distributed::{DistributedNash, FaultPlan};
 use lb_game::model::SystemModel;
 use lb_game::nash::{Initialization, NashSolver};
 use lb_game::overload::OverloadPolicy;
+use lb_game::StoppingRule;
 use lb_sim::churn::{run_churn_replication_traced, ChurnPhase, RetryBackoff};
 use lb_sim::harness::simulate_profile_traced;
 use lb_sim::parallel::ParallelRunner;
@@ -103,12 +104,16 @@ pub fn run(out: &Path, verbose: bool) -> Result<TraceReport, String> {
 
     // Phase 1 — solver convergence, both paper initializations.
     let model = SystemModel::table1_system(0.6).map_err(|e| e.to_string())?;
+    // The committed trace log is a byte-for-byte reference: pin the
+    // paper's absolute-norm criterion it was recorded under.
     NashSolver::new(Initialization::Zero)
+        .stopping_rule(StoppingRule::AbsoluteNorm)
         .tolerance(EPSILON)
         .collector(collector.clone())
         .solve(&model)
         .map_err(|e| format!("NASH_0 solve: {e}"))?;
     let nash_profile = NashSolver::new(Initialization::Proportional)
+        .stopping_rule(StoppingRule::AbsoluteNorm)
         .tolerance(EPSILON)
         .collector(collector.clone())
         .solve(&model)
@@ -125,6 +130,7 @@ pub fn run(out: &Path, verbose: bool) -> Result<TraceReport, String> {
         .degrade_computer_at(4, 1, 8.0)
         .recover_computer_at(6, 1);
     DistributedNash::new()
+        .stopping_rule(StoppingRule::AbsoluteNorm)
         .fault_plan(plan)
         .round_timeout(Duration::from_millis(300))
         .overload_policy(OverloadPolicy::ShedProportional { headroom: 0.9 })

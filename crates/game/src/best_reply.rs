@@ -132,12 +132,11 @@ pub fn water_fill_flows_into(
     let order = &mut scratch.order;
     order.clear();
     order.extend((0..rates.len()).filter(|&i| rates[i] > 0.0));
-    order.sort_by(|&p, &q| {
-        rates[q]
-            .partial_cmp(&rates[p])
-            .expect("rates are finite")
-            .then(p.cmp(&q))
-    });
+    // `total_cmp` instead of `partial_cmp(..).expect(..)`: the rates are
+    // validated finite above, but a panicking comparator would turn any
+    // future validation gap into an abort mid-solve. A total order keeps
+    // the sort well-defined no matter what reaches it.
+    order.sort_by(|&p, &q| rates[q].total_cmp(&rates[p]).then(p.cmp(&q)));
     let total: f64 = order.iter().map(|&i| rates[i]).sum();
     if total <= demand {
         return Err(GameError::InfeasibleBestReply {

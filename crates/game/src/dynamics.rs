@@ -14,6 +14,7 @@ use crate::error::GameError;
 use crate::model::SystemModel;
 use crate::nash::{Initialization, NashOutcome, NashSolver};
 use crate::overload::{shed_to_feasible, OverloadPolicy, ShedPlan};
+use crate::stopping::StoppingRule;
 use crate::strategy::{Strategy, StrategyProfile};
 
 /// How the balancer seeds the solver after a system change.
@@ -70,6 +71,7 @@ pub struct DynamicBalancer {
     model: SystemModel,
     equilibrium: StrategyProfile,
     tolerance: f64,
+    stopping: StoppingRule,
     max_iterations: u32,
     history: Vec<Rebalance>,
     /// Users' *nominal* arrival rates — what they want to send, as
@@ -89,7 +91,25 @@ impl DynamicBalancer {
     ///
     /// Propagates solver failures.
     pub fn new(model: SystemModel, tolerance: f64) -> Result<Self, GameError> {
+        Self::with_stopping(model, tolerance, StoppingRule::default())
+    }
+
+    /// Like [`DynamicBalancer::new`], but every solve — the initial one
+    /// and all re-equilibrations — uses `stopping` instead of the
+    /// default certified rule. With
+    /// [`StoppingRule::CertifiedGap`], `tolerance` is the certified
+    /// relative ε; with the norm rules it is the norm threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn with_stopping(
+        model: SystemModel,
+        tolerance: f64,
+        stopping: StoppingRule,
+    ) -> Result<Self, GameError> {
         let outcome = NashSolver::new(Initialization::Proportional)
+            .stopping_rule(stopping)
             .tolerance(tolerance)
             .max_iterations(5000)
             .solve(&model)?;
@@ -104,6 +124,7 @@ impl DynamicBalancer {
             model,
             equilibrium: outcome.into_profile(),
             tolerance,
+            stopping,
             max_iterations: 5000,
             history,
             nominal_user_rates,
@@ -144,6 +165,7 @@ impl DynamicBalancer {
             Restart::Warm => Initialization::Custom(remap_profile(&self.equilibrium, &new_model)?),
         };
         let outcome: NashOutcome = NashSolver::new(init)
+            .stopping_rule(self.stopping)
             .tolerance(self.tolerance)
             .max_iterations(self.max_iterations)
             .solve(&new_model)?;
@@ -257,6 +279,7 @@ impl DynamicBalancer {
             }
         };
         let outcome: NashOutcome = NashSolver::new(init)
+            .stopping_rule(self.stopping)
             .tolerance(self.tolerance)
             .max_iterations(self.max_iterations)
             .solve(&new_model)?;
@@ -363,6 +386,46 @@ mod tests {
         let gap = epsilon_nash_gap(b.model(), b.equilibrium()).unwrap();
         assert!(gap < 1e-4);
         assert_eq!(b.history().len(), 1);
+    }
+
+    #[test]
+    fn stopping_rule_threads_through_reequilibration() {
+        // The certified rule is scale-invariant: a balancer driven on a
+        // 100×-rescaled system re-equilibrates in exactly the sweeps of
+        // the unscaled one, for the initial solve and for updates.
+        let scale = 100.0;
+        let scaled = |m: &SystemModel| {
+            SystemModel::new(
+                m.computer_rates().iter().map(|r| r * scale).collect(),
+                m.user_rates().iter().map(|r| r * scale).collect(),
+            )
+            .unwrap()
+        };
+        let base = base_model();
+        let drift = SystemModel::table1_system(0.7).unwrap();
+        let mut b = DynamicBalancer::with_stopping(base, 1e-6, StoppingRule::default()).unwrap();
+        let mut s =
+            DynamicBalancer::with_stopping(scaled(&base_model()), 1e-6, StoppingRule::default())
+                .unwrap();
+        let step_b = b.update(drift.clone(), Restart::Warm).unwrap();
+        let step_s = s.update(scaled(&drift), Restart::Warm).unwrap();
+        assert_eq!(b.history()[0].iterations, s.history()[0].iterations);
+        assert_eq!(step_b.iterations, step_s.iterations);
+        // The repro opt-in threads through too: response times shrink
+        // by 100× on the scaled system, so the absolute-norm rule stops
+        // (vacuously) earlier — the scale dependence the certified
+        // default removes.
+        let a =
+            DynamicBalancer::with_stopping(scaled(&base_model()), 1e-6, StoppingRule::AbsoluteNorm)
+                .unwrap();
+        let u =
+            DynamicBalancer::with_stopping(base_model(), 1e-6, StoppingRule::AbsoluteNorm).unwrap();
+        assert!(
+            a.history()[0].iterations < u.history()[0].iterations,
+            "absolute norm should be scale-dependent: {} vs {}",
+            a.history()[0].iterations,
+            u.history()[0].iterations
+        );
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub enum GameError {
         /// Final value of the convergence norm.
         final_norm: f64,
     },
+    /// An iterative solver was asked to run with `max_iterations == 0`:
+    /// no sweep can execute, so no convergence norm exists and nothing
+    /// can be reported honestly.
+    ZeroIterationBudget,
     /// A distributed ring stalled: the token was lost (or a deadline
     /// expired) and the run could not be repaired into a result.
     RingTimeout {
@@ -140,6 +144,9 @@ impl fmt::Display for GameError {
                 f,
                 "did not converge after {iterations} iterations (norm {final_norm})"
             ),
+            Self::ZeroIterationBudget => {
+                write!(f, "iteration budget is zero: no sweep can run, so convergence is undefined")
+            }
             Self::RingTimeout {
                 round,
                 waited_ms,
@@ -197,6 +204,7 @@ mod tests {
                 iterations: 100,
                 final_norm: 0.5,
             },
+            GameError::ZeroIterationBudget,
             GameError::RingTimeout {
                 round: 3,
                 waited_ms: 250,

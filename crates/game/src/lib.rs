@@ -18,6 +18,15 @@
 //!   below a tolerance, with the paper's NASH_0 and NASH_P initializations
 //!   (plus a Jacobi variant for ablations).
 //! * [`equilibrium`] — ε-Nash verification and price-of-anarchy helpers.
+//! * [`stopping`] — certified, scale-invariant stopping rules
+//!   ([`stopping::StoppingRule`]): a per-user regret certificate from the
+//!   water-filling KKT residual upper-bounds the exact ε-Nash gap each
+//!   sweep, so the solvers can stop on a *proved* bound instead of the
+//!   paper's scale-dependent absolute norm (kept as a repro opt-in).
+//! * [`sampled`] — a power-of-k-choices sparse solver for web-scale
+//!   instances (n=10⁴ computers, m=10⁵ users): each best reply samples
+//!   `k` candidate servers instead of scanning all `n`, and the sampling
+//!   error folds into the same certificate.
 //! * [`schemes`] — the comparison baselines of §4.2: proportional (PS),
 //!   global optimal (GOS) and individual optimal / Wardrop (IOS), behind a
 //!   common [`schemes::LoadBalancingScheme`] trait alongside NASH itself.
@@ -69,10 +78,13 @@ pub mod multicore;
 pub mod nash;
 pub mod overload;
 pub mod response;
+pub mod sampled;
 pub mod schemes;
 pub mod sensitivity;
+pub mod stopping;
 pub mod strategy;
 
 pub use error::GameError;
 pub use model::SystemModel;
+pub use stopping::{Certificate, StoppingRule};
 pub use strategy::{Strategy, StrategyProfile};

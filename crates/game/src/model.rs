@@ -296,6 +296,29 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_rates_are_rejected_at_the_boundary() {
+        // A NaN or infinite rate that slips past construction poisons
+        // every downstream quantity (water-filling sorts, norms,
+        // certificates), so the model boundary is where it must die.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    SystemModel::new(vec![10.0, bad], vec![1.0]),
+                    Err(GameError::Queueing(_))
+                ),
+                "mu = {bad} must be rejected"
+            );
+            assert!(
+                matches!(
+                    SystemModel::new(vec![10.0, 20.0], vec![1.0, bad]),
+                    Err(GameError::InvalidRate { name: "phi", .. })
+                ),
+                "phi = {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn accessors_report_model() {
         let m = SystemModel::new(vec![10.0, 20.0], vec![3.0, 6.0]).unwrap();
         assert_eq!(m.num_computers(), 2);

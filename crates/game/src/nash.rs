@@ -9,7 +9,14 @@
 //! norm_l = Σ_j |D_j^{(l)} − D_j^{(l−1)}|
 //! ```
 //!
-//! and the algorithm stops when `norm <= ε`.
+//! and the paper stops when `norm <= ε`. That absolute criterion is
+//! scale-dependent (see [`crate::stopping`]), so it is no longer the
+//! default: the solver stops on a certified relative ε-Nash gap
+//! ([`crate::stopping::StoppingRule::CertifiedGap`]) computed each sweep
+//! from the water-filling KKT residual, and the paper's rule remains
+//! available as an explicit opt-in
+//! ([`NashSolver::stopping_rule`] + [`crate::stopping::StoppingRule::AbsoluteNorm`])
+//! for byte-identical figure reproduction.
 //!
 //! Two initializations from the paper:
 //!
@@ -32,6 +39,7 @@ use crate::best_reply::{water_fill_flows_into, WaterFillScratch};
 use crate::error::GameError;
 use crate::model::SystemModel;
 use crate::response::user_response_times;
+use crate::stopping::{user_regret, Certificate, StoppingRule};
 use crate::strategy::{Strategy, StrategyProfile};
 use lb_stats::IterationTrace;
 use lb_telemetry::Collector;
@@ -70,6 +78,7 @@ pub struct NashSolver {
     init: Initialization,
     order: UpdateOrder,
     tolerance: f64,
+    stopping: StoppingRule,
     max_iterations: u32,
     threads: usize,
     collector: Option<Arc<dyn Collector>>,
@@ -81,6 +90,7 @@ impl fmt::Debug for NashSolver {
             .field("init", &self.init)
             .field("order", &self.order)
             .field("tolerance", &self.tolerance)
+            .field("stopping", &self.stopping)
             .field("max_iterations", &self.max_iterations)
             .field("threads", &self.threads)
             .field(
@@ -92,22 +102,46 @@ impl fmt::Debug for NashSolver {
 }
 
 impl NashSolver {
-    /// Creates a solver with the paper's defaults: Gauss–Seidel updates,
-    /// tolerance `1e-4`, at most 500 sweeps.
+    /// Creates a solver with the paper's structure (Gauss–Seidel updates,
+    /// at most 500 sweeps, ε = `1e-4`) but the scale-invariant
+    /// [`StoppingRule::CertifiedGap`] criterion. Use
+    /// [`NashSolver::stopping_rule`] with [`StoppingRule::AbsoluteNorm`]
+    /// to reproduce the paper's stopping behavior exactly.
     pub fn new(init: Initialization) -> Self {
         Self {
             init,
             order: UpdateOrder::GaussSeidel,
             tolerance: 1e-4,
+            stopping: StoppingRule::default(),
             max_iterations: 500,
             threads: 1,
             collector: None,
         }
     }
 
-    /// Sets the convergence tolerance ε on the response-time norm.
+    /// Sets the convergence tolerance ε — the single accuracy knob for
+    /// every stopping rule: the norm threshold under
+    /// [`StoppingRule::AbsoluteNorm`], the relative-norm threshold under
+    /// [`StoppingRule::RelativeNorm`], and (kept in sync automatically)
+    /// the certified relative gap under [`StoppingRule::CertifiedGap`].
     pub fn tolerance(mut self, eps: f64) -> Self {
         self.tolerance = eps;
+        if let StoppingRule::CertifiedGap { epsilon } = &mut self.stopping {
+            *epsilon = eps;
+        }
+        self
+    }
+
+    /// Selects the stopping rule. Selecting
+    /// [`StoppingRule::CertifiedGap`] also adopts its `epsilon` as the
+    /// solver tolerance, so an explicit certified ε wins over an earlier
+    /// [`NashSolver::tolerance`] call while a later `tolerance` call
+    /// still retunes it — the two knobs can never disagree.
+    pub fn stopping_rule(mut self, rule: StoppingRule) -> Self {
+        if let StoppingRule::CertifiedGap { epsilon } = rule {
+            self.tolerance = epsilon;
+        }
+        self.stopping = rule;
         self
     }
 
@@ -150,11 +184,39 @@ impl NashSolver {
     ///
     /// # Errors
     ///
+    /// * [`GameError::ZeroIterationBudget`] when `max_iterations == 0` —
+    ///   no sweep can run, so there is no norm to report and nothing that
+    ///   could honestly converge.
     /// * [`GameError::DidNotConverge`] when the iteration budget runs out
-    ///   (the partial result is lost; raise `max_iterations`).
+    ///   (the partial result is lost; raise `max_iterations` or use
+    ///   [`NashSolver::solve_partial`]).
     /// * [`GameError::InfeasibleBestReply`] if an update round leaves some
     ///   user without capacity (possible only under Jacobi overshoot).
     pub fn solve(&self, model: &SystemModel) -> Result<NashOutcome, GameError> {
+        self.solve_inner(model, false)
+    }
+
+    /// Like [`NashSolver::solve`], but exhausting the iteration budget
+    /// returns the best-so-far outcome (with
+    /// [`NashOutcome::converged`]` == false`) instead of discarding it —
+    /// the anytime entry point: pair with [`NashOutcome::certificates`]
+    /// to read off how good the truncated profile provably is.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NashSolver::solve`] minus [`GameError::DidNotConverge`].
+    pub fn solve_partial(&self, model: &SystemModel) -> Result<NashOutcome, GameError> {
+        self.solve_inner(model, true)
+    }
+
+    fn solve_inner(
+        &self,
+        model: &SystemModel,
+        allow_partial: bool,
+    ) -> Result<NashOutcome, GameError> {
+        if self.max_iterations == 0 {
+            return Err(GameError::ZeroIterationBudget);
+        }
         let m = model.num_users();
         let n = model.num_computers();
         let jacobi = matches!(self.order, UpdateOrder::Jacobi);
@@ -209,6 +271,9 @@ impl NashSolver {
             ws.prev_d[j] = row_time(model, &ws.loads, &ws.flows[j], model.user_rate(j));
         }
         let mut trace = IterationTrace::new();
+        // One certificate per sweep when the rule needs them (empty for
+        // the norm-based rules, which keeps the repro path cost-free).
+        let mut certificates: Vec<Certificate> = Vec::new();
 
         // Resolved once: `None` (the default) keeps the hot loop on a
         // single pointer check per sweep.
@@ -222,6 +287,7 @@ impl NashSolver {
                     ("users", m.into()),
                     ("computers", n.into()),
                     ("tolerance", self.tolerance.into()),
+                    ("stopping", self.stopping.label().into()),
                     ("max_iterations", self.max_iterations.into()),
                     ("threads", self.threads.into()),
                 ],
@@ -329,24 +395,41 @@ impl NashSolver {
                 }
             };
             trace.push(norm);
-            let converged = norm <= self.tolerance;
+            // The regret certificate reuses the loads/flows the sweep
+            // just produced — O(mn), the same order as the sweep itself,
+            // and no extra `refresh_loads` (collector-observable state
+            // stays untouched).
+            let certificate = if self.stopping.needs_certificate() {
+                let cert = ws.certificate(model);
+                certificates.push(cert);
+                Some(cert)
+            } else {
+                None
+            };
+            let total_d: f64 = ws.prev_d.iter().sum();
+            let converged =
+                self.stopping
+                    .accepts(self.tolerance, norm, total_d, certificate.as_ref());
             if let Some(c) = collect {
                 // Payload assembly (an O(mn) prefix scan) happens only
                 // with an enabled collector attached.
                 let (p_min, p_max, p_mean) = ws.prefix_stats();
-                c.emit(
-                    "solver.sweep",
-                    &[
-                        ("iter", (iter + 1).into()),
-                        ("norm", norm.into()),
-                        ("max_d_delta", max_delta.into()),
-                        ("wf_prefix_min", p_min.into()),
-                        ("wf_prefix_max", p_max.into()),
-                        ("wf_prefix_mean", p_mean.into()),
-                        ("refreshes", ws.refreshes.into()),
-                        ("converged", converged.into()),
-                    ],
-                );
+                let mut fields: Vec<lb_telemetry::Field> = vec![
+                    ("iter", (iter + 1).into()),
+                    ("norm", norm.into()),
+                    ("max_d_delta", max_delta.into()),
+                    ("wf_prefix_min", p_min.into()),
+                    ("wf_prefix_max", p_max.into()),
+                    ("wf_prefix_mean", p_mean.into()),
+                    ("refreshes", ws.refreshes.into()),
+                    ("stopping", self.stopping.label().into()),
+                    ("converged", converged.into()),
+                ];
+                if let Some(cert) = &certificate {
+                    fields.push(("cert_gap", cert.absolute.into()));
+                    fields.push(("cert_rel", cert.relative.into()));
+                }
+                c.emit("solver.sweep", &fields);
             }
             if let Some(span) = sweep_span {
                 span.close_with(&[("norm", norm.into()), ("converged", converged.into())]);
@@ -355,14 +438,17 @@ impl NashSolver {
                 let profile = ws.assemble(model)?;
                 let user_times = user_response_times(model, &profile)?;
                 if let Some(c) = collect {
-                    c.emit(
-                        "solver.done",
-                        &[
-                            ("iterations", (iter + 1).into()),
-                            ("converged", true.into()),
-                            ("final_norm", norm.into()),
-                        ],
-                    );
+                    let mut fields: Vec<lb_telemetry::Field> = vec![
+                        ("iterations", (iter + 1).into()),
+                        ("converged", true.into()),
+                        ("final_norm", norm.into()),
+                        ("stopping", self.stopping.label().into()),
+                    ];
+                    if let Some(cert) = certificates.last() {
+                        fields.push(("cert_gap", cert.absolute.into()));
+                        fields.push(("cert_rel", cert.relative.into()));
+                    }
+                    c.emit("solver.done", &fields);
                 }
                 if let Some(span) = solve_span {
                     span.close_with(&[
@@ -376,25 +462,41 @@ impl NashSolver {
                     iterations: iter + 1,
                     converged: true,
                     user_times,
+                    certificates,
                 });
             }
         }
         let final_norm = trace.last().unwrap_or(f64::INFINITY);
         if let Some(c) = collect {
-            c.emit(
-                "solver.done",
-                &[
-                    ("iterations", self.max_iterations.into()),
-                    ("converged", false.into()),
-                    ("final_norm", final_norm.into()),
-                ],
-            );
+            let mut fields: Vec<lb_telemetry::Field> = vec![
+                ("iterations", self.max_iterations.into()),
+                ("converged", false.into()),
+                ("final_norm", final_norm.into()),
+                ("stopping", self.stopping.label().into()),
+            ];
+            if let Some(cert) = certificates.last() {
+                fields.push(("cert_gap", cert.absolute.into()));
+                fields.push(("cert_rel", cert.relative.into()));
+            }
+            c.emit("solver.done", &fields);
         }
         if let Some(span) = solve_span {
             span.close_with(&[
                 ("iterations", self.max_iterations.into()),
                 ("converged", false.into()),
             ]);
+        }
+        if allow_partial {
+            let profile = ws.assemble(model)?;
+            let user_times = user_response_times(model, &profile)?;
+            return Ok(NashOutcome {
+                profile,
+                trace,
+                iterations: self.max_iterations,
+                converged: false,
+                user_times,
+                certificates,
+            });
         }
         Err(GameError::DidNotConverge {
             iterations: self.max_iterations,
@@ -403,7 +505,8 @@ impl NashSolver {
     }
 }
 
-/// Result of a converged NASH run.
+/// Result of a NASH run (converged, or partial via
+/// [`NashSolver::solve_partial`]).
 #[derive(Debug, Clone)]
 pub struct NashOutcome {
     profile: StrategyProfile,
@@ -411,6 +514,7 @@ pub struct NashOutcome {
     iterations: u32,
     converged: bool,
     user_times: Vec<f64>,
+    certificates: Vec<Certificate>,
 }
 
 impl NashOutcome {
@@ -429,10 +533,25 @@ impl NashOutcome {
         self.iterations
     }
 
-    /// Whether the tolerance was met (always true for a returned outcome;
-    /// kept explicit for forward compatibility).
+    /// Whether the stopping rule accepted (always true from
+    /// [`NashSolver::solve`]; may be false from
+    /// [`NashSolver::solve_partial`]).
     pub fn converged(&self) -> bool {
         self.converged
+    }
+
+    /// Per-sweep regret certificates, in sweep order. Populated only
+    /// under [`StoppingRule::CertifiedGap`] (empty for the norm rules,
+    /// whose sweeps never compute one).
+    pub fn certificates(&self) -> &[Certificate] {
+        &self.certificates
+    }
+
+    /// The final sweep's regret certificate: a proved upper bound on the
+    /// profile's ε-Nash gap (absolute and relative forms). `None` when
+    /// the stopping rule did not compute certificates.
+    pub fn certified_gap(&self) -> Option<Certificate> {
+        self.certificates.last().copied()
     }
 
     /// Per-user expected response times `D_j` at the equilibrium.
@@ -550,6 +669,23 @@ impl Workspace {
         std::mem::swap(&mut self.flows[j], &mut self.reply);
         self.active[j] = true;
         Ok(row_time(model, &self.loads, &self.flows[j], phi))
+    }
+
+    /// The sweep's regret certificate from the current `(flows, loads)`
+    /// state: each active user's Frank–Wolfe regret bound max-reduced
+    /// into a [`Certificate`] (see [`crate::stopping`]). O(mn), reads
+    /// the loads the sweep already maintains — no `refresh_loads`, so
+    /// telemetry counters and solver state are unperturbed.
+    fn certificate(&self, model: &SystemModel) -> Certificate {
+        let mut cert = Certificate::zero();
+        for (j, row) in self.flows.iter().enumerate() {
+            if !self.active[j] {
+                continue;
+            }
+            let (r, d) = user_regret(model.computer_rates(), &self.loads, row, model.user_rate(j));
+            cert.absorb(r, d);
+        }
+        cert
     }
 
     /// Converts the flow rows back into a strategy profile.
@@ -838,8 +974,11 @@ mod tests {
 
     #[test]
     fn trace_decays_to_tolerance() {
+        // Norm semantics of the paper's rule: pinned to AbsoluteNorm
+        // (the default certified rule stops on the gap, not the norm).
         let model = small_model();
         let out = NashSolver::new(Initialization::Zero)
+            .stopping_rule(StoppingRule::AbsoluteNorm)
             .tolerance(1e-6)
             .solve(&model)
             .unwrap();
@@ -1184,6 +1323,188 @@ mod tests {
         }
         assert_eq!(sweeps, iters);
         assert_eq!(replies, iters * m);
+    }
+
+    #[test]
+    fn zero_iteration_budget_is_a_typed_error() {
+        let model = small_model();
+        let solver = NashSolver::new(Initialization::Proportional).max_iterations(0);
+        assert_eq!(
+            solver.solve(&model).unwrap_err(),
+            GameError::ZeroIterationBudget
+        );
+        assert_eq!(
+            solver.solve_partial(&model).unwrap_err(),
+            GameError::ZeroIterationBudget
+        );
+    }
+
+    #[test]
+    fn solve_partial_keeps_the_truncated_outcome_and_its_certificates() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        // ε = 0 can never be met, so the budget is always exhausted.
+        let out = NashSolver::new(Initialization::Proportional)
+            .stopping_rule(StoppingRule::CertifiedGap { epsilon: 0.0 })
+            .max_iterations(3)
+            .solve_partial(&model)
+            .unwrap();
+        assert!(!out.converged());
+        assert_eq!(out.iterations(), 3);
+        assert_eq!(out.certificates().len(), 3);
+        out.profile().check_stability(&model).unwrap();
+        // The anytime guarantee improves with budget.
+        let first = out.certificates()[0];
+        let last = out.certified_gap().unwrap();
+        assert!(last.relative <= first.relative, "{last:?} vs {first:?}");
+        // `solve` on the same configuration refuses to hand back the
+        // partial result.
+        let err = NashSolver::new(Initialization::Proportional)
+            .stopping_rule(StoppingRule::CertifiedGap { epsilon: 0.0 })
+            .max_iterations(3)
+            .solve(&model)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GameError::DidNotConverge { iterations: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn certified_default_bounds_the_exact_gap() {
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let out = nash_equilibrium(&model).unwrap();
+        let cert = out.certified_gap().expect("default rule certifies");
+        assert!(cert.relative <= 1e-4, "accepted at {}", cert.relative);
+        let gap = epsilon_nash_gap(&model, out.profile()).unwrap();
+        // Soundness of the reported bound (tiny slack for the solver's
+        // incremental-load drift relative to the exact recompute).
+        assert!(
+            cert.absolute + 1e-9 * (1.0 + gap) >= gap,
+            "certificate {} below exact gap {gap}",
+            cert.absolute
+        );
+    }
+
+    #[test]
+    fn absolute_norm_is_scale_dependent_and_certified_rule_is_not() {
+        // The headline bugfix regression test. Rescaling μ, φ → c·μ, c·φ
+        // divides every response time by c, so the paper's absolute rule
+        // changes meaning with the units while the game itself (the
+        // equilibrium strategies, the sweep dynamics) is scale-free.
+        let base = SystemModel::table1_system(0.6).unwrap();
+        let scale = |c: f64| {
+            SystemModel::new(
+                base.computer_rates().iter().map(|r| r * c).collect(),
+                base.user_rates().iter().map(|r| r * c).collect(),
+            )
+            .unwrap()
+        };
+        let absolute = |m: &SystemModel, budget: u32| {
+            NashSolver::new(Initialization::Zero)
+                .stopping_rule(StoppingRule::AbsoluteNorm)
+                .tolerance(1e-4)
+                .max_iterations(budget)
+                .solve(m)
+        };
+        let base_run = absolute(&base, 500).unwrap();
+
+        // 100× *down*: response times grow 100×, the same ε demands a
+        // 100× tighter relative accuracy, and the budget that was ample
+        // on the base instance is exhausted on the rescaled one.
+        let err = absolute(&scale(0.01), base_run.iterations()).unwrap_err();
+        assert!(matches!(err, GameError::DidNotConverge { .. }));
+
+        // 10⁴× *up*: response times shrink 10⁴×, the first sweeps
+        // already move less than ε, and the rule "converges" almost
+        // immediately onto a provably much worse profile.
+        let vac = absolute(&scale(1e4), 500).unwrap();
+        assert!(
+            vac.iterations() < base_run.iterations(),
+            "vacuous run took {} sweeps vs {}",
+            vac.iterations(),
+            base_run.iterations()
+        );
+        let vac_cert = crate::stopping::profile_certificate(&scale(1e4), vac.profile()).unwrap();
+        let base_cert = crate::stopping::profile_certificate(&base, base_run.profile()).unwrap();
+        assert!(
+            vac_cert.relative > 10.0 * base_cert.relative,
+            "vacuous relative gap {} vs honest {}",
+            vac_cert.relative,
+            base_cert.relative
+        );
+
+        // The certified rule is scale-invariant: the same sweep count at
+        // every scale, and the accepted profiles carry the same relative
+        // guarantee.
+        let certified = |m: &SystemModel| {
+            NashSolver::new(Initialization::Zero)
+                .stopping_rule(StoppingRule::CertifiedGap { epsilon: 1e-4 })
+                .solve(m)
+                .unwrap()
+        };
+        let reference = certified(&base);
+        for c in [0.01, 1e4] {
+            let run = certified(&scale(c));
+            assert_eq!(run.iterations(), reference.iterations(), "scale {c}");
+            assert!(run.certified_gap().unwrap().relative <= 1e-4, "scale {c}");
+        }
+    }
+
+    #[test]
+    fn sweep_telemetry_carries_the_certificate() {
+        use lb_telemetry::{FieldValue, MemoryCollector};
+
+        let model = small_model();
+        let mem = Arc::new(MemoryCollector::default());
+        let out = NashSolver::new(Initialization::Proportional)
+            .collector(mem.clone())
+            .solve(&model)
+            .unwrap();
+        let events = mem.events();
+        let field = |fields: &[lb_telemetry::Field], k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.clone())
+        };
+        let (_, start) = events
+            .iter()
+            .find(|(name, _)| *name == "solver.start")
+            .unwrap();
+        assert_eq!(
+            field(start, "stopping"),
+            Some(FieldValue::Str("certified_gap".into()))
+        );
+        let (_, last_sweep) = events
+            .iter()
+            .rev()
+            .find(|(name, _)| *name == "solver.sweep")
+            .unwrap();
+        match field(last_sweep, "cert_rel") {
+            Some(FieldValue::F64(rel)) => {
+                let cert = out.certified_gap().unwrap();
+                assert_eq!(rel.to_bits(), cert.relative.to_bits());
+                assert!(rel <= 1e-4);
+            }
+            other => panic!("cert_rel field was {other:?}"),
+        }
+        let (_, done) = events
+            .iter()
+            .find(|(name, _)| *name == "solver.done")
+            .unwrap();
+        assert!(field(done, "cert_gap").is_some());
+        // The repro rule emits no certificate fields at all.
+        let mem = Arc::new(MemoryCollector::default());
+        NashSolver::new(Initialization::Proportional)
+            .stopping_rule(StoppingRule::AbsoluteNorm)
+            .collector(mem.clone())
+            .solve(&model)
+            .unwrap();
+        for (name, fields) in mem.events().iter() {
+            if *name == "solver.sweep" {
+                assert!(field(fields, "cert_rel").is_none());
+            }
+        }
     }
 
     #[test]

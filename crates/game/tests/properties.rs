@@ -4,8 +4,11 @@
 
 use lb_game::best_reply::{satisfies_kkt, split_cost, water_fill_flows};
 use lb_game::dynamics::{remap_profile, remap_profile_columns};
+use lb_game::equilibrium::epsilon_nash_gap;
 use lb_game::model::SystemModel;
+use lb_game::sampled::SampledNashSolver;
 use lb_game::schemes::{wardrop_flows, StackelbergScheme};
+use lb_game::stopping::profile_certificate;
 use lb_game::strategy::{Strategy as UserStrategy, StrategyProfile};
 use proptest::prelude::*;
 
@@ -188,6 +191,89 @@ proptest! {
             .collect();
         let remapped = remap_profile_columns(&old, &model, &columns).unwrap();
         assert_row_stochastic(&remapped, m_new, n_new)?;
+    }
+
+    #[test]
+    fn certificate_bounds_the_exact_nash_gap(
+        rates in prop::collection::vec(1.0f64..100.0, 2..10),
+        fractions in prop::collection::vec(0.1f64..1.0, 1..5),
+        rho in 0.1f64..0.45,
+        tilt in prop::collection::vec(0.0f64..1.0, 10),
+    ) {
+        // Soundness of the stopping certificate: on any feasible profile
+        // the water-filling KKT regret bound dominates the exact best-
+        // reply improvement, so a certified ε is never an understatement.
+        let model = SystemModel::with_utilization(rates.clone(), &fractions, rho).expect("valid");
+        let n = model.num_computers();
+        // A rate-proportional split tilted per computer; with ρ < 0.45
+        // and tilt weights in [1, 2) every load stays under capacity.
+        let weights: Vec<f64> = (0..n).map(|i| rates[i] * (1.0 + tilt[i])).collect();
+        let wsum: f64 = weights.iter().sum();
+        let row = UserStrategy::new(weights.iter().map(|w| w / wsum).collect()).unwrap();
+        let profile = StrategyProfile::replicated(row, model.num_users()).unwrap();
+
+        let cert = profile_certificate(&model, &profile).unwrap();
+        let gap = epsilon_nash_gap(&model, &profile).unwrap();
+        prop_assert!(
+            cert.absolute + 1e-9 * (1.0 + gap) >= gap,
+            "certificate {} understates the exact gap {}",
+            cert.absolute,
+            gap
+        );
+    }
+
+    #[test]
+    fn water_filling_never_panics_on_non_finite_rates(
+        rates in arb_rates(),
+        pos in 0usize..12,
+        bad_pick in 0usize..3,
+        frac in 0.01f64..0.95,
+    ) {
+        // Regression: the descending-rate sort used `partial_cmp().unwrap()`,
+        // which panicked the solver thread when a churn event produced a
+        // NaN rate. With `total_cmp` the call must always return.
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][bad_pick];
+        let demand = rates.iter().sum::<f64>() * frac;
+        let mut poisoned = rates.clone();
+        let idx = pos % poisoned.len();
+        poisoned[idx] = bad;
+        if let Ok(flows) = water_fill_flows(&poisoned, demand) {
+            prop_assert_eq!(flows.len(), poisoned.len());
+        }
+    }
+
+    #[test]
+    fn sampled_solver_is_byte_identical_across_thread_counts(
+        rates in prop::collection::vec(5.0f64..100.0, 4..16),
+        fractions in prop::collection::vec(0.1f64..1.0, 2..6),
+        rho in 0.2f64..0.7,
+        seed in 0u64..u64::MAX,
+    ) {
+        // The sampled solver's parallel certificate pass is a pure
+        // max-reduction and its update sweep is sequential, so the
+        // outcome must not depend on the worker pool size.
+        let model = SystemModel::with_utilization(rates, &fractions, rho).expect("valid");
+        let solve = |threads: usize| {
+            SampledNashSolver::new()
+                .seed(seed)
+                .threads(threads)
+                .max_sweeps(64)
+                .solve(&model)
+                .unwrap()
+        };
+        let base = solve(1);
+        for threads in [2, 8] {
+            let other = solve(threads);
+            prop_assert_eq!(base.iterations(), other.iterations());
+            prop_assert_eq!(base.flows().len(), other.flows().len());
+            for (a, b) in base.flows().iter().zip(other.flows()) {
+                prop_assert_eq!(a.len(), b.len());
+                for (&(ia, xa), &(ib, xb)) in a.iter().zip(b) {
+                    prop_assert_eq!(ia, ib);
+                    prop_assert_eq!(xa.to_bits(), xb.to_bits(), "flows differ bitwise");
+                }
+            }
+        }
     }
 }
 

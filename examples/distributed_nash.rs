@@ -11,6 +11,7 @@ use nash_lb::distributed::runtime::{DistributedNash, RingInit};
 use nash_lb::distributed::ObservationModel;
 use nash_lb::game::equilibrium::epsilon_nash_gap;
 use nash_lb::game::model::SystemModel;
+use nash_lb::game::StoppingRule;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Table-1 system at 60% utilization: 16 heterogeneous
@@ -41,11 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // With noisy run-queue observation (the paper's "statistical
     // estimation" remark), the ring still settles near the equilibrium.
+    // A regret certificate computed from noisy observations proves
+    // nothing (and noise keeps some user forever convinced it can
+    // improve, so the quiescent accepting round never happens) — the
+    // norm rule is the right stopping criterion here.
     let noisy = DistributedNash::new()
         .observation(ObservationModel::Noisy {
             rel_std: 0.03,
             seed: 2002,
         })
+        .stopping_rule(StoppingRule::AbsoluteNorm)
         .tolerance(5e-3)
         .max_rounds(2000)
         .run(&model)?;
