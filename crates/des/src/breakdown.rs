@@ -15,6 +15,11 @@
 
 use crate::rng::RngStream;
 
+// The retry policy proper lives in the shared `lb-retry` crate so the
+// asynchronous equilibration runtime can reuse it for message retries;
+// re-exported here because the DES churn model is its original home.
+pub use lb_retry::RetryBackoff;
+
 /// An alternating up/down renewal process for one station: exponential
 /// time-to-failure with mean `mtbf`, exponential repair with mean `mttr`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,64 +76,6 @@ impl BreakdownProcess {
     }
 }
 
-/// Capped exponential backoff for retrying jobs preempted by a crash:
-/// attempt `k` (0-based) waits `min(base · factor^k, cap)` seconds;
-/// after `max_attempts` retries the job is given up as lost.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RetryBackoff {
-    base: f64,
-    factor: f64,
-    cap: f64,
-    max_attempts: u32,
-}
-
-impl RetryBackoff {
-    /// Creates a policy with first delay `base`, multiplier `factor`,
-    /// ceiling `cap`, and at most `max_attempts` retries per job.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `base` or `cap` is non-positive/non-finite, when
-    /// `factor < 1`, or when `cap < base`.
-    pub fn new(base: f64, factor: f64, cap: f64, max_attempts: u32) -> Self {
-        assert!(
-            base.is_finite() && base > 0.0,
-            "backoff base must be positive and finite, got {base}"
-        );
-        assert!(
-            factor.is_finite() && factor >= 1.0,
-            "backoff factor must be >= 1, got {factor}"
-        );
-        assert!(
-            cap.is_finite() && cap >= base,
-            "backoff cap must be finite and >= base, got {cap}"
-        );
-        Self {
-            base,
-            factor,
-            cap,
-            max_attempts,
-        }
-    }
-
-    /// Maximum number of retries per job.
-    pub fn max_attempts(&self) -> u32 {
-        self.max_attempts
-    }
-
-    /// Delay before retry number `attempt` (0-based), or `None` when the
-    /// retry budget is exhausted and the job must be counted lost.
-    pub fn delay(&self, attempt: u32) -> Option<f64> {
-        if attempt >= self.max_attempts {
-            return None;
-        }
-        // factor^attempt can overflow to inf for large budgets; the cap
-        // keeps the result finite either way.
-        let d = self.base * self.factor.powi(attempt.min(1_000) as i32);
-        Some(d.min(self.cap))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,38 +111,13 @@ mod tests {
         BreakdownProcess::new(1.0, f64::NAN);
     }
 
+    /// The policy moved to `lb-retry`; the historical path must keep
+    /// working for the churn model and downstream callers.
     #[test]
-    fn backoff_doubles_up_to_the_cap_then_gives_up() {
+    fn reexported_backoff_behaves() {
         let p = RetryBackoff::new(0.1, 2.0, 0.5, 4);
         assert_eq!(p.delay(0), Some(0.1));
-        assert_eq!(p.delay(1), Some(0.2));
-        assert_eq!(p.delay(2), Some(0.4));
         assert_eq!(p.delay(3), Some(0.5)); // capped
         assert_eq!(p.delay(4), None); // budget exhausted: job lost
-        assert_eq!(p.max_attempts(), 4);
-    }
-
-    #[test]
-    fn zero_budget_loses_immediately() {
-        let p = RetryBackoff::new(1.0, 2.0, 8.0, 0);
-        assert_eq!(p.delay(0), None);
-    }
-
-    #[test]
-    fn huge_attempt_numbers_stay_finite() {
-        let p = RetryBackoff::new(1.0, 2.0, 30.0, u32::MAX);
-        assert_eq!(p.delay(100_000), Some(30.0));
-    }
-
-    #[test]
-    #[should_panic(expected = "factor")]
-    fn rejects_shrinking_factor() {
-        RetryBackoff::new(1.0, 0.5, 2.0, 3);
-    }
-
-    #[test]
-    #[should_panic(expected = "cap")]
-    fn rejects_cap_below_base() {
-        RetryBackoff::new(1.0, 2.0, 0.5, 3);
     }
 }

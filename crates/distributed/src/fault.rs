@@ -93,6 +93,14 @@ impl FaultPlan {
     }
 
     /// Adds an arbitrary action for `user` at `round`.
+    ///
+    /// Duplicate `(user, round)` keys are permitted: [`FaultPlan::action`]
+    /// resolves a collision by insertion order, so the **first action
+    /// added wins** and later additions are inert for that key (they
+    /// still count toward [`FaultPlan::len`]). This is pinned,
+    /// load-bearing behavior — plans are assembled by chaining scenario
+    /// fragments, and first-wins lets a caller put an override in front
+    /// of a fragment it does not control.
     pub fn with(mut self, user: usize, round: u32, action: FaultAction) -> Self {
         self.faults.push((user, round, action));
         self
@@ -224,8 +232,32 @@ mod tests {
 
     #[test]
     fn first_action_wins_on_collision() {
+        // Pinned precedence (see `with`): duplicate (user, round) keys
+        // resolve by insertion order, so reversing a chain reverses the
+        // winner.
         let p = FaultPlan::new().drop_token_at(0, 0).panic_at(0, 0);
         assert_eq!(p.action(0, 0), Some(FaultAction::DropToken));
+        let q = FaultPlan::new().panic_at(0, 0).drop_token_at(0, 0);
+        assert_eq!(q.action(0, 0), Some(FaultAction::PanicHoldingToken));
+
+        // A three-way pile-up still yields the first addition; the inert
+        // duplicates keep counting toward `len`, and colliding on one
+        // key leaves every other key untouched.
+        let r = FaultPlan::new()
+            .stale_at(2, 7)
+            .drop_token_at(2, 7)
+            .panic_at(2, 7)
+            .panic_at(1, 7);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.action(2, 7), Some(FaultAction::StaleRound));
+        assert_eq!(r.action(1, 7), Some(FaultAction::PanicHoldingToken));
+
+        // The override idiom the precedence exists for: a `with` placed
+        // before an uncontrolled fragment masks the fragment's action.
+        let overridden = FaultPlan::new()
+            .with(3, 1, FaultAction::StaleRound)
+            .panic_at(3, 1); // "fragment"
+        assert_eq!(overridden.action(3, 1), Some(FaultAction::StaleRound));
     }
 
     #[test]

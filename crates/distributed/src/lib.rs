@@ -26,6 +26,12 @@
 //!   overload policy sheds load.
 //! * [`runtime`] — thread spawning, the ring, failure detection and
 //!   repair, termination, and result collection.
+//! * [`net`] — a seeded virtual network: per-link drop / duplicate /
+//!   reorder / bounded-delay faults and scheduled partitions over a
+//!   deterministic virtual clock.
+//! * [`async_runtime`] — asynchronous bounded-staleness best-reply
+//!   dynamics over that network, terminating via a certified ε-Nash
+//!   gap accepted only from a provably fresh view.
 //!
 //! The runtime is fault-tolerant: every receive has a timeout, a lost
 //! token is detected by the coordinator and regenerated under a new
@@ -40,14 +46,18 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod async_runtime;
 pub mod board;
 pub mod capacity;
 pub mod fault;
 pub mod messages;
+pub mod net;
 pub mod observer;
 pub mod runtime;
 
+pub use async_runtime::{AsyncNash, AsyncOutcome, AsyncTermination};
 pub use capacity::{CapacityEvent, ShedRecord};
 pub use fault::{FaultAction, FaultPlan};
+pub use net::{LinkFaults, NetFaultPlan, NetStats, VirtualNet};
 pub use observer::ObservationModel;
 pub use runtime::{DistributedNash, DistributedOutcome};

@@ -251,11 +251,31 @@ impl DistributedNash {
     ///
     /// # Errors
     ///
+    /// * [`GameError::ZeroIterationBudget`] when `max_rounds == 0`, and
+    ///   [`GameError::ZeroDuration`] when `round_timeout` or
+    ///   `run_deadline` is zero — such a run could not be reported
+    ///   honestly, so it is rejected before any thread spawns.
     /// * [`GameError::RingTimeout`] when the deadline expired or no users
     ///   survived to produce a result.
     /// * [`GameError::InfeasibleStrategy`] on protocol violations
     ///   (duplicate or missing reports).
     pub fn run_to_outcome(&self, model: &SystemModel) -> Result<DistributedOutcome, GameError> {
+        // A zero budget or a zero timeout cannot produce an honest
+        // outcome: no round can both run and be timed. Reject up front
+        // (mirrors the solver-side `max_iterations == 0` check).
+        if self.max_rounds == 0 {
+            return Err(GameError::ZeroIterationBudget);
+        }
+        if self.round_timeout.is_zero() {
+            return Err(GameError::ZeroDuration {
+                what: "round_timeout",
+            });
+        }
+        if self.run_deadline.is_some_and(|d| d.is_zero()) {
+            return Err(GameError::ZeroDuration {
+                what: "run_deadline",
+            });
+        }
         let m = model.num_users();
         let n = model.num_computers();
         let board = Arc::new(LoadBoard::new(m, n));
@@ -1399,6 +1419,38 @@ mod tests {
 
     fn model() -> SystemModel {
         SystemModel::new(vec![10.0, 20.0, 50.0], vec![15.0, 25.0]).unwrap()
+    }
+
+    #[test]
+    fn zero_round_budget_is_rejected() {
+        let err = DistributedNash::new().max_rounds(0).run(&model());
+        assert!(matches!(err, Err(GameError::ZeroIterationBudget)));
+    }
+
+    #[test]
+    fn zero_round_timeout_is_rejected() {
+        let err = DistributedNash::new()
+            .round_timeout(Duration::ZERO)
+            .run(&model());
+        assert!(matches!(
+            err,
+            Err(GameError::ZeroDuration {
+                what: "round_timeout"
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_run_deadline_is_rejected() {
+        let err = DistributedNash::new()
+            .run_deadline(Duration::ZERO)
+            .run(&model());
+        assert!(matches!(
+            err,
+            Err(GameError::ZeroDuration {
+                what: "run_deadline"
+            })
+        ));
     }
 
     #[test]

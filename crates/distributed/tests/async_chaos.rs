@@ -1,0 +1,130 @@
+//! Chaos property tests for the asynchronous runtime: for
+//! proptest-sampled fault schedules (loss ≤ 30%, duplication,
+//! reordering, one partition + heal), `AsyncNash` must either terminate
+//! with a certified relative ε-Nash gap ≤ ε or return a typed partial
+//! outcome — never hang, never panic — and a fixed seed must give a
+//! byte-identical outcome at 1, 2 and 8 worker threads.
+
+use lb_distributed::async_runtime::{AsyncNash, AsyncTermination};
+use lb_distributed::net::NetFaultPlan;
+use lb_game::equilibrium::epsilon_nash_gap;
+use lb_game::model::SystemModel;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Case {
+    model: SystemModel,
+    loss: f64,
+    duplication: f64,
+    reordering: f64,
+    delay_max_us: u64,
+    partition: Option<(u64, u64)>,
+    seed: u64,
+}
+
+impl Case {
+    fn plan(&self) -> NetFaultPlan {
+        let mut plan = NetFaultPlan::new()
+            .loss(self.loss)
+            .duplication(self.duplication)
+            .reordering(self.reordering)
+            .delay_us(50, self.delay_max_us);
+        if let Some((start, len)) = self.partition {
+            // One partition + heal: user 0 alone on the minority side.
+            plan = plan.partition_at(start, start + len, vec![0]);
+        }
+        plan
+    }
+
+    fn runner(&self, threads: usize) -> AsyncNash {
+        AsyncNash::new()
+            .seed(self.seed)
+            .fault_plan(self.plan())
+            .max_virtual_us(10_000_000)
+            .threads(threads)
+    }
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        (
+            prop::collection::vec(5.0f64..60.0, 2..5),
+            prop::collection::vec(0.1f64..1.0, 1..5),
+            0.2f64..0.8,
+        ),
+        (0.0f64..0.3, 0.0f64..0.2, 0.0f64..0.5, 100u64..3_000),
+        (0u32..2, 0u64..40_000, 20_000u64..120_000),
+        1u64..1_000_000,
+    )
+        .prop_map(
+            |(
+                (rates, fractions, rho),
+                (loss, duplication, reordering, delay_max_us),
+                (has_partition, start, len),
+                seed,
+            )| Case {
+                model: SystemModel::with_utilization(rates, &fractions, rho).expect("stable"),
+                loss,
+                duplication,
+                reordering,
+                delay_max_us,
+                partition: (has_partition == 1).then_some((start, len)),
+                seed,
+            },
+        )
+}
+
+proptest! {
+    // Every case runs the full event loop three times (threads 1/2/8);
+    // keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline acceptance property: certified-or-typed-partial,
+    /// never a hang or panic, under arbitrary sampled chaos.
+    #[test]
+    fn chaos_terminates_certified_or_typed_partial(case in arb_case()) {
+        let out = case.runner(1).run(&case.model).unwrap();
+        match out.termination() {
+            AsyncTermination::Converged => {
+                let gap = out.certified_gap().expect("converged runs carry a certificate");
+                prop_assert!(gap <= 1e-4, "certified gap {gap}");
+                // Version-vector agreement at acceptance means the
+                // returned board is the board the regrets were measured
+                // on, so the offline-recomputed gap honors the
+                // certificate (scaled by the response times, as in the
+                // ring's property tests).
+                let true_gap = epsilon_nash_gap(&case.model, &out.profile().unwrap()).unwrap();
+                let scale: f64 = out
+                    .user_times()
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max)
+                    .max(1e-6);
+                prop_assert!(true_gap <= 1e-4 * scale, "true gap {true_gap} at scale {scale}");
+            }
+            AsyncTermination::Exhausted { reason } => {
+                // Typed partial outcome: a named budget, stats intact.
+                prop_assert!(
+                    reason == "virtual-time budget exhausted"
+                        || reason == "event budget exhausted"
+                        || reason == "all users failed",
+                    "unexpected exhaustion reason {reason}"
+                );
+                prop_assert!(out.certified_gap().is_none());
+                prop_assert!(out.virtual_time_us() <= 10_000_000);
+            }
+        }
+    }
+
+    /// Thread-count independence: the worker pool only parallelizes the
+    /// final (pure) certificate recomputation, so the entire outcome —
+    /// floats included — must be byte-identical at any setting.
+    #[test]
+    fn chaos_outcome_is_identical_across_1_2_8_threads(case in arb_case()) {
+        let one = format!("{:?}", case.runner(1).run(&case.model).unwrap());
+        let two = format!("{:?}", case.runner(2).run(&case.model).unwrap());
+        let eight = format!("{:?}", case.runner(8).run(&case.model).unwrap());
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &eight);
+    }
+}

@@ -13,6 +13,7 @@ use lb_distributed::runtime::DistributedNash;
 use lb_game::equilibrium::epsilon_nash_gap;
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
+use lb_game::strategy::{Strategy, StrategyProfile};
 use std::time::{Duration, Instant};
 
 /// Four users on four heterogeneous computers, comfortably underloaded
@@ -243,6 +244,95 @@ fn losing_every_user_is_an_error_not_a_hang() {
         }
         other => panic!("expected RingTimeout, got {other:?}"),
     }
+}
+
+#[test]
+fn two_panics_in_the_same_round_are_both_spliced() {
+    // Adjacent users die in the *same* round: user 1 takes the token
+    // down with it and user 2 is already doomed for the round the
+    // repaired ring replays. The splice must survive back-to-back
+    // repairs without double-counting either corpse.
+    let full = model();
+    let out = DistributedNash::new()
+        .fault_plan(FaultPlan::new().panic_at(1, 3).panic_at(2, 3))
+        .round_timeout(Duration::from_millis(200))
+        .run(&full)
+        .unwrap();
+    assert_eq!(out.failed_users(), &[1, 2]);
+    assert_eq!(out.survivors(), &[0, 3]);
+    assert!(out.converged());
+    assert_eq!(out.user_times().len(), 2);
+    let reduced = reduced_model(&full, out.failed_users());
+    let gap = epsilon_nash_gap(&reduced, out.profile()).unwrap();
+    assert!(gap < 1e-2, "reduced-system Nash gap {gap}");
+}
+
+#[test]
+fn panic_during_an_in_flight_capacity_event_is_repaired() {
+    // A computer crash is queued for the end of the same round in which
+    // a user panics while holding the token: the coordinator must both
+    // apply the capacity event and repair the ring, in either order,
+    // without losing one to the other.
+    let full = model();
+    let out = DistributedNash::new()
+        .fault_plan(FaultPlan::new().crash_computer_at(3, 0).panic_at(1, 3))
+        .round_timeout(Duration::from_millis(200))
+        .run(&full)
+        .unwrap();
+    assert_eq!(out.failed_users(), &[1]);
+    assert_eq!(out.survivors(), &[0, 2, 3]);
+    assert!(out.converged());
+    assert_eq!(out.final_capacity(), &[0.0, 20.0, 35.0, 50.0]);
+
+    // The survivors equilibrate the residual game: dead computer's
+    // column stripped (its flow is zero after re-convergence), dead
+    // user's row gone.
+    let degraded = SystemModel::new(
+        vec![20.0, 35.0, 50.0],
+        out.survivors()
+            .iter()
+            .map(|&j| full.user_rates()[j])
+            .collect(),
+    )
+    .unwrap();
+    let rows: Vec<Strategy> = out
+        .profile()
+        .strategies()
+        .iter()
+        .map(|s| Strategy::new(s.fractions()[1..].to_vec()).unwrap())
+        .collect();
+    let stripped = StrategyProfile::new(rows).unwrap();
+    let gap = epsilon_nash_gap(&degraded, &stripped).unwrap();
+    assert!(gap < 1e-2, "residual-game Nash gap {gap}");
+}
+
+#[test]
+fn survivors_reach_a_consistent_outcome_across_reruns() {
+    // The compound scenario (double same-round crash plus an in-flight
+    // computer crash) must still be a deterministic function of the
+    // plan: every rerun's survivors see byte-identical results.
+    let full = model();
+    let run = || {
+        DistributedNash::new()
+            .fault_plan(
+                FaultPlan::new()
+                    .crash_computer_at(3, 1)
+                    .panic_at(1, 3)
+                    .panic_at(2, 3),
+            )
+            .round_timeout(Duration::from_millis(200))
+            .run(&full)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.failed_users(), b.failed_users());
+    assert_eq!(a.survivors(), b.survivors());
+    assert_eq!(a.final_capacity(), b.final_capacity());
+    assert_eq!(a.user_times(), b.user_times());
+    let d = a.profile().max_l1_distance(b.profile()).unwrap();
+    assert_eq!(d, 0.0, "profiles differ by {d}");
+    assert!(a.converged() && b.converged());
 }
 
 #[test]

@@ -15,6 +15,8 @@
 
 use crate::report::Table;
 use criterion::Criterion;
+use lb_distributed::async_runtime::AsyncNash;
+use lb_distributed::net::NetFaultPlan;
 use lb_game::best_reply::{water_fill_flows, water_fill_flows_into, WaterFillScratch};
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
@@ -57,6 +59,38 @@ fn bench_nash(c: &mut Criterion) -> Result<(), GameError> {
     g.bench_function("NASH_P", |b| {
         let solver = NashSolver::new(Initialization::Proportional);
         b.iter(|| solver.solve(&model).expect("NASH_P solve"));
+    });
+    g.finish();
+    Ok(())
+}
+
+/// The asynchronous bounded-staleness runtime end to end, healthy vs a
+/// chaotic network (30% loss + duplication + reordering), both to a
+/// certified gap. The chaos cell prices what the retries, heartbeats
+/// and anti-entropy cost on top of the clean event loop.
+fn bench_async(c: &mut Criterion) -> Result<(), GameError> {
+    let model = SystemModel::table1_system(0.6)?;
+    let mut g = c.benchmark_group("nash_async");
+    g.bench_function("healthy", |b| {
+        b.iter(|| {
+            let out = AsyncNash::new().run(&model).expect("async solve");
+            assert!(out.converged(), "healthy async run must certify");
+        });
+    });
+    g.bench_function("chaos_loss30", |b| {
+        let plan = NetFaultPlan::new()
+            .loss(0.3)
+            .duplication(0.1)
+            .reordering(0.3)
+            .delay_us(50, 2_000);
+        b.iter(|| {
+            let out = AsyncNash::new()
+                .seed(7)
+                .fault_plan(plan.clone())
+                .run(&model)
+                .expect("async chaos solve");
+            assert!(out.converged(), "chaos async run must certify");
+        });
     });
     g.finish();
     Ok(())
@@ -513,6 +547,7 @@ pub struct BenchReport {
 pub fn run(out_dir: &Path, large: bool) -> Result<BenchReport, String> {
     let mut c = Criterion::default();
     bench_nash(&mut c).map_err(|e| format!("nash bench: {e}"))?;
+    bench_async(&mut c).map_err(|e| format!("async bench: {e}"))?;
     bench_collector_overhead(&mut c).map_err(|e| format!("overhead bench: {e}"))?;
     bench_water_fill(&mut c);
     bench_simulation(&mut c).map_err(|e| format!("simulation bench: {e}"))?;
@@ -585,6 +620,8 @@ mod tests {
             "\"threads\":",
             "\"group\": \"nash_table1_rho60\"",
             "\"id\": \"NASH_P\"",
+            "\"group\": \"nash_async\"",
+            "\"id\": \"chaos_loss30\"",
             "\"group\": \"nash_collector_overhead\"",
             "\"id\": \"disabled\"",
             "\"id\": \"jsonl_sink\"",

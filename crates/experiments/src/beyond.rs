@@ -29,6 +29,8 @@
 
 use crate::config::{EPSILON, MEDIUM_LOAD};
 use crate::report::{fmt, Table};
+use lb_distributed::async_runtime::AsyncNash;
+use lb_distributed::net::NetFaultPlan;
 use lb_distributed::runtime::DistributedNash;
 use lb_distributed::ObservationModel;
 use lb_game::dynamics::{DynamicBalancer, Restart};
@@ -907,6 +909,99 @@ pub fn render_churn(rows: &[ChurnRow]) -> Table {
             format!("{:.2}", 100.0 * r.measured_shed),
             r.lost.to_string(),
             r.retries.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One cell of the asynchronous chaos sweep: the bounded-staleness
+/// runtime on the Table-1 system under a given message-loss rate and
+/// staleness bound τ.
+#[derive(Debug, Clone)]
+pub struct AsyncChaosRow {
+    /// Per-message drop probability on every link.
+    pub loss: f64,
+    /// Staleness bound τ, virtual µs.
+    pub staleness_us: u64,
+    /// Whether the run ended with a certified gap.
+    pub converged: bool,
+    /// Virtual time to termination, ms.
+    pub virtual_ms: f64,
+    /// Best-reply updates the users performed.
+    pub updates: u64,
+    /// Messages the network dropped.
+    pub dropped: u64,
+    /// The coordinator-certified relative gap (`NaN` for partial runs).
+    pub certified_gap: f64,
+    /// The exact Nash gap of the returned profile, recomputed offline.
+    pub true_gap: f64,
+}
+
+/// Sweeps loss × staleness for the asynchronous runtime: every cell
+/// must either certify ε or surface as an honest partial outcome, and
+/// the offline-recomputed gap cross-checks every certificate.
+///
+/// # Errors
+///
+/// Propagates model-construction or profile-extraction failures.
+pub fn async_chaos() -> Result<Vec<AsyncChaosRow>, GameError> {
+    let model = SystemModel::table1_system(MEDIUM_LOAD)?;
+    let mut rows = Vec::new();
+    for &loss in &[0.0, 0.1, 0.3] {
+        for &staleness_us in &[5_000u64, 20_000, 80_000] {
+            let plan = NetFaultPlan::new()
+                .loss(loss)
+                .duplication(0.05)
+                .reordering(0.25)
+                .delay_us(50, 2_000);
+            let out = AsyncNash::new()
+                .seed(0xA5)
+                .fault_plan(plan)
+                .staleness_us(staleness_us)
+                .epsilon(EPSILON)
+                .max_virtual_us(20_000_000)
+                .run(&model)?;
+            let true_gap = epsilon_nash_gap(&model, &out.profile()?)?;
+            rows.push(AsyncChaosRow {
+                loss,
+                staleness_us,
+                converged: out.converged(),
+                virtual_ms: out.virtual_time_us() as f64 / 1_000.0,
+                updates: out.updates(),
+                dropped: out.net_stats().dropped,
+                certified_gap: out.certified_gap().unwrap_or(f64::NAN),
+                true_gap,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the asynchronous chaos sweep.
+pub fn render_async(rows: &[AsyncChaosRow]) -> Table {
+    let mut t = Table::new(
+        "Extension 12: asynchronous dynamics under network chaos (loss x staleness)",
+        vec![
+            "loss",
+            "tau (ms)",
+            "outcome",
+            "virtual ms",
+            "updates",
+            "dropped",
+            "certified gap",
+            "true gap",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.0}%", 100.0 * r.loss),
+            format!("{:.0}", r.staleness_us as f64 / 1_000.0),
+            if r.converged { "certified" } else { "partial" }.to_string(),
+            format!("{:.1}", r.virtual_ms),
+            r.updates.to_string(),
+            r.dropped.to_string(),
+            fmt(r.certified_gap),
+            fmt(r.true_gap),
         ]);
     }
     t

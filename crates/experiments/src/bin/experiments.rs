@@ -131,6 +131,10 @@ fn run(opts: &Options) -> Result<(), String> {
                 let points = beyond::anytime_frontier().map_err(|e| e.to_string())?;
                 emit(&beyond::render_anytime(&points), &opts.out, "ext_anytime")?;
             }
+            "ext-async" => {
+                let rows = beyond::async_chaos().map_err(|e| e.to_string())?;
+                emit(&beyond::render_async(&rows), &opts.out, "ext_async")?;
+            }
             "bench" => {
                 let report = bench::run(&opts.out, opts.large)?;
                 if let Some(delta) = &report.delta {

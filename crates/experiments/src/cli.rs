@@ -29,7 +29,7 @@ pub struct Options {
 /// The usage string.
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
-     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|ext-anytime|bench|trace|analyze> \
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|ext-anytime|ext-async|bench|trace|analyze> \
      [LOG] [--simulate] [--jobs N] [--replications R] [--out-dir DIR] [--verbose] [--large]\n\
      `analyze [LOG]` profiles a span trace (default LOG: <out-dir>/trace_table1.jsonl);\n\
      `bench --large` adds the n=10,000 × m=100,000 solver groups;\n\
@@ -103,6 +103,7 @@ pub fn expand_command(command: &str) -> Vec<&str> {
             "ext-tails",
             "ext-churn",
             "ext-anytime",
+            "ext-async",
         ],
         other => vec![other],
     }
@@ -187,7 +188,7 @@ mod tests {
     fn umbrellas_expand() {
         assert_eq!(expand_command("all").len(), 6);
         let ext = expand_command("ext");
-        assert_eq!(ext.len(), 11);
+        assert_eq!(ext.len(), 12);
         assert!(ext.iter().all(|c| c.starts_with("ext-")));
         assert_eq!(expand_command("fig3"), vec!["fig3"]);
     }

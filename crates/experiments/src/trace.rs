@@ -12,7 +12,12 @@
 //!    streaming the `ring.*` event family;
 //! 3. **Simulation** — a small replicated DES run of the NASH profile
 //!    plus a capacity-churn replication, streaming `sim.*`/`des.*`
-//!    events and `runner.*` pool accounting.
+//!    events and `runner.*` pool accounting;
+//! 4. **Async chaos** — an [`AsyncNash`] run over the seeded virtual
+//!    network with loss, duplication, reordering and one partition +
+//!    heal, streaming the `net.*` fault family and the `async.*`
+//!    protocol family (update deltas, anti-entropy syncs, the certified
+//!    quiescence event).
 //!
 //! The event log is written to `trace_table1.jsonl`, re-parsed and
 //! schema-validated, distilled into a [`MetricsRegistry`] (exported as
@@ -22,7 +27,7 @@
 
 use crate::config::EPSILON;
 use crate::report::{fmt, Table};
-use lb_distributed::{DistributedNash, FaultPlan};
+use lb_distributed::{AsyncNash, DistributedNash, FaultPlan, NetFaultPlan};
 use lb_game::model::SystemModel;
 use lb_game::nash::{Initialization, NashSolver};
 use lb_game::overload::OverloadPolicy;
@@ -59,6 +64,14 @@ pub const REQUIRED_EVENTS: &[&str] = &[
     "sim.phase",
     "sim.goodput",
     "des.calendar",
+    "net.drop",
+    "net.dup",
+    "net.reorder",
+    "net.partition",
+    "net.heal",
+    "async.update",
+    "async.sync",
+    "async.quiesce",
     "span_open",
     "span_close",
 ];
@@ -185,6 +198,27 @@ pub fn run(out: &Path, verbose: bool) -> Result<TraceReport, String> {
         Some(&collector),
     )
     .map_err(|e| format!("churn: {e}"))?;
+
+    // Phase 4 — asynchronous dynamics over the chaotic virtual network:
+    // loss + duplication + reordering on every link, plus user 0 cut off
+    // for the first 200 ms of virtual time (freeze → shed → heal →
+    // anti-entropy sync → certify). This exercises every `net.*` and
+    // `async.*` event name, so the coverage check below doubles as a
+    // schema gate for the chaos event family.
+    let async_model = SystemModel::new(vec![10.0, 20.0, 50.0], vec![12.0, 15.0, 20.0])
+        .map_err(|e| e.to_string())?;
+    let net_plan = NetFaultPlan::new()
+        .loss(0.1)
+        .duplication(0.1)
+        .reordering(0.3)
+        .delay_us(50, 400)
+        .partition_at(0, 200_000, vec![0]);
+    AsyncNash::new()
+        .seed(9)
+        .fault_plan(net_plan)
+        .collector(collector.clone())
+        .run(&async_model)
+        .map_err(|e| format!("async run: {e}"))?;
 
     collector.flush();
     if jsonl.had_error() {

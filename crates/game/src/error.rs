@@ -74,6 +74,13 @@ pub enum GameError {
     /// no sweep can execute, so no convergence norm exists and nothing
     /// can be reported honestly.
     ZeroIterationBudget,
+    /// A timeout or deadline was configured as zero: the run would
+    /// either hang (never fire) or abort before any work, depending on
+    /// an implementation detail — reject it up front instead.
+    ZeroDuration {
+        /// Which knob was zero, e.g. `"round_timeout"`.
+        what: &'static str,
+    },
     /// A distributed ring stalled: the token was lost (or a deadline
     /// expired) and the run could not be repaired into a result.
     RingTimeout {
@@ -147,6 +154,9 @@ impl fmt::Display for GameError {
             Self::ZeroIterationBudget => {
                 write!(f, "iteration budget is zero: no sweep can run, so convergence is undefined")
             }
+            Self::ZeroDuration { what } => {
+                write!(f, "duration `{what}` must be positive, got zero")
+            }
             Self::RingTimeout {
                 round,
                 waited_ms,
@@ -205,6 +215,9 @@ mod tests {
                 final_norm: 0.5,
             },
             GameError::ZeroIterationBudget,
+            GameError::ZeroDuration {
+                what: "round_timeout",
+            },
             GameError::RingTimeout {
                 round: 3,
                 waited_ms: 250,

@@ -86,5 +86,5 @@ pub mod strategy;
 
 pub use error::GameError;
 pub use model::SystemModel;
-pub use stopping::{Certificate, StoppingRule};
+pub use stopping::{Certificate, StoppingRule, ViewFreshness};
 pub use strategy::{Strategy, StrategyProfile};

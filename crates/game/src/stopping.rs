@@ -146,6 +146,52 @@ impl Certificate {
     }
 }
 
+/// Freshness gate for certificates assembled from a distributed,
+/// possibly-stale view (the asynchronous runtime's acceptance rule).
+///
+/// A per-user regret report proves something about the *state it was
+/// measured against*, not about the state the acceptor will return. The
+/// gate closes that hole with two conditions:
+///
+/// 1. the report was generated within the staleness bound τ of the
+///    acceptor's clock, and
+/// 2. the version vector the report was measured against is exactly the
+///    acceptor's current one — so there are provably no updates in
+///    flight between measurement and acceptance.
+///
+/// Under (2), every reporter and the acceptor hold the *same* board;
+/// under (1), "current" is recent enough that the bound is about the
+/// returned state, not an ancient coincidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewFreshness {
+    /// The staleness bound τ, in the acceptor's clock units (the async
+    /// runtime uses virtual µs).
+    pub staleness_bound: u64,
+}
+
+impl ViewFreshness {
+    /// Whether a report generated at `generated_at` is still fresh at
+    /// `now`. Saturating: a report timestamped ahead of the acceptor's
+    /// clock (possible with per-node clocks) counts as fresh.
+    #[must_use]
+    pub fn is_fresh(&self, generated_at: u64, now: u64) -> bool {
+        now.saturating_sub(generated_at) <= self.staleness_bound
+    }
+
+    /// The full acceptance predicate: fresh **and** measured against the
+    /// acceptor's exact version vector (length mismatch rejects).
+    #[must_use]
+    pub fn accepts(
+        &self,
+        generated_at: u64,
+        now: u64,
+        reported_view: &[u64],
+        current_view: &[u64],
+    ) -> bool {
+        self.is_fresh(generated_at, now) && reported_view == current_view
+    }
+}
+
 /// The relative form of a regret bound: `r / D`, with the conventions
 /// that a zero-response-time user has zero relative regret iff its
 /// absolute regret is zero (and infinite otherwise — nothing can be
@@ -393,5 +439,24 @@ mod tests {
         assert!(relative_regret(0.5, 0.0).is_infinite());
         // ∞/∞ must surface as ∞, not NaN (max-reductions drop NaN).
         assert!(relative_regret(f64::INFINITY, f64::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn view_freshness_gates_on_age_and_version_agreement() {
+        let gate = ViewFreshness {
+            staleness_bound: 100,
+        };
+        // Age: inclusive bound, saturating below zero.
+        assert!(gate.is_fresh(50, 150));
+        assert!(!gate.is_fresh(49, 150));
+        assert!(gate.is_fresh(200, 150), "future reports count as fresh");
+        // Version agreement must be exact — newer, older, and
+        // length-mismatched views all reject.
+        let current = [3u64, 7, 1];
+        assert!(gate.accepts(100, 150, &[3, 7, 1], &current));
+        assert!(!gate.accepts(100, 150, &[3, 7, 2], &current));
+        assert!(!gate.accepts(100, 150, &[3, 7], &current));
+        // Both conditions must hold at once.
+        assert!(!gate.accepts(0, 150, &[3, 7, 1], &current));
     }
 }
