@@ -33,6 +33,54 @@ use std::sync::Arc;
 /// Default number of delivered events covered by one `des.batch` span.
 pub const DEFAULT_BATCH_EVENTS: u64 = 4096;
 
+/// Why a schedule request was rejected.
+///
+/// Scheduling bugs used to surface as panics deep inside [`SimTime`]
+/// arithmetic (a negative or NaN delay reaching `now + delay`); the typed
+/// error names the actual contract violation and lets model code that
+/// computes delays from untrusted inputs handle it without corrupting the
+/// calendar ordering. The panicking [`Engine::schedule_in`] /
+/// [`Engine::schedule_at`] wrappers delegate to the `try_` variants, so
+/// both paths enforce identical validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// The relative delay was NaN or infinite.
+    NonFiniteDelay {
+        /// The offending delay, in seconds.
+        delay: f64,
+    },
+    /// The relative delay was negative.
+    NegativeDelay {
+        /// The offending delay, in seconds.
+        delay: f64,
+    },
+    /// The absolute delivery time precedes the current clock.
+    IntoThePast {
+        /// The requested delivery time, in seconds.
+        time: f64,
+        /// The engine clock at the time of the request, in seconds.
+        now: f64,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteDelay { delay } => {
+                write!(f, "cannot schedule at a non-finite delay ({delay})")
+            }
+            Self::NegativeDelay { delay } => {
+                write!(f, "cannot schedule at a negative delay ({delay})")
+            }
+            Self::IntoThePast { time, now } => {
+                write!(f, "cannot schedule into the past: t={time} < now={now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// A discrete-event simulation engine over event payloads of type `E`.
 pub struct Engine<E> {
     calendar: Calendar<E>,
@@ -180,6 +228,31 @@ impl<E> Engine<E> {
         self.processed
     }
 
+    /// Schedules an event at an absolute time, rejecting times that
+    /// precede the current clock (delivering an event in the past would
+    /// corrupt causality).
+    pub fn try_schedule_at(&mut self, time: SimTime, event: E) -> Result<EventId, ScheduleError> {
+        if time < self.now {
+            return Err(ScheduleError::IntoThePast {
+                time: time.as_secs(),
+                now: self.now.as_secs(),
+            });
+        }
+        Ok(self.calendar.schedule(time, event))
+    }
+
+    /// Schedules an event `delay` seconds from now, rejecting negative or
+    /// non-finite delays before they reach [`SimTime`] arithmetic.
+    pub fn try_schedule_in(&mut self, delay: f64, event: E) -> Result<EventId, ScheduleError> {
+        if !delay.is_finite() {
+            return Err(ScheduleError::NonFiniteDelay { delay });
+        }
+        if delay < 0.0 {
+            return Err(ScheduleError::NegativeDelay { delay });
+        }
+        Ok(self.calendar.schedule(self.now + delay, event))
+    }
+
     /// Schedules an event at an absolute time.
     ///
     /// # Panics
@@ -187,12 +260,10 @@ impl<E> Engine<E> {
     /// Panics if `time` precedes the current clock — delivering an event in
     /// the past would corrupt causality, and doing so is always a model bug.
     pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
-        assert!(
-            time >= self.now,
-            "cannot schedule into the past: t={time} < now={}",
-            self.now
-        );
-        self.calendar.schedule(time, event)
+        match self.try_schedule_at(time, event) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Schedules an event `delay` seconds from now.
@@ -201,7 +272,31 @@ impl<E> Engine<E> {
     ///
     /// Panics on a negative or non-finite delay.
     pub fn schedule_in(&mut self, delay: f64, event: E) -> EventId {
-        self.schedule_at(self.now + delay, event)
+        match self.try_schedule_in(delay, event) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Bulk-schedules a block of events at absolute times in a single
+    /// calendar operation (see [`Calendar::schedule_batch`]), amortizing
+    /// per-event scheduling overhead for generator loops that produce
+    /// whole arrival blocks at once. Returns the number of events
+    /// scheduled. Batch entries are not individually cancellable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes the current clock (the same contract
+    /// as [`Engine::schedule_at`]).
+    pub fn schedule_batch<I: IntoIterator<Item = (SimTime, E)>>(&mut self, events: I) -> usize {
+        let now = self.now;
+        self.calendar
+            .schedule_batch(events.into_iter().inspect(|(time, _)| {
+                assert!(
+                    *time >= now,
+                    "cannot schedule into the past: t={time} < now={now}"
+                );
+            }))
     }
 
     /// Cancels a pending event; `true` if it was still pending.
@@ -322,6 +417,64 @@ mod tests {
         eng.schedule_in(1.0, ());
         eng.next_event();
         eng.schedule_at(SimTime::new(0.5), ());
+    }
+
+    #[test]
+    fn invalid_delays_are_typed_errors_not_calendar_corruption() {
+        let mut eng = Engine::new();
+        eng.schedule_in(1.0, "ok");
+        eng.next_event();
+        assert!(matches!(
+            eng.try_schedule_in(f64::NAN, "bad").unwrap_err(),
+            ScheduleError::NonFiniteDelay { delay } if delay.is_nan()
+        ));
+        assert_eq!(
+            eng.try_schedule_in(f64::INFINITY, "bad").unwrap_err(),
+            ScheduleError::NonFiniteDelay {
+                delay: f64::INFINITY
+            }
+        );
+        assert_eq!(
+            eng.try_schedule_in(-0.5, "bad").unwrap_err(),
+            ScheduleError::NegativeDelay { delay: -0.5 }
+        );
+        assert_eq!(
+            eng.try_schedule_at(SimTime::new(0.25), "bad").unwrap_err(),
+            ScheduleError::IntoThePast {
+                time: 0.25,
+                now: 1.0
+            }
+        );
+        // The rejected requests left the calendar untouched: only the
+        // valid follow-up is delivered, in order.
+        eng.try_schedule_in(0.5, "later").unwrap();
+        assert_eq!(eng.next_event(), Some("later"));
+        assert_eq!(eng.next_event(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative delay")]
+    fn negative_delay_panics_with_the_typed_message() {
+        let mut eng = Engine::new();
+        eng.schedule_in(-1.0, ());
+    }
+
+    #[test]
+    fn batch_scheduling_delivers_in_order_with_fifo_ties() {
+        let mut one = Engine::new();
+        let mut bulk = Engine::new();
+        let times = [2.0, 1.0, 1.0, 3.0];
+        for (i, x) in times.iter().enumerate() {
+            one.schedule_at(SimTime::new(*x), i);
+        }
+        let n = bulk.schedule_batch(times.iter().enumerate().map(|(i, x)| (SimTime::new(*x), i)));
+        assert_eq!(n, times.len());
+        let drain = |eng: &mut Engine<usize>| {
+            let mut seen = Vec::new();
+            eng.run_with(|_, i| seen.push(i));
+            seen
+        };
+        assert_eq!(drain(&mut one), drain(&mut bulk));
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   deterministic for sensitivity extensions).
 //! * [`station`] — a single-server FCFS run-to-completion station (the
 //!   paper's computer model) with run-queue-length observation.
+//! * [`shard`] — a per-station event shard: one small calendar per
+//!   station with batched arrival generation and alias-table user
+//!   attribution, the building block of the parallel sharded simulator.
 //! * [`multiserver`] — a c-server FCFS pool (M/M/c) for the multicore
 //!   extension.
 //! * [`source`] — a Markov-modulated Poisson source (MMPP-2) producing
@@ -39,16 +42,18 @@ pub mod engine;
 pub mod monitor;
 pub mod multiserver;
 pub mod rng;
+pub mod shard;
 pub mod source;
 pub mod station;
 pub mod time;
 
 pub use breakdown::{BreakdownProcess, RetryBackoff};
 pub use calendar::{Calendar, EventId};
-pub use engine::Engine;
+pub use engine::{Engine, ScheduleError};
 pub use monitor::{GoodputMonitor, QueueLengthMonitor, ResponseTimeMonitor};
 pub use multiserver::MultiServerStation;
-pub use rng::{Distribution, RngStream};
+pub use rng::{AliasTable, Distribution, RngStream, SampleBlock};
+pub use shard::{run_station_shard, ShardOutcome, ShardSpec, DEFAULT_SHARD_BATCH};
 pub use source::MmppSource;
 pub use station::{FcfsStation, Job};
 pub use time::SimTime;

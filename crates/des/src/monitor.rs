@@ -78,6 +78,26 @@ impl ResponseTimeMonitor {
     pub fn user_accumulators(&self) -> &[Welford] {
         &self.per_user
     }
+
+    /// Merges another monitor's measurements into this one (Welford
+    /// parallel combine, per user and system-wide). Used by the sharded
+    /// engine: each station shard accumulates its own monitor, merged in
+    /// station-index order so the result is identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the monitors track different user counts.
+    pub fn merge(&mut self, other: &ResponseTimeMonitor) {
+        assert_eq!(
+            self.per_user.len(),
+            other.per_user.len(),
+            "cannot merge monitors over different user counts"
+        );
+        for (mine, theirs) in self.per_user.iter_mut().zip(&other.per_user) {
+            mine.merge(theirs);
+        }
+        self.system.merge(&other.system);
+    }
 }
 
 /// Separates goodput from degraded work under churn: jobs *served* to
@@ -179,6 +199,16 @@ impl GoodputMonitor {
         self.served as f64 / offered as f64
     }
 
+    /// Merges another monitor's counters into this one. Used by the
+    /// sharded engine to combine per-station goodput in station-index
+    /// order (the counters are plain sums, so the merge is exact).
+    pub fn merge(&mut self, other: &GoodputMonitor) {
+        self.served += other.served;
+        self.shed += other.shed;
+        self.lost += other.lost;
+        self.retries += other.retries;
+    }
+
     fn rate(&self, count: u64, now: SimTime) -> f64 {
         let window = now.since(self.warmup);
         if window == 0.0 {
@@ -273,6 +303,50 @@ mod tests {
         assert_eq!(m.user_mean(2), 0.0);
         assert_eq!(m.system_mean(), 0.0);
         assert_eq!(m.user_accumulators().len(), 3);
+    }
+
+    #[test]
+    fn monitor_merge_matches_single_stream() {
+        let jobs = [
+            (0usize, 12.0, 15.0),
+            (1, 11.0, 12.5),
+            (0, 20.0, 26.0),
+            (1, 22.0, 23.0),
+            (0, 30.0, 31.0),
+        ];
+        let mut all = ResponseTimeMonitor::new(2, t(10.0));
+        for (u, a, d) in jobs {
+            all.record(u, t(a), t(d));
+        }
+        let mut left = ResponseTimeMonitor::new(2, t(10.0));
+        let mut right = ResponseTimeMonitor::new(2, t(10.0));
+        for (k, (u, a, d)) in jobs.into_iter().enumerate() {
+            if k < 2 {
+                left.record(u, t(a), t(d));
+            } else {
+                right.record(u, t(a), t(d));
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.total_count(), all.total_count());
+        for u in 0..2 {
+            assert_eq!(left.count(u), all.count(u));
+            assert!((left.user_mean(u) - all.user_mean(u)).abs() < 1e-12);
+        }
+        assert!((left.system_mean() - all.system_mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_merge_sums_counters() {
+        let mut a = GoodputMonitor::new(t(0.0));
+        a.record_served(t(1.0));
+        a.record_shed(t(2.0));
+        let mut b = GoodputMonitor::new(t(0.0));
+        b.record_served(t(3.0));
+        b.record_lost(t(4.0));
+        b.record_retry(t(5.0));
+        a.merge(&b);
+        assert_eq!((a.served(), a.shed(), a.lost(), a.retries()), (2, 1, 1, 1));
     }
 
     #[test]

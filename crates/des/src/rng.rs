@@ -116,6 +116,247 @@ impl RngStream {
             Distribution::Deterministic { value } => value,
         }
     }
+
+    /// Fills `out` with exponential samples, consuming exactly the same
+    /// underlying uniforms as `out.len()` calls to
+    /// [`RngStream::exponential`] — the block form exists to amortize
+    /// per-call overhead in batched event generation, not to change the
+    /// stream, so sequential and batched generators stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive or non-finite rate.
+    pub fn fill_exponential(&mut self, rate: f64, out: &mut [f64]) {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        // Divide (not multiply-by-reciprocal): the block must round
+        // exactly like the per-call form to stay bit-identical.
+        for slot in out.iter_mut() {
+            *slot = -(1.0 - self.uniform01()).ln() / rate;
+        }
+    }
+
+    /// Fills `out` with samples from `dist`, consuming exactly the same
+    /// uniforms as `out.len()` calls to [`RngStream::sample`] (see
+    /// [`RngStream::fill_exponential`] for the bit-identity contract).
+    pub fn fill_samples(&mut self, dist: &Distribution, out: &mut [f64]) {
+        match *dist {
+            Distribution::Exponential { rate } => self.fill_exponential(rate, out),
+            _ => {
+                for slot in out.iter_mut() {
+                    *slot = self.sample(dist);
+                }
+            }
+        }
+    }
+
+    /// Standard normal sample via Box–Muller (one variate per call; the
+    /// paired variate is discarded to keep the uniform consumption per
+    /// call fixed, which the reproducibility discipline depends on).
+    pub fn normal01(&mut self) -> f64 {
+        // 1 − U ∈ (0, 1] keeps the log finite.
+        let r = (-2.0 * (1.0 - self.uniform01()).ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * self.uniform01();
+        r * theta.cos()
+    }
+
+    /// Poisson sample with the given mean: Knuth's product-of-uniforms
+    /// method for small means, a rounded normal approximation above 30
+    /// (where the relative error of the approximation is far below the
+    /// Monte-Carlo noise of any consumer in this workspace).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative or non-finite mean.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "poisson mean must be non-negative, got {mean}"
+        );
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean < 30.0 {
+            let limit = (-mean).exp();
+            let mut product = self.uniform01();
+            let mut count = 0u64;
+            while product > limit {
+                product *= self.uniform01();
+                count += 1;
+            }
+            count
+        } else {
+            let x = mean + mean.sqrt() * self.normal01();
+            if x < 0.5 {
+                0
+            } else {
+                (x + 0.5) as u64
+            }
+        }
+    }
+
+    /// Gamma(shape, rate) sample by Marsaglia–Tsang squeeze for shape ≥ 1
+    /// (the only regime the simulator needs: shapes are job counts). The
+    /// sum of `k` iid Exponential(rate) variables is Gamma(k, rate), which
+    /// is what lets the analytic fast path collapse a whole measurement
+    /// window of per-job sojourn draws into one variate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shape >= 1` and `rate > 0` (both finite).
+    pub fn gamma(&mut self, shape: f64, rate: f64) -> f64 {
+        assert!(
+            shape.is_finite() && shape >= 1.0,
+            "gamma shape must be >= 1, got {shape}"
+        );
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "gamma rate must be positive, got {rate}"
+        );
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let z = self.normal01();
+            let v = (1.0 + c * z).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = 1.0 - self.uniform01(); // (0, 1], ln finite
+            if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+                return d * v / rate;
+            }
+        }
+    }
+}
+
+/// Walker/Vose alias table: O(n) construction, O(1) categorical sampling.
+///
+/// [`RngStream::categorical`] scans its weight list on every draw, which
+/// is fine for one dispatch decision per job against a short row but
+/// dominates when a sharded station attributes millions of jobs against
+/// the same fixed weight vector. The alias table front-loads the scan into
+/// construction and answers each draw with two uniforms and two array
+/// reads.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance threshold per bucket (scaled weight share).
+    prob: Vec<f64>,
+    /// Fallback category per bucket.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from unnormalized, non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when weights are empty, contain negatives/non-finites, or
+    /// all are zero (the same contract as [`RngStream::categorical`]).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+        }
+        assert!(total > 0.0, "alias-table weights sum to zero");
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<usize> = (0..n).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are 1.0 up to rounding; saturate so they always accept.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has no categories (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws a category index, consuming exactly two uniforms.
+    #[inline]
+    pub fn sample(&self, rng: &mut RngStream) -> usize {
+        let n = self.prob.len();
+        let bucket = ((rng.uniform01() * n as f64) as usize).min(n - 1);
+        if rng.uniform01() < self.prob[bucket] {
+            bucket
+        } else {
+            self.alias[bucket]
+        }
+    }
+}
+
+/// A buffered sampler: draws from one [`Distribution`] on one stream in
+/// refill blocks, popping one value at a time.
+///
+/// Because [`RngStream::fill_samples`] consumes exactly the uniforms of
+/// the equivalent per-call draws, a `SampleBlock` yields bit-identical
+/// sequences to calling [`RngStream::sample`] directly — it exists purely
+/// to amortize per-draw call and dispatch overhead in event-generation
+/// hot loops, and is only sound when the stream is not interleaved with
+/// other consumers (each stochastic entity owns its stream, per the module
+/// contract).
+#[derive(Debug, Clone)]
+pub struct SampleBlock {
+    dist: Distribution,
+    buf: Vec<f64>,
+    pos: usize,
+}
+
+impl SampleBlock {
+    /// Creates a buffered sampler refilling `block` samples at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is zero.
+    pub fn new(dist: Distribution, block: usize) -> Self {
+        assert!(block > 0, "sample block must be non-empty");
+        Self {
+            dist,
+            buf: vec![0.0; block],
+            pos: block, // empty: first next() refills
+        }
+    }
+
+    /// Pops the next sample, refilling the buffer from `rng` when empty.
+    #[inline]
+    pub fn next(&mut self, rng: &mut RngStream) -> f64 {
+        if self.pos == self.buf.len() {
+            rng.fill_samples(&self.dist, &mut self.buf);
+            self.pos = 0;
+        }
+        let x = self.buf[self.pos];
+        self.pos += 1;
+        x
+    }
 }
 
 /// Interarrival / service-time distributions available to the simulator.
@@ -311,6 +552,103 @@ mod tests {
             "hyperexponential must have SCV > 1, got {}",
             hyp.scv()
         );
+    }
+
+    #[test]
+    fn batched_fills_are_bit_identical_to_per_call_draws() {
+        let dists = [
+            Distribution::Exponential { rate: 3.0 },
+            Distribution::Erlang { k: 3, rate: 6.0 },
+            Distribution::HyperExponential {
+                p: 0.3,
+                rate_a: 0.5,
+                rate_b: 4.0,
+            },
+            Distribution::Deterministic { value: 0.7 },
+        ];
+        for d in dists {
+            let mut seq = RngStream::new(11, 4);
+            let one: Vec<f64> = (0..257).map(|_| seq.sample(&d)).collect();
+            let mut blk = RngStream::new(11, 4);
+            let mut block = SampleBlock::new(d, 64);
+            let bulk: Vec<f64> = (0..257).map(|_| block.next(&mut blk)).collect();
+            assert_eq!(
+                one.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                bulk.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal01_moments() {
+        let mut s = RngStream::new(3, 14);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.normal01()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "normal variance {var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_parameter_in_both_regimes() {
+        let mut s = RngStream::new(21, 0);
+        for mean in [0.0, 0.4, 7.5, 29.9, 80.0, 4000.0] {
+            let n = 20_000;
+            let avg = (0..n).map(|_| s.poisson(mean)).sum::<u64>() as f64 / n as f64;
+            let tol = 3.0 * (mean / n as f64).sqrt().max(1e-12) + 0.51 / n as f64;
+            assert!(
+                (avg - mean).abs() <= tol.max(0.05 * mean.max(0.01)),
+                "poisson({mean}): empirical {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_matches_sum_of_exponentials_in_distribution() {
+        // Gamma(k, r) must have mean k/r and variance k/r² — the moments
+        // of a sum of k iid Exponential(r), which the analytic fast path
+        // relies on.
+        let (shape, rate) = (5.0, 2.0);
+        let mut s = RngStream::new(8, 3);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.gamma(shape, rate)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - shape / rate).abs() < 0.02 * shape / rate, "{mean}");
+        assert!(
+            (var - shape / (rate * rate)).abs() < 0.05 * shape / (rate * rate),
+            "{var}"
+        );
+        assert!(xs.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [0.2, 0.0, 0.5, 0.3];
+        let table = AliasTable::new(&weights);
+        assert_eq!(table.len(), 4);
+        let mut s = RngStream::new(9, 9);
+        let mut counts = [0u32; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(&mut s)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never be drawn");
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = f64::from(counts[i]) / f64::from(n);
+            assert!(
+                (freq - w).abs() < 0.01,
+                "category {i}: freq {freq} vs weight {w}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn alias_table_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Per-station event sharding: one small calendar per station.
+//!
+//! In the paper's model, stations stop interacting the moment the flow
+//! split is fixed: user `j` routes a Poisson stream of rate `φ_j` across
+//! the computers with probabilities `s_ji`, and by Poisson splitting and
+//! superposition each station `i` then receives an *independent* Poisson
+//! stream of rate `λ_i = Σ_j s_ji φ_j`. Nothing a station does can ever
+//! influence another station's event order, so a replication does not need
+//! one big serial calendar — each station can run its own tiny event
+//! stream on its own [`RngStream`], embarrassingly parallel, and the
+//! per-station measurements merge deterministically in station-index
+//! order.
+//!
+//! [`run_station_shard`] is that per-station engine: it generates the
+//! station's arrival process in vectorized blocks (one
+//! [`RngStream::fill_exponential`] call plus one bulk
+//! [`Engine::schedule_batch`] per block, instead of one `schedule_in` per
+//! job), attributes each arrival to a user with an O(1) Walker
+//! [`AliasTable`] draw, runs the FCFS station to the horizon, and returns
+//! warmup-aware per-user statistics. The calendar never holds more than
+//! one arrival block plus one completion, so event scheduling stays cheap
+//! regardless of run length.
+//!
+//! The splitting argument is exact only for Poisson (exponential
+//! interarrival) user sources; the `lb-sim` crate routes non-Poisson
+//! arrival models to the classic single-calendar engine instead.
+
+use crate::engine::Engine;
+use crate::monitor::ResponseTimeMonitor;
+use crate::rng::{AliasTable, Distribution, RngStream, SampleBlock};
+use crate::station::{Arrival, FcfsStation, Job};
+use crate::time::SimTime;
+use lb_telemetry::{Collector, Span, SpanHandle};
+use std::sync::Arc;
+
+/// Default number of arrivals generated per batch block.
+pub const DEFAULT_SHARD_BATCH: usize = 1024;
+
+/// Static description of one station shard.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Total Poisson arrival rate at this station, `λ_i = Σ_j s_ji φ_j`.
+    pub arrival_rate: f64,
+    /// Service-time distribution at this station.
+    pub service: Distribution,
+    /// Run horizon: arrivals and completions after this time are never
+    /// delivered.
+    pub horizon: SimTime,
+    /// Warmup cutoff: jobs arriving before it are simulated but not
+    /// measured.
+    pub warmup: SimTime,
+    /// Number of users (width of the per-user statistics).
+    pub users: usize,
+    /// Arrivals generated per block (see [`DEFAULT_SHARD_BATCH`]).
+    pub batch: usize,
+}
+
+/// Everything one station shard measures.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Warmup-aware per-user and system response-time statistics for jobs
+    /// served at this station.
+    pub monitor: ResponseTimeMonitor,
+    /// Arrivals delivered within the horizon (including warmup jobs).
+    pub jobs_generated: u64,
+    /// Fraction of `[0, horizon]` the server was busy.
+    pub utilization: f64,
+}
+
+/// Event payload of a shard engine: arrivals carry no data (user and
+/// service demand are drawn at delivery, keeping the block cheap).
+enum ShardEvent {
+    Arrive,
+    Complete,
+}
+
+/// Generates one arrival block: a vectorized exponential fill followed by
+/// one bulk calendar insertion. Returns the absolute time of the last
+/// scheduled arrival. Emits a `sim.batch` span per block when tracing.
+fn schedule_block(
+    engine: &mut Engine<ShardEvent>,
+    rng: &mut RngStream,
+    rate: f64,
+    buf: &mut [f64],
+    from: SimTime,
+    span_parent: Option<&SpanHandle>,
+) -> SimTime {
+    let span = span_parent.map(|p| {
+        p.child(
+            "sim.batch",
+            &[
+                ("from", from.as_secs().into()),
+                ("events", (buf.len() as u64).into()),
+            ],
+        )
+    });
+    rng.fill_exponential(rate, buf);
+    let mut t = from;
+    engine.schedule_batch(buf.iter().map(|dt| {
+        t = t + *dt;
+        (t, ShardEvent::Arrive)
+    }));
+    if let Some(span) = span {
+        span.close_with(&[("to", t.as_secs().into())]);
+    }
+    t
+}
+
+/// Runs one station's independent event stream to the horizon.
+///
+/// `attribution` maps each served job back to the user that generated it
+/// (weights `s_ji φ_j` over users), so per-user response statistics
+/// survive the sharding. The three streams must be exclusive to this
+/// shard; the caller keys them by `(replication, station)` so the shard's
+/// results depend only on its own streams — which is what makes the
+/// station-index-order merge bit-identical at any thread count.
+///
+/// `sink` observes every *measured* (post-warmup) response as
+/// `(user, response_seconds)` in this station's completion order.
+///
+/// # Panics
+///
+/// Panics on a non-positive arrival rate, an attribution table whose
+/// width disagrees with `spec.users`, or a zero batch size.
+#[allow(clippy::too_many_arguments)]
+pub fn run_station_shard<F: FnMut(usize, f64)>(
+    spec: &ShardSpec,
+    attribution: &AliasTable,
+    arrival_rng: &mut RngStream,
+    service_rng: &mut RngStream,
+    attribution_rng: &mut RngStream,
+    collector: Option<&Arc<dyn Collector>>,
+    span_parent: Option<&SpanHandle>,
+    mut sink: F,
+) -> ShardOutcome {
+    assert!(
+        spec.arrival_rate.is_finite() && spec.arrival_rate > 0.0,
+        "shard arrival rate must be positive, got {}",
+        spec.arrival_rate
+    );
+    assert_eq!(
+        attribution.len(),
+        spec.users,
+        "attribution table width disagrees with the user count"
+    );
+    assert!(spec.batch > 0, "shard batch must be non-empty");
+
+    let shard_span = span_parent.map(|p| {
+        p.child(
+            "des.shard",
+            &[
+                ("rate", spec.arrival_rate.into()),
+                ("horizon", spec.horizon.as_secs().into()),
+            ],
+        )
+    });
+    let shard_handle = shard_span.as_ref().map(Span::handle);
+
+    let mut engine: Engine<ShardEvent> = Engine::new();
+    engine.set_horizon(spec.horizon);
+    if let Some(c) = collector {
+        engine.set_collector(Arc::clone(c));
+    }
+    if let Some(h) = &shard_handle {
+        engine.set_span_parent(h.clone());
+    }
+
+    let mut station = FcfsStation::new();
+    let mut monitor = ResponseTimeMonitor::new(spec.users, spec.warmup);
+    let mut service = SampleBlock::new(spec.service, spec.batch);
+    let mut interarrivals = vec![0.0; spec.batch];
+
+    let mut block_end = schedule_block(
+        &mut engine,
+        arrival_rng,
+        spec.arrival_rate,
+        &mut interarrivals,
+        SimTime::ZERO,
+        shard_handle.as_ref(),
+    );
+    let mut outstanding = interarrivals.len();
+    let mut jobs: u64 = 0;
+
+    while let Some(ev) = engine.next_event() {
+        match ev {
+            ShardEvent::Arrive => {
+                outstanding -= 1;
+                // Refill as the block's last arrival is delivered, so the
+                // calendar holds at most one block plus one completion.
+                if outstanding == 0 && block_end <= spec.horizon {
+                    block_end = schedule_block(
+                        &mut engine,
+                        arrival_rng,
+                        spec.arrival_rate,
+                        &mut interarrivals,
+                        block_end,
+                        shard_handle.as_ref(),
+                    );
+                    outstanding = interarrivals.len();
+                }
+                jobs += 1;
+                let now = engine.now();
+                let job = Job {
+                    id: jobs,
+                    user: attribution.sample(attribution_rng),
+                    arrival: now,
+                    service_time: service.next(service_rng),
+                };
+                if let Arrival::StartService(done) = station.arrive(job, now) {
+                    engine.schedule_at(done, ShardEvent::Complete);
+                }
+            }
+            ShardEvent::Complete => {
+                let now = engine.now();
+                let (finished, next) = station.complete(now);
+                monitor.record(finished.user, finished.arrival, now);
+                if finished.arrival >= spec.warmup {
+                    sink(finished.user, now - finished.arrival);
+                }
+                if let Some((_, done)) = next {
+                    engine.schedule_at(done, ShardEvent::Complete);
+                }
+            }
+        }
+    }
+
+    let utilization = station.utilization(spec.horizon);
+    if let Some(span) = shard_span {
+        span.close_with(&[
+            ("jobs", jobs.into()),
+            ("measured", monitor.total_count().into()),
+            ("util", utilization.into()),
+        ]);
+    }
+    ShardOutcome {
+        monitor,
+        jobs_generated: jobs,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rate: f64, horizon: f64) -> ShardSpec {
+        ShardSpec {
+            arrival_rate: rate,
+            service: Distribution::Exponential { rate: 10.0 },
+            horizon: SimTime::new(horizon),
+            warmup: SimTime::new(horizon * 0.1),
+            users: 3,
+            batch: DEFAULT_SHARD_BATCH,
+        }
+    }
+
+    fn run(spec: &ShardSpec, seed: u64, sink: &mut Vec<(usize, f64)>) -> ShardOutcome {
+        let attribution = AliasTable::new(&[0.5, 0.3, 0.2]);
+        let mut arr = RngStream::new(seed, 0);
+        let mut svc = RngStream::new(seed, 1);
+        let mut att = RngStream::new(seed, 2);
+        run_station_shard(
+            spec,
+            &attribution,
+            &mut arr,
+            &mut svc,
+            &mut att,
+            None,
+            None,
+            |u, r| sink.push((u, r)),
+        )
+    }
+
+    #[test]
+    fn shard_is_deterministic_per_seed_and_batch_invariant() {
+        let base = spec(6.0, 2_000.0);
+        let mut sink_a = Vec::new();
+        let a = run(&base, 42, &mut sink_a);
+        let mut sink_b = Vec::new();
+        let b = run(&base, 42, &mut sink_b);
+        assert_eq!(a.jobs_generated, b.jobs_generated);
+        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+        assert_eq!(
+            a.monitor.user_means(),
+            b.monitor.user_means(),
+            "same seed must reproduce bitwise"
+        );
+        assert_eq!(sink_a, sink_b);
+
+        let mut c_spec = base.clone();
+        c_spec.batch = 7; // pathological block size: same event stream
+        let mut sink_c = Vec::new();
+        let c = run(&c_spec, 42, &mut sink_c);
+        assert_eq!(a.jobs_generated, c.jobs_generated);
+        assert_eq!(sink_a, sink_c, "batch size must not change the stream");
+        assert_eq!(
+            a.monitor.system_mean().to_bits(),
+            c.monitor.system_mean().to_bits()
+        );
+    }
+
+    #[test]
+    fn shard_matches_mm1_theory() {
+        // λ=6, μ=10 ⇒ E[T] = 1/(μ−λ) = 0.25, ρ = 0.6.
+        let s = spec(6.0, 50_000.0);
+        let mut sink = Vec::new();
+        let out = run(&s, 7, &mut sink);
+        let t = out.monitor.system_mean();
+        assert!((t - 0.25).abs() < 0.02, "E[T] {t} vs 0.25");
+        assert!(
+            (out.utilization - 0.6).abs() < 0.02,
+            "ρ {}",
+            out.utilization
+        );
+        // ~λ·horizon arrivals.
+        let expected = 6.0 * 50_000.0;
+        assert!((out.jobs_generated as f64 - expected).abs() < 0.02 * expected);
+        // Attribution tracks the weights.
+        let counts: Vec<u64> = (0..3).map(|u| out.monitor.count(u)).collect();
+        let total: u64 = counts.iter().sum();
+        for (c, w) in counts.iter().zip([0.5, 0.3, 0.2]) {
+            let freq = *c as f64 / total as f64;
+            assert!((freq - w).abs() < 0.01, "freq {freq} vs {w}");
+        }
+        // Sink saw exactly the measured jobs, in completion order.
+        assert_eq!(sink.len() as u64, out.monitor.total_count());
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_shard() {
+        use lb_telemetry::MemoryCollector;
+        let s = spec(4.0, 1_000.0);
+        let mut plain_sink = Vec::new();
+        let plain = run(&s, 9, &mut plain_sink);
+
+        let mem = Arc::new(MemoryCollector::default());
+        let collector: Arc<dyn Collector> = mem.clone();
+        let root = Span::root(Some(&collector), "test.root", &[]).unwrap();
+        let attribution = AliasTable::new(&[0.5, 0.3, 0.2]);
+        let mut arr = RngStream::new(9, 0);
+        let mut svc = RngStream::new(9, 1);
+        let mut att = RngStream::new(9, 2);
+        let mut traced_sink = Vec::new();
+        let traced = run_station_shard(
+            &s,
+            &attribution,
+            &mut arr,
+            &mut svc,
+            &mut att,
+            Some(&collector),
+            Some(&root.handle()),
+            |u, r| traced_sink.push((u, r)),
+        );
+        root.close();
+        assert_eq!(plain.jobs_generated, traced.jobs_generated);
+        assert_eq!(
+            plain.monitor.system_mean().to_bits(),
+            traced.monitor.system_mean().to_bits()
+        );
+        assert_eq!(plain_sink, traced_sink);
+        // The span stream contains the shard span, its sim.batch blocks,
+        // and the engine's des.batch spans — all opened and closed.
+        assert!(mem.count(lb_telemetry::SPAN_OPEN) >= 3);
+        assert_eq!(
+            mem.count(lb_telemetry::SPAN_OPEN),
+            mem.count(lb_telemetry::SPAN_CLOSE)
+        );
+    }
+}

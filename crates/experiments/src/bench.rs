@@ -25,7 +25,8 @@ use lb_game::sampled::SampledNashSolver;
 use lb_game::schemes::{LoadBalancingScheme, ProportionalScheme};
 use lb_sim::harness::simulate_profile_with;
 use lb_sim::parallel::ParallelRunner;
-use lb_sim::scenario::SimulationConfig;
+use lb_sim::scenario::{run_replication_single_calendar, SimFidelity, SimulationConfig};
+use lb_sim::{run_replication_analytic, run_replication_sharded_with};
 use lb_stats::ReplicationPlan;
 use lb_telemetry::{Collector, Json, JsonlCollector, NullCollector};
 use std::fmt::Write as _;
@@ -34,6 +35,9 @@ use std::sync::Arc;
 
 /// File name of the machine-readable summary written under `--out`.
 pub const BENCH_FILE: &str = "BENCH_nash.json";
+
+/// File name of the `bench --sim` simulation-throughput summary.
+pub const SIM_BENCH_FILE: &str = "BENCH_sim.json";
 
 /// File name of the append-only bench history under `--out`: one JSON
 /// object per run, timestamped, holding every measurement — the perf
@@ -261,6 +265,217 @@ fn bench_nash_large(c: &mut Criterion) -> Result<(), GameError> {
     });
     g.finish();
     Ok(())
+}
+
+/// Seed shared by every engine in the simulation-throughput group so all
+/// four cells simulate the same workload.
+const SIM_THROUGHPUT_SEED: u64 = 42;
+
+/// Benchmark group name of the `bench --sim` throughput cells.
+const SIM_GROUP: &str = "sim_throughput_large";
+
+/// The simulation-throughput group behind `bench --sim`: one large
+/// replication (n = 32 heterogeneous computers, m = 200 users, ρ = 0.6)
+/// through each engine — the classic single-calendar reference (the seed
+/// path and the baseline of the speedup claims), the sharded per-station
+/// engine at one thread and at the [`ParallelRunner::from_env`] thread
+/// count, and the analytic closed-form sampler. Returns each cell's
+/// jobs-generated count so the summary can report jobs/sec.
+fn bench_sim_throughput(c: &mut Criterion) -> Result<Vec<(&'static str, u64)>, GameError> {
+    let n = 32;
+    let m = 200;
+    let rates: Vec<f64> = (0..n).map(|i| 10.0 + (i % 17) as f64).collect();
+    let phi = 0.6 * rates.iter().sum::<f64>() / m as f64;
+    let model = SystemModel::new(rates, vec![phi; m])?;
+    let profile = ProportionalScheme.compute(&model)?;
+    // 2M jobs per replication is the ROADMAP's web-scale target; the CI
+    // smoke pass (CRITERION_QUICK) trims the horizon so the
+    // single-calendar baseline stays affordable while the throughput
+    // ratios remain meaningful.
+    let quick = std::env::var_os("CRITERION_QUICK").is_some_and(|v| !v.is_empty() && v != "0");
+    let config = SimulationConfig {
+        target_jobs: if quick { 100_000 } else { 2_000_000 },
+        ..SimulationConfig::paper()
+    };
+    let mut jobs: Vec<(&'static str, u64)> = Vec::new();
+    let mut g = c.benchmark_group(SIM_GROUP);
+
+    let mut generated = 0_u64;
+    g.bench_function("single_calendar_seed", |b| {
+        b.iter(|| {
+            let r = run_replication_single_calendar(&model, &profile, config, SIM_THROUGHPUT_SEED)
+                .expect("single-calendar replication");
+            generated = r.jobs_generated;
+            r.system_mean
+        });
+    });
+    jobs.push(("single_calendar_seed", generated));
+
+    for (id, runner) in [
+        ("sharded_threads_1", ParallelRunner::sequential()),
+        ("sharded_threads_auto", ParallelRunner::from_env()),
+    ] {
+        let mut generated = 0_u64;
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let r = run_replication_sharded_with(
+                    &runner,
+                    &model,
+                    &profile,
+                    config,
+                    SIM_THROUGHPUT_SEED,
+                )
+                .expect("sharded replication");
+                generated = r.jobs_generated;
+                r.system_mean
+            });
+        });
+        jobs.push((id, generated));
+    }
+
+    let analytic_config = config.with_fidelity(SimFidelity::Analytic);
+    let mut generated = 0_u64;
+    g.bench_function("analytic", |b| {
+        b.iter(|| {
+            let r =
+                run_replication_analytic(&model, &profile, analytic_config, SIM_THROUGHPUT_SEED)
+                    .expect("analytic replication");
+            generated = r.jobs_generated;
+            r.system_mean
+        });
+    });
+    jobs.push(("analytic", generated));
+    g.finish();
+    Ok(jobs)
+}
+
+/// Per-engine `(id, ns_per_iter, jobs_per_sec)` rows of the
+/// simulation-throughput group.
+fn sim_rows(c: &Criterion, jobs: &[(&'static str, u64)]) -> Vec<(String, f64, f64)> {
+    jobs.iter()
+        .filter_map(|(id, j)| {
+            ns_of(c, SIM_GROUP, id)
+                .filter(|ns| *ns > 0.0)
+                .map(|ns| ((*id).to_string(), ns, *j as f64 / (ns * 1e-9)))
+        })
+        .collect()
+}
+
+/// Renders the `bench --sim` summary: every cell's ns/iter and jobs/sec
+/// plus the jobs/sec speedup of every engine over the single-calendar
+/// seed path.
+fn sim_summary_json(c: &Criterion, jobs: &[(&'static str, u64)]) -> String {
+    let rows = sim_rows(c, jobs);
+    let base = rows
+        .iter()
+        .find(|(id, _, _)| id == "single_calendar_seed")
+        .map(|(_, _, rate)| *rate);
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"threads\": {},",
+        ParallelRunner::from_env().threads()
+    );
+    out.push_str("  \"benchmarks\": [");
+    for (i, r) in c.results().iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+            r.group, r.id, r.ns_per_iter, r.iters
+        );
+    }
+    out.push_str("\n  ],\n  \"throughput\": [");
+    for (i, ((id, ns, rate), (_, generated))) in rows.iter().zip(jobs).enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{id}\", \"jobs_generated\": {generated}, \
+             \"ns_per_iter\": {ns:.1}, \"jobs_per_sec\": {rate:.1}}}"
+        );
+    }
+    out.push_str("\n  ],\n  \"speedups_vs_single_calendar\": {");
+    let mut first = true;
+    for (id, _, rate) in &rows {
+        if id == "single_calendar_seed" {
+            continue;
+        }
+        if let Some(b) = base.filter(|b| *b > 0.0) {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(out, "    \"{}\": {:.3}", id, rate / b);
+        }
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// What [`run_sim`] produced.
+#[derive(Debug)]
+pub struct SimBenchReport {
+    /// Path of the freshly written [`SIM_BENCH_FILE`].
+    pub path: PathBuf,
+    /// Per-engine throughput table (ns/iter, jobs/sec, speedup vs the
+    /// single-calendar seed path).
+    pub table: Table,
+    /// Analytic-vs-single-calendar jobs/sec ratio — the headline number
+    /// (the ROADMAP target is ≥100×).
+    pub headline_speedup: Option<f64>,
+}
+
+/// Runs the simulation-throughput group (`bench --sim`) and writes
+/// [`SIM_BENCH_FILE`] under `out_dir`. Speedups are recorded, never
+/// asserted — on a loaded runner the sharded cells legitimately vary;
+/// the analytic cell's ratio is the headline the CI log surfaces.
+///
+/// # Errors
+///
+/// A human-readable message on model/simulation failures or I/O errors.
+pub fn run_sim(out_dir: &Path) -> Result<SimBenchReport, String> {
+    let mut c = Criterion::default();
+    let jobs = bench_sim_throughput(&mut c).map_err(|e| format!("sim bench: {e}"))?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let path = out_dir.join(SIM_BENCH_FILE);
+    let summary = sim_summary_json(&c, &jobs);
+    std::fs::write(&path, &summary).map_err(|e| format!("writing {}: {e}", path.display()))?;
+
+    let rows = sim_rows(&c, &jobs);
+    let base = rows
+        .iter()
+        .find(|(id, _, _)| id == "single_calendar_seed")
+        .map(|(_, _, rate)| *rate)
+        .filter(|b| *b > 0.0);
+    let mut table = Table::new(
+        "Simulation throughput — one large replication (n=32, m=200, rho=0.6)".to_string(),
+        vec![
+            "engine".to_string(),
+            "ns/iter".to_string(),
+            "jobs/sec".to_string(),
+            "vs single calendar".to_string(),
+        ],
+    );
+    for (id, ns, rate) in &rows {
+        let speedup = match base {
+            Some(b) if id != "single_calendar_seed" => format!("{:.1}x", rate / b),
+            _ => "-".to_string(),
+        };
+        table.row(vec![
+            id.clone(),
+            format!("{ns:.0}"),
+            format!("{rate:.3e}"),
+            speedup,
+        ]);
+    }
+    let headline_speedup = base.and_then(|b| {
+        rows.iter()
+            .find(|(id, _, _)| id == "analytic")
+            .map(|(_, _, rate)| rate / b)
+    });
+    Ok(SimBenchReport {
+        path,
+        table,
+        headline_speedup,
+    })
 }
 
 /// Looks up a recorded measurement.
@@ -666,6 +881,46 @@ mod tests {
                 .unwrap();
             assert!(v > 0.0, "non-positive measurement in {line}");
         }
+    }
+
+    /// `bench --sim` end to end under CRITERION_QUICK: all four engine
+    /// cells land in `BENCH_sim.json` with positive jobs/sec, and the
+    /// analytic headline speedup is present.
+    #[test]
+    fn sim_bench_emits_throughput_summary() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let dir = std::env::temp_dir().join("lb_bench_sim_smoke_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let report = run_sim(&dir).unwrap();
+        assert_eq!(report.path.file_name().unwrap(), SIM_BENCH_FILE);
+        assert_eq!(report.table.len(), 4);
+        assert!(report.headline_speedup.unwrap() > 1.0);
+        let json = std::fs::read_to_string(&report.path).unwrap();
+        for needle in [
+            "\"group\": \"sim_throughput_large\"",
+            "\"id\": \"single_calendar_seed\"",
+            "\"id\": \"sharded_threads_1\"",
+            "\"id\": \"sharded_threads_auto\"",
+            "\"id\": \"analytic\"",
+            "\"throughput\":",
+            "\"speedups_vs_single_calendar\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        let doc = lb_telemetry::json::parse(&json).unwrap();
+        let throughput = doc.get("throughput").unwrap().as_array().unwrap();
+        assert_eq!(throughput.len(), 4);
+        for cell in throughput {
+            assert!(cell.get("jobs_per_sec").unwrap().as_f64().unwrap() > 0.0);
+            assert!(cell.get("jobs_generated").unwrap().as_u64().unwrap() > 0);
+        }
+        let speedups = doc
+            .get("speedups_vs_single_calendar")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        assert_eq!(speedups.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// The web-scale groups end to end: n = 10,000 × m = 100,000 must

@@ -10,6 +10,7 @@ use lb_experiments::cli::{self, Options};
 use lb_experiments::fig4::SimOptions;
 use lb_experiments::report::Table;
 use lb_experiments::{analyze, bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1, trace};
+use lb_sim::scenario::SimFidelity;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -28,6 +29,11 @@ fn run(opts: &Options) -> Result<(), String> {
         Some(SimOptions {
             target_jobs: opts.jobs,
             replications: opts.replications,
+            fidelity: if opts.analytic {
+                SimFidelity::Analytic
+            } else {
+                SimFidelity::Full
+            },
         })
     } else {
         None
@@ -162,6 +168,18 @@ fn run(opts: &Options) -> Result<(), String> {
                 }
                 println!("[bench] {}", report.path.display());
                 println!("[bench] history {}", report.history_path.display());
+                if opts.sim {
+                    let sim_report = bench::run_sim(&opts.out)?;
+                    println!("{}", sim_report.table.render());
+                    match sim_report.headline_speedup {
+                        Some(s) => println!(
+                            "[bench --sim] analytic fast path: {s:.0}x jobs/sec vs the \
+                             single-calendar seed engine"
+                        ),
+                        None => println!("[bench --sim] no single-calendar baseline recorded"),
+                    }
+                    println!("[bench] {}", sim_report.path.display());
+                }
             }
             "analyze" => {
                 let report = analyze::run(opts.input.as_deref(), &opts.out)?;

@@ -22,6 +22,12 @@ pub struct Options {
     pub verbose: bool,
     /// Include the web-scale benchmark groups (`bench` subcommand).
     pub large: bool,
+    /// Run the simulation-throughput group (`bench` subcommand), writing
+    /// `BENCH_sim.json` with a jobs/sec headline.
+    pub sim: bool,
+    /// Use the analytic M/M/1 fast path for simulated figures instead of
+    /// the full discrete-event engine.
+    pub analytic: bool,
     /// Positional input path (`analyze <log>`); defaults per command.
     pub input: Option<PathBuf>,
 }
@@ -30,9 +36,11 @@ pub struct Options {
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
      ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|ext-anytime|ext-async|bench|trace|analyze> \
-     [LOG] [--simulate] [--jobs N] [--replications R] [--out-dir DIR] [--verbose] [--large]\n\
+     [LOG] [--simulate] [--analytic] [--jobs N] [--replications R] [--out-dir DIR] [--verbose] [--large] [--sim]\n\
      `analyze [LOG]` profiles a span trace (default LOG: <out-dir>/trace_table1.jsonl);\n\
      `bench --large` adds the n=10,000 × m=100,000 solver groups;\n\
+     `bench --sim` adds the simulation-throughput group (BENCH_sim.json, jobs/sec headline);\n\
+     `--analytic` makes `--simulate` sample closed-form M/M/1 sojourns instead of running the DES;\n\
      `--out` is accepted as an alias for `--out-dir`"
         .to_string()
 }
@@ -53,6 +61,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
         out: PathBuf::from(config::RESULTS_DIR),
         verbose: false,
         large: false,
+        sim: false,
+        analytic: false,
         input: None,
     };
     while let Some(a) = args.next() {
@@ -60,6 +70,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--simulate" => opts.simulate = true,
             "--verbose" => opts.verbose = true,
             "--large" => opts.large = true,
+            "--sim" => opts.sim = true,
+            "--analytic" => opts.analytic = true,
             "--jobs" => {
                 opts.jobs = args
                     .next()
@@ -128,12 +140,29 @@ mod tests {
         assert_eq!(o.out, PathBuf::from("results"));
         assert_eq!(o.input, None);
         assert!(!o.large);
+        assert!(!o.sim);
+        assert!(!o.analytic);
     }
 
     #[test]
     fn large_flag_parses() {
         let o = parse(args(&["bench", "--large"])).unwrap();
         assert!(o.large);
+        assert!(!o.sim);
+    }
+
+    #[test]
+    fn sim_flag_parses() {
+        let o = parse(args(&["bench", "--sim"])).unwrap();
+        assert!(o.sim);
+        assert!(!o.large);
+    }
+
+    #[test]
+    fn analytic_flag_parses() {
+        let o = parse(args(&["fig4", "--simulate", "--analytic"])).unwrap();
+        assert!(o.simulate);
+        assert!(o.analytic);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use lb_game::schemes::{
 use lb_game::StoppingRule;
 use lb_sim::harness::simulate_profile_traced;
 use lb_sim::parallel::ParallelRunner;
-use lb_sim::scenario::SimulationConfig;
+use lb_sim::scenario::{SimFidelity, SimulationConfig};
 use lb_stats::ReplicationPlan;
 use lb_telemetry::Collector;
 use std::sync::Arc;
@@ -32,6 +32,9 @@ pub struct SimOptions {
     pub target_jobs: u64,
     /// Number of replications (the paper uses 5).
     pub replications: u32,
+    /// Per-job detail level: the full DES or the analytic M/M/1 fast
+    /// path (closed-form sojourn sampling).
+    pub fidelity: SimFidelity,
 }
 
 impl SimOptions {
@@ -40,6 +43,7 @@ impl SimOptions {
         Self {
             target_jobs: 1_000_000,
             replications: 5,
+            fidelity: SimFidelity::Full,
         }
     }
 
@@ -48,6 +52,7 @@ impl SimOptions {
         Self {
             target_jobs: 60_000,
             replications: 3,
+            fidelity: SimFidelity::Full,
         }
     }
 
@@ -61,6 +66,7 @@ impl SimOptions {
     fn config(&self) -> SimulationConfig {
         SimulationConfig {
             target_jobs: self.target_jobs,
+            fidelity: self.fidelity,
             ..SimulationConfig::paper()
         }
     }

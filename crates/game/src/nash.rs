@@ -231,7 +231,7 @@ impl NashSolver {
                 let total: f64 = model.computer_rates().iter().sum();
                 for j in 0..m {
                     let phi = model.user_rate(j);
-                    for (x, mu) in ws.flows[j].iter_mut().zip(model.computer_rates()) {
+                    for (x, mu) in ws.flows.row_mut(j).iter_mut().zip(model.computer_rates()) {
                         *x = mu / total * phi;
                     }
                     ws.active[j] = true;
@@ -256,7 +256,7 @@ impl NashSolver {
                 for j in 0..m {
                     let phi = model.user_rate(j);
                     let s = p.strategy(j);
-                    for (i, x) in ws.flows[j].iter_mut().enumerate() {
+                    for (i, x) in ws.flows.row_mut(j).iter_mut().enumerate() {
                         *x = s.fraction(i) * phi;
                     }
                     ws.active[j] = true;
@@ -268,7 +268,7 @@ impl NashSolver {
         // the paper's zero start).
         ws.refresh_loads();
         for j in 0..m {
-            ws.prev_d[j] = row_time(model, &ws.loads, &ws.flows[j], model.user_rate(j));
+            ws.prev_d[j] = row_time(model, &ws.loads, ws.flows.row(j), model.user_rate(j));
         }
         let mut trace = IterationTrace::new();
         // One certificate per sweep when the rule needs them (empty for
@@ -373,6 +373,7 @@ impl NashSolver {
                             &ws.loads,
                             &mut ws.avail,
                             &mut ws.wf,
+                            &mut ws.reply,
                             &mut ws.next_flows,
                         )?;
                     }
@@ -385,7 +386,7 @@ impl NashSolver {
                     let mut norm = 0.0;
                     let mut max_delta = 0.0f64;
                     for j in 0..m {
-                        let d_new = row_time(model, &ws.loads, &ws.flows[j], model.user_rate(j));
+                        let d_new = row_time(model, &ws.loads, ws.flows.row(j), model.user_rate(j));
                         let delta = (d_new - ws.prev_d[j]).abs();
                         norm += delta;
                         max_delta = max_delta.max(delta);
@@ -565,14 +566,58 @@ impl NashOutcome {
     }
 }
 
+/// Contiguous row-major `m × n` flow storage. One allocation for the
+/// whole matrix; row `j` is the `n`-wide slice at offset `j·n`. Replaces
+/// the old `Vec<Vec<f64>>` rows: sweeps walk the matrix linearly (no
+/// pointer chasing, hardware prefetch friendly) and the parallel Jacobi
+/// fan-out splits `data` into disjoint row-aligned chunks directly.
+struct FlowMatrix {
+    data: Vec<f64>,
+    /// Row stride (`n`).
+    computers: usize,
+}
+
+impl FlowMatrix {
+    fn new(users: usize, computers: usize) -> Self {
+        Self {
+            data: vec![0.0; users * computers],
+            computers,
+        }
+    }
+
+    fn num_users(&self) -> usize {
+        self.data.len().checked_div(self.computers).unwrap_or(0)
+    }
+
+    fn row(&self, j: usize) -> &[f64] {
+        &self.data[j * self.computers..(j + 1) * self.computers]
+    }
+
+    fn row_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.computers..(j + 1) * self.computers]
+    }
+
+    fn rows(&self) -> std::slice::ChunksExact<'_, f64> {
+        self.data.chunks_exact(self.computers.max(1))
+    }
+
+    fn rows_mut(&mut self) -> std::slice::ChunksExactMut<'_, f64> {
+        self.data.chunks_exact_mut(self.computers.max(1))
+    }
+
+    fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
 /// Persistent solver scratch: one allocation set at `solve` entry, zero
 /// heap traffic per sweep. Rows hold *absolute* flows `x_ji = s_ji φ_j`;
 /// `loads` caches the per-computer aggregates `Σ_k x_ki` so each user
 /// update costs O(n) (subtract the old row, solve, add the new row)
 /// instead of the old O(mn) recompute.
 struct Workspace {
-    /// Per-user absolute flow rows (`m × n`).
-    flows: Vec<Vec<f64>>,
+    /// Per-user absolute flows, contiguous row-major (`m × n`).
+    flows: FlowMatrix,
     /// Whether a user has played at least once (NASH_0 starts all-false).
     active: Vec<bool>,
     /// Aggregate flow per computer over all rows.
@@ -587,8 +632,8 @@ struct Workspace {
     sweep_order: Vec<usize>,
     /// `D_j` after each user's latest update (the norm's reference).
     prev_d: Vec<f64>,
-    /// Jacobi double buffer (empty rows unless the order is Jacobi).
-    next_flows: Vec<Vec<f64>>,
+    /// Jacobi double buffer (zero rows unless the order is Jacobi).
+    next_flows: FlowMatrix,
     /// Exact `loads` recomputes performed so far (telemetry's
     /// workspace-refresh marker; one per GS sweep, two per Jacobi).
     refreshes: u64,
@@ -597,7 +642,7 @@ struct Workspace {
 impl Workspace {
     fn new(m: usize, n: usize, jacobi: bool) -> Self {
         Self {
-            flows: vec![vec![0.0; n]; m],
+            flows: FlowMatrix::new(m, n),
             active: vec![false; m],
             loads: vec![0.0; n],
             avail: vec![0.0; n],
@@ -606,9 +651,9 @@ impl Workspace {
             sweep_order: Vec::with_capacity(m),
             prev_d: vec![0.0; m],
             next_flows: if jacobi {
-                vec![vec![0.0; n]; m]
+                FlowMatrix::new(m, n)
             } else {
-                Vec::new()
+                FlowMatrix::new(0, n)
             },
             refreshes: 0,
         }
@@ -619,7 +664,7 @@ impl Workspace {
     /// across sweeps).
     fn refresh_loads(&mut self) {
         self.loads.fill(0.0);
-        for row in &self.flows {
+        for row in self.flows.rows() {
             for (l, &x) in self.loads.iter_mut().zip(row) {
                 *l += x;
             }
@@ -635,7 +680,7 @@ impl Workspace {
         let mut max = 0u64;
         let mut total = 0u64;
         let mut users = 0u64;
-        for (row, &active) in self.flows.iter().zip(&self.active) {
+        for (row, &active) in self.flows.rows().zip(&self.active) {
             if !active {
                 continue;
             }
@@ -658,17 +703,21 @@ impl Workspace {
     fn update_user(&mut self, model: &SystemModel, j: usize) -> Result<f64, GameError> {
         let n = self.loads.len();
         let phi = model.user_rate(j);
-        for i in 0..n {
-            self.avail[i] = model.computer_rate(i) - (self.loads[i] - self.flows[j][i]);
+        {
+            let row = self.flows.row(j);
+            for (i, &flow) in row.iter().enumerate().take(n) {
+                self.avail[i] = model.computer_rate(i) - (self.loads[i] - flow);
+            }
         }
         water_fill_flows_into(&self.avail, phi, &mut self.wf, &mut self.reply)
             .map_err(|e| rename_infeasible(e, j))?;
-        for i in 0..n {
-            self.loads[i] += self.reply[i] - self.flows[j][i];
+        let row = self.flows.row_mut(j);
+        for (i, &flow) in row.iter().enumerate().take(n) {
+            self.loads[i] += self.reply[i] - flow;
         }
-        std::mem::swap(&mut self.flows[j], &mut self.reply);
+        row.copy_from_slice(&self.reply);
         self.active[j] = true;
-        Ok(row_time(model, &self.loads, &self.flows[j], phi))
+        Ok(row_time(model, &self.loads, self.flows.row(j), phi))
     }
 
     /// The sweep's regret certificate from the current `(flows, loads)`
@@ -678,7 +727,7 @@ impl Workspace {
     /// telemetry counters and solver state are unperturbed.
     fn certificate(&self, model: &SystemModel) -> Certificate {
         let mut cert = Certificate::zero();
-        for (j, row) in self.flows.iter().enumerate() {
+        for (j, row) in self.flows.rows().enumerate() {
             if !self.active[j] {
                 continue;
             }
@@ -690,8 +739,8 @@ impl Workspace {
 
     /// Converts the flow rows back into a strategy profile.
     fn assemble(&self, model: &SystemModel) -> Result<StrategyProfile, GameError> {
-        let mut rows = Vec::with_capacity(self.flows.len());
-        for (j, row) in self.flows.iter().enumerate() {
+        let mut rows = Vec::with_capacity(self.flows.num_users());
+        for (j, row) in self.flows.rows().enumerate() {
             if !self.active[j] {
                 return Err(GameError::InfeasibleStrategy {
                     reason: "user never initialized".into(),
@@ -753,19 +802,22 @@ fn rename_infeasible(e: GameError, j: usize) -> GameError {
 /// scratch so the sweep stays allocation-free.
 fn jacobi_replies_sequential(
     model: &SystemModel,
-    flows: &[Vec<f64>],
+    flows: &FlowMatrix,
     loads: &[f64],
     avail: &mut [f64],
     wf: &mut WaterFillScratch,
-    next: &mut [Vec<f64>],
+    reply: &mut Vec<f64>,
+    next: &mut FlowMatrix,
 ) -> Result<(), GameError> {
     let n = loads.len();
-    for (j, out_row) in next.iter_mut().enumerate() {
+    for (j, out_row) in next.rows_mut().enumerate() {
+        let row = flows.row(j);
         for i in 0..n {
-            avail[i] = model.computer_rate(i) - (loads[i] - flows[j][i]);
+            avail[i] = model.computer_rate(i) - (loads[i] - row[i]);
         }
-        water_fill_flows_into(&*avail, model.user_rate(j), wf, out_row)
+        water_fill_flows_into(&*avail, model.user_rate(j), wf, reply)
             .map_err(|e| rename_infeasible(e, j))?;
+        out_row.copy_from_slice(reply);
     }
     Ok(())
 }
@@ -806,7 +858,7 @@ pub fn jacobi_round(
     for j in 0..m {
         let phi = model.user_rate(j);
         let s = profile.strategy(j);
-        for (i, x) in ws.flows[j].iter_mut().enumerate() {
+        for (i, x) in ws.flows.row_mut(j).iter_mut().enumerate() {
             *x = s.fraction(i) * phi;
         }
         ws.active[j] = true;
@@ -821,6 +873,7 @@ pub fn jacobi_round(
             &ws.loads,
             &mut ws.avail,
             &mut ws.wf,
+            &mut ws.reply,
             &mut ws.next_flows,
         )?;
     }
@@ -831,36 +884,40 @@ pub fn jacobi_round(
 /// Computes every user's Jacobi reply to the frozen `(flows, loads)`
 /// snapshot across `threads` workers. Each reply is a pure function of
 /// the snapshot, so the result is bit-identical to the sequential sweep
-/// for any thread count; rows are written in place through disjoint
-/// chunks, and the lowest-indexed failing user wins error reporting just
-/// like the sequential loop.
+/// for any thread count; the contiguous flow matrix splits into disjoint
+/// row-aligned chunks (no per-row pointer indirection), and the
+/// lowest-indexed failing user wins error reporting just like the
+/// sequential loop.
 fn jacobi_replies_parallel(
     model: &SystemModel,
-    flows: &[Vec<f64>],
+    flows: &FlowMatrix,
     loads: &[f64],
-    next: &mut [Vec<f64>],
+    next: &mut FlowMatrix,
     threads: usize,
 ) -> Result<(), GameError> {
-    let m = flows.len();
+    let m = flows.num_users();
     let n = loads.len();
     let chunk = m.div_ceil(threads.min(m));
     let failure = crossbeam::thread::scope(|s| {
         let mut handles = Vec::new();
-        for (t, rows) in next.chunks_mut(chunk).enumerate() {
+        for (t, rows) in next.data_mut().chunks_mut(chunk * n).enumerate() {
             let start = t * chunk;
             handles.push(s.spawn(move |_| {
                 let mut avail = vec![0.0; n];
                 let mut wf = WaterFillScratch::default();
-                for (off, out_row) in rows.iter_mut().enumerate() {
+                let mut reply: Vec<f64> = Vec::with_capacity(n);
+                for (off, out_row) in rows.chunks_exact_mut(n).enumerate() {
                     let j = start + off;
+                    let row = flows.row(j);
                     for i in 0..n {
-                        avail[i] = model.computer_rate(i) - (loads[i] - flows[j][i]);
+                        avail[i] = model.computer_rate(i) - (loads[i] - row[i]);
                     }
                     if let Err(e) =
-                        water_fill_flows_into(&avail, model.user_rate(j), &mut wf, out_row)
+                        water_fill_flows_into(&avail, model.user_rate(j), &mut wf, &mut reply)
                     {
                         return Some((j, rename_infeasible(e, j)));
                     }
+                    out_row.copy_from_slice(&reply);
                 }
                 None
             }));

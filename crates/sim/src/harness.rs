@@ -7,7 +7,7 @@ use crate::scenario::{run_replication_spanned, SimulationConfig};
 use lb_game::error::GameError;
 use lb_game::model::SystemModel;
 use lb_game::strategy::StrategyProfile;
-use lb_stats::{jain_index, P2Quantile, ReplicationPlan, ReplicationSet, SampleSummary};
+use lb_stats::{jain_index, ReplicationPlan, ReplicationSet, SampleSummary};
 use lb_telemetry::{Collector, Span};
 use std::sync::Arc;
 
@@ -28,7 +28,9 @@ pub struct SimulatedMetrics {
     /// Replications performed.
     pub replications: u32,
     /// Cross-replication mean of the per-replication p95 response time
-    /// (P² streaming estimate) — the tail the mean hides.
+    /// (exact nearest-rank quantile of the measured responses; the
+    /// stationary mixture tail on the analytic fast path) — the tail the
+    /// mean hides.
     pub system_p95: f64,
 }
 
@@ -37,6 +39,19 @@ impl SimulatedMetrics {
     pub fn user_means(&self) -> Vec<f64> {
         self.user_summaries.iter().map(|s| s.mean).collect()
     }
+}
+
+/// Exact nearest-rank `q`-quantile of `samples` (reorders them in
+/// place). `NaN` when empty — a replication too short to measure jobs.
+fn exact_quantile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((samples.len() as f64 * q).ceil() as usize).clamp(1, samples.len());
+    let (_, value, _) = samples.select_nth_unstable_by(rank - 1, |a, b| {
+        a.partial_cmp(b).expect("response times are never NaN")
+    });
+    *value
 }
 
 /// Simulates `profile` on `model` under a replication plan, fanning the
@@ -100,6 +115,15 @@ pub fn simulate_profile_traced(
     names.push("system".into());
     let mut set = ReplicationSet::new(names, plan.confidence);
 
+    // The analytic fast path never streams per-job responses, so the P²
+    // estimator would come back empty; use the stationary mixture tail
+    // instead (same quantity the per-job estimate converges to).
+    let analytic_p95 = if config.is_analytic() {
+        Some(crate::analytic::analytic_system_p95(model, profile)?)
+    } else {
+        None
+    };
+
     // Root span for the whole simulation study; worker spans from the
     // pool and one `sim.replication` span per task nest under it, and
     // each replication's DES engine hangs its `des.batch` spans off its
@@ -128,7 +152,12 @@ pub fn simulate_profile_traced(
                 )
             });
             let rep_handle = rep_span.as_ref().map(Span::handle);
-            let mut p95 = P2Quantile::new(0.95);
+            // The sharded engine delivers responses grouped by station,
+            // which order-sensitive streaming estimators (like P²)
+            // misread badly — collect and take the exact quantile, which
+            // is order-insensitive and costs a sort, trivial next to the
+            // simulation itself.
+            let mut responses: Vec<f64> = Vec::new();
             let result = run_replication_spanned(
                 model,
                 profile,
@@ -137,7 +166,7 @@ pub fn simulate_profile_traced(
                 collector,
                 rep_handle.as_ref(),
                 |_, resp| {
-                    p95.push(resp);
+                    responses.push(resp);
                 },
             )?;
             if let Some(span) = rep_span {
@@ -147,7 +176,7 @@ pub fn simulate_profile_traced(
             values.push(result.system_mean);
             Ok::<_, GameError>((
                 values,
-                p95.estimate().unwrap_or(f64::NAN),
+                analytic_p95.unwrap_or_else(|| exact_quantile(&mut responses, 0.95)),
                 result.jobs_generated,
             ))
         },

@@ -30,10 +30,18 @@
 //! * [`parallel`] — the deterministic fan-out pool: replications are pure
 //!   functions of their seeded index, so they spread across threads and
 //!   merge back in index order, byte-identical to the sequential loop.
+//! * [`shard`] — the sharded engine: Poisson splitting factors a
+//!   replication into independent per-station event streams that run in
+//!   parallel and merge in station-index order, bit-identical at any
+//!   thread count.
+//! * [`analytic`] — the closed-form fast path: stationary M/M/1 sojourn
+//!   sampling (Poisson counts, Gamma sums) replacing the event loop when
+//!   [`scenario::SimFidelity::Analytic`] is requested.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod analytic;
 pub mod bursty;
 pub mod churn;
 pub mod harness;
@@ -41,8 +49,10 @@ pub mod parallel;
 pub mod policies;
 pub mod pools;
 pub mod scenario;
+pub mod shard;
 pub mod validate;
 
+pub use analytic::{analytic_system_p95, run_replication_analytic};
 pub use churn::{
     breakdown_schedule, run_churn_replication, run_churn_replication_traced, ChurnPhase,
     ChurnResult,
@@ -51,4 +61,7 @@ pub use harness::{
     simulate_profile, simulate_profile_traced, simulate_profile_with, SimulatedMetrics,
 };
 pub use parallel::ParallelRunner;
-pub use scenario::{DistributionFamily, SimulationConfig, SimulationResult};
+pub use scenario::{DistributionFamily, SimFidelity, SimulationConfig, SimulationResult};
+pub use shard::{
+    run_replication_sharded, run_replication_sharded_spanned, run_replication_sharded_with,
+};

@@ -280,9 +280,13 @@ mod tests {
             5,
         )
         .unwrap();
-        let direct =
-            crate::scenario::run_replication(&model, &profile, SimulationConfig::quick(), 5)
-                .unwrap();
+        let direct = crate::scenario::run_replication_single_calendar(
+            &model,
+            &profile,
+            SimulationConfig::quick(),
+            5,
+        )
+        .unwrap();
         // Identical streams and identical dispatch logic: identical runs.
         assert_eq!(via_policy.user_means, direct.user_means);
         assert_eq!(via_policy.jobs_generated, direct.jobs_generated);

@@ -89,6 +89,23 @@ impl DistributionFamily {
     }
 }
 
+/// How much per-job detail a replication simulates.
+///
+/// [`SimFidelity::Full`] runs every job through a discrete-event engine.
+/// [`SimFidelity::Analytic`] swaps the run-to-completion M/M/1 stations
+/// for closed-form stationary sojourn sampling (see [`crate::analytic`])
+/// — orders of magnitude faster when per-job detail isn't needed, and
+/// only available for the paper's exponential arrival/service model; any
+/// other family silently falls back to the full engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimFidelity {
+    /// Full discrete-event simulation of every job.
+    #[default]
+    Full,
+    /// Closed-form stationary sampling of M/M/1 sojourn statistics.
+    Analytic,
+}
+
 /// Length/precision parameters of one replication.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulationConfig {
@@ -102,6 +119,8 @@ pub struct SimulationConfig {
     /// Interarrival-time family per user, as a renewal process (the
     /// paper uses exponential, i.e. Poisson arrivals).
     pub arrivals: DistributionFamily,
+    /// Per-job detail level (full DES vs analytic fast path).
+    pub fidelity: SimFidelity,
 }
 
 impl SimulationConfig {
@@ -113,6 +132,7 @@ impl SimulationConfig {
             warmup_fraction: 0.1,
             service: DistributionFamily::Exponential,
             arrivals: DistributionFamily::Exponential,
+            fidelity: SimFidelity::Full,
         }
     }
 
@@ -123,6 +143,7 @@ impl SimulationConfig {
             warmup_fraction: 0.1,
             service: DistributionFamily::Exponential,
             arrivals: DistributionFamily::Exponential,
+            fidelity: SimFidelity::Full,
         }
     }
 
@@ -136,6 +157,22 @@ impl SimulationConfig {
     pub fn with_arrivals(mut self, arrivals: DistributionFamily) -> Self {
         self.arrivals = arrivals;
         self
+    }
+
+    /// Same config with a different fidelity.
+    pub fn with_fidelity(mut self, fidelity: SimFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Whether this configuration takes the analytic fast path: fidelity
+    /// [`SimFidelity::Analytic`] *and* the exponential arrival/service
+    /// model the closed forms require. Any other family combination
+    /// falls back to the full engine even when `Analytic` was requested.
+    pub fn is_analytic(&self) -> bool {
+        self.fidelity == SimFidelity::Analytic
+            && self.arrivals == DistributionFamily::Exponential
+            && self.service == DistributionFamily::Exponential
     }
 }
 
@@ -183,7 +220,14 @@ pub fn run_replication(
 
 /// Like [`run_replication`], additionally streaming every *measured*
 /// (post-warmup) job's `(user, response_time)` to `sink` — the hook for
-/// custom estimators (batch means, histograms, percentile trackers).
+/// custom estimators (histograms, percentile trackers).
+///
+/// Ordering caveat: on the sharded engine (the default for Poisson
+/// arrivals) the stream is grouped by station, not globally
+/// time-ordered. Order-insensitive estimators are unaffected;
+/// order-sensitive ones (e.g. batch means over the global completion
+/// sequence) should run on
+/// [`run_replication_single_calendar_spanned`] instead.
 ///
 /// # Errors
 ///
@@ -200,15 +244,86 @@ pub fn run_replication_with_sink<F: FnMut(usize, f64)>(
 
 /// Like [`run_replication_with_sink`], additionally wiring the engine
 /// into the telemetry pipeline: the collector receives the engine's
-/// `des.compact` events, and — when `span_parent` is given — `des.batch`
-/// spans partition the event loop under that parent (typically the
-/// caller's `sim.replication` span). Purely observational; results are
-/// bit-identical with or without either hook.
+/// `des.compact` events, and — when `span_parent` is given — `des.shard`
+/// / `sim.batch` / `des.batch` spans partition the event machinery under
+/// that parent (typically the caller's `sim.replication` span). Purely
+/// observational; results are bit-identical with or without either hook.
+///
+/// This is the routing point for the simulation fast paths:
+///
+/// * [`SimFidelity::Analytic`] on the exponential model → closed-form
+///   stationary sampling ([`crate::analytic`]); the per-job `sink` never
+///   fires (there are no per-job events to observe).
+/// * [`SimFidelity::Full`] with Poisson (exponential) arrivals → the
+///   sharded per-station engine ([`crate::shard`]), which exploits
+///   Poisson splitting to run one small calendar per station.
+/// * Non-Poisson arrivals → the classic single-calendar engine
+///   ([`run_replication_single_calendar_spanned`]), the only one whose
+///   renewal arrival streams couple stations through dispatch order.
 ///
 /// # Errors
 ///
 /// As for [`run_replication`].
 pub fn run_replication_spanned<F: FnMut(usize, f64)>(
+    model: &SystemModel,
+    profile: &StrategyProfile,
+    config: SimulationConfig,
+    seed: u64,
+    collector: Option<&Arc<dyn Collector>>,
+    span_parent: Option<&SpanHandle>,
+    sink: F,
+) -> Result<SimulationResult, GameError> {
+    if config.is_analytic() {
+        return crate::analytic::run_replication_analytic(model, profile, config, seed);
+    }
+    if config.arrivals == DistributionFamily::Exponential {
+        return crate::shard::run_replication_sharded_spanned(
+            model,
+            profile,
+            config,
+            seed,
+            collector,
+            span_parent,
+            sink,
+        );
+    }
+    run_replication_single_calendar_spanned(
+        model,
+        profile,
+        config,
+        seed,
+        collector,
+        span_parent,
+        sink,
+    )
+}
+
+/// Runs one replication on the classic single-calendar engine — the seed
+/// reference path: every user's renewal arrival process, every dispatch
+/// decision and every station share one global event calendar.
+///
+/// [`run_replication`] routes here only for non-Poisson arrival models;
+/// the function stays public as the cross-validation reference for the
+/// sharded engine and the baseline of the `bench --sim` speedup claims.
+///
+/// # Errors
+///
+/// As for [`run_replication`].
+pub fn run_replication_single_calendar(
+    model: &SystemModel,
+    profile: &StrategyProfile,
+    config: SimulationConfig,
+    seed: u64,
+) -> Result<SimulationResult, GameError> {
+    run_replication_single_calendar_spanned(model, profile, config, seed, None, None, |_, _| {})
+}
+
+/// The spanned form of [`run_replication_single_calendar`].
+///
+/// # Errors
+///
+/// As for [`run_replication`].
+pub fn run_replication_single_calendar_spanned<F: FnMut(usize, f64)>(
     model: &SystemModel,
     profile: &StrategyProfile,
     config: SimulationConfig,
@@ -331,9 +446,19 @@ mod tests {
             target_jobs: 120_000,
             ..SimulationConfig::quick()
         };
-        let r = run_replication_with_sink(&model, &profile, cfg, 17, |_, resp| {
-            bm.push(resp);
-        })
+        // Batch means needs the *global* completion order, so it runs on
+        // the single-calendar engine (the sharded sink groups by station).
+        let r = run_replication_single_calendar_spanned(
+            &model,
+            &profile,
+            cfg,
+            17,
+            None,
+            None,
+            |_, resp| {
+                bm.push(resp);
+            },
+        )
         .unwrap();
         assert!(bm.batches() >= 20, "batches {}", bm.batches());
         assert!(
