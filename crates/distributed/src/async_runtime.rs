@@ -51,6 +51,7 @@
 //! per-user reductions merged in index order).
 
 use crate::fault::FaultAction;
+use crate::messages::TraceContext;
 use crate::net::{NetFaultPlan, NetStats, VirtualNet};
 use lb_game::best_reply::water_fill_flows;
 use lb_game::error::GameError;
@@ -77,6 +78,27 @@ fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z ^ (z >> 31)
+}
+
+/// The next span id for `node`: a per-node monotone counter namespaced
+/// by the node id in the high bits. Pure run state — no process-wide
+/// atomics — so trace trees replay bit-identically for a given seed,
+/// and ids are nonzero and globally unique (until 2⁴⁰ spans per node,
+/// far past [`MAX_EVENTS`]).
+fn span_id(node: usize, counter: &mut u64) -> u64 {
+    *counter += 1;
+    ((node as u64 + 1) << 40) + *counter
+}
+
+/// Derives the trace context for an outgoing message at `node`: a child
+/// of the message being answered when there is one, otherwise a fresh
+/// root (trace id = root span id).
+fn derive_ctx(node: usize, counter: &mut u64, cause: Option<TraceContext>) -> TraceContext {
+    let span = span_id(node, counter);
+    match cause {
+        Some(c) => c.child(span),
+        None => TraceContext::root(span, span),
+    }
 }
 
 /// A user's periodic self-report to the coordinator.
@@ -136,6 +158,10 @@ enum Msg {
 /// versions supersede, and application is idempotent either way.
 struct Pending {
     seq: u64,
+    /// Trace the original send rooted; retries send fresh spans under
+    /// this same trace (parented at the root), so an update and all its
+    /// retries reconstruct as one tree.
+    trace: u64,
     jitter: DecorrelatedJitter,
     episode: u32,
 }
@@ -217,6 +243,7 @@ struct UserNode {
     updates: u64,
     dup_msgs: u64,
     gap_msgs: u64,
+    next_span: u64,
 }
 
 impl UserNode {
@@ -239,7 +266,12 @@ impl UserNode {
             updates: 0,
             dup_msgs: 0,
             gap_msgs: 0,
+            next_span: 0,
         }
+    }
+
+    fn ctx(&mut self, cause: Option<TraceContext>) -> TraceContext {
+        derive_ctx(self.id, &mut self.next_span, cause)
     }
 
     fn alive_peers(&self) -> impl Iterator<Item = usize> + '_ {
@@ -247,22 +279,25 @@ impl UserNode {
     }
 
     /// Sends (or resends) the current row to one destination and arms
-    /// the retry timer.
+    /// the retry timer. The first send roots a trace; every retry is a
+    /// fresh span under it, parented at the root.
     fn send_update(&mut self, dest: usize, net: &mut VirtualNet<Msg>, fresh: bool) {
-        let seq = if fresh {
+        let (seq, ctx) = if fresh {
             let s = self.next_seq[dest];
             self.next_seq[dest] += 1;
-            s
+            (s, self.ctx(None))
         } else {
-            match &self.outbox[dest] {
-                Some(p) => p.seq,
+            let (seq, trace) = match &self.outbox[dest] {
+                Some(p) => (p.seq, p.trace),
                 None => return,
-            }
+            };
+            (seq, self.ctx(Some(TraceContext::root(trace, trace))))
         };
         self.attempts[dest] = self.attempts[dest].saturating_add(1);
-        net.send(
+        net.send_traced(
             self.id,
             dest,
+            ctx,
             Msg::Update {
                 seq,
                 version: self.versions[self.id],
@@ -272,6 +307,7 @@ impl UserNode {
         let pending = if fresh {
             self.outbox[dest] = Some(Pending {
                 seq,
+                trace: ctx.trace,
                 jitter: jitter_for(&self.cfg, self.id, dest, 0),
                 episode: 0,
             });
@@ -307,11 +343,13 @@ impl UserNode {
         self.check_freeze(net, now);
     }
 
-    fn send_status(&self, net: &mut VirtualNet<Msg>, now: u64) {
+    fn send_status(&mut self, net: &mut VirtualNet<Msg>, now: u64) {
         let (regret, d) = measure(&self.cfg, &self.rows, self.id);
-        net.send(
+        let ctx = self.ctx(None);
+        net.send_traced(
             self.id,
             self.cfg.coord,
+            ctx,
             Msg::Status(StatusMsg {
                 vv: self.versions.clone(),
                 regret,
@@ -397,13 +435,22 @@ impl UserNode {
 
     /// Any receipt from `from` proves reachability; a recovery after the
     /// unreachable threshold triggers anti-entropy and an unfreeze check.
-    fn mark_heard(&mut self, from: usize, net: &mut VirtualNet<Msg>, now: u64) {
+    /// The sync request is a child of the message that proved liveness.
+    fn mark_heard(
+        &mut self,
+        from: usize,
+        cause: Option<TraceContext>,
+        net: &mut VirtualNet<Msg>,
+        now: u64,
+    ) {
         let was_unreachable = self.attempts[from] >= self.cfg.unreachable_after;
         self.attempts[from] = 0;
         if was_unreachable {
-            net.send(
+            let ctx = self.ctx(cause);
+            net.send_traced(
                 self.id,
                 from,
+                ctx,
                 Msg::SyncReq {
                     vv: self.versions.clone(),
                 },
@@ -424,16 +471,24 @@ impl UserNode {
         }
     }
 
-    fn handle(&mut self, from: usize, msg: Msg, net: &mut VirtualNet<Msg>, now: u64) {
+    fn handle(
+        &mut self,
+        from: usize,
+        msg: Msg,
+        ctx: Option<TraceContext>,
+        net: &mut VirtualNet<Msg>,
+        now: u64,
+    ) {
         if self.dead {
             return;
         }
         match msg {
             Msg::Update { seq, version, row } => {
                 self.track_seq(from, seq);
-                net.send(self.id, from, Msg::Ack { seq });
+                let ack = self.ctx(ctx);
+                net.send_traced(self.id, from, ack, Msg::Ack { seq });
                 self.apply(from, version, &row);
-                self.mark_heard(from, net, now);
+                self.mark_heard(from, ctx, net, now);
             }
             Msg::Ack { seq } => {
                 if let Some(p) = &self.outbox[from] {
@@ -441,7 +496,7 @@ impl UserNode {
                         self.outbox[from] = None;
                     }
                 }
-                self.mark_heard(from, net, now);
+                self.mark_heard(from, ctx, net, now);
             }
             Msg::SyncReq { vv } => {
                 let rows: Vec<(usize, u64, Vec<f64>)> = (0..self.cfg.m)
@@ -452,15 +507,16 @@ impl UserNode {
                     .map(|k| (k, self.versions[k], self.rows[k].clone()))
                     .collect();
                 if !rows.is_empty() {
-                    net.send(self.id, from, Msg::SyncResp { rows });
+                    let resp = self.ctx(ctx);
+                    net.send_traced(self.id, from, resp, Msg::SyncResp { rows });
                 }
-                self.mark_heard(from, net, now);
+                self.mark_heard(from, ctx, net, now);
             }
             Msg::SyncResp { rows } => {
                 for (user, version, row) in rows {
                     self.apply(user, version, &row);
                 }
-                self.mark_heard(from, net, now);
+                self.mark_heard(from, ctx, net, now);
             }
             Msg::Evict { user } => {
                 if user == self.id {
@@ -603,6 +659,7 @@ struct CoordNode {
     updates_applied: u64,
     syncs: u64,
     max_epoch: u32,
+    next_span: u64,
     collector: Option<Arc<dyn Collector>>,
 }
 
@@ -621,8 +678,13 @@ impl CoordNode {
             updates_applied: 0,
             syncs: 0,
             max_epoch: 0,
+            next_span: 0,
             collector: None,
         }
+    }
+
+    fn ctx(&mut self, cause: Option<TraceContext>) -> TraceContext {
+        derive_ctx(self.cfg.coord, &mut self.next_span, cause)
     }
 
     fn apply(&mut self, user: usize, version: u64, row: &[f64], now: u64) {
@@ -644,16 +706,24 @@ impl CoordNode {
         }
     }
 
-    fn mark_heard(&mut self, from: usize, net: &mut VirtualNet<Msg>, now: u64) {
+    fn mark_heard(
+        &mut self,
+        from: usize,
+        cause: Option<TraceContext>,
+        net: &mut VirtualNet<Msg>,
+        now: u64,
+    ) {
         if from >= self.cfg.m || self.evicted[from] {
             return;
         }
         // A long-silent peer resurfacing means we likely missed updates
         // from its side of a cut: reconcile by version vector.
         if now.saturating_sub(self.last_heard[from]) > 2 * self.cfg.tau {
-            net.send(
+            let ctx = self.ctx(cause);
+            net.send_traced(
                 self.cfg.coord,
                 from,
+                ctx,
                 Msg::SyncReq {
                     vv: self.versions.clone(),
                 },
@@ -662,22 +732,42 @@ impl CoordNode {
         self.last_heard[from] = now;
     }
 
-    fn handle(&mut self, from: usize, msg: Msg, net: &mut VirtualNet<Msg>, now: u64) {
+    fn handle(
+        &mut self,
+        from: usize,
+        msg: Msg,
+        ctx: Option<TraceContext>,
+        net: &mut VirtualNet<Msg>,
+        now: u64,
+    ) {
         match msg {
             Msg::Update { seq, version, row } if from < self.cfg.m => {
                 let expected = self.expected[from];
                 if seq >= expected {
                     self.expected[from] = seq + 1;
                 }
-                net.send(self.cfg.coord, from, Msg::Ack { seq });
-                self.mark_heard(from, net, now);
+                let ack = self.ctx(ctx);
+                net.send_traced(self.cfg.coord, from, ack, Msg::Ack { seq });
+                self.mark_heard(from, ctx, net, now);
                 self.apply(from, version, &row, now);
             }
             Msg::Status(s) if from < self.cfg.m && !self.evicted[from] => {
                 self.max_epoch = self.max_epoch.max(s.epoch);
-                self.mark_heard(from, net, now);
+                // View staleness as certification sees it: the age of
+                // the freshest self-report from this user.
+                if let Some(c) = enabled(self.collector.as_ref()) {
+                    c.emit(
+                        "async.staleness",
+                        &[
+                            ("t_us", now.into()),
+                            ("user", from.into()),
+                            ("age_us", now.saturating_sub(s.gen_us).into()),
+                        ],
+                    );
+                }
+                self.mark_heard(from, ctx, net, now);
                 self.statuses[from] = Some(s);
-                self.try_accept(now);
+                self.try_accept(now, ctx.map_or(0, |c| c.trace));
             }
             Msg::SyncResp { rows } => {
                 let mut merged = 0u64;
@@ -688,7 +778,7 @@ impl CoordNode {
                         merged += 1;
                     }
                 }
-                self.mark_heard(from, net, now);
+                self.mark_heard(from, ctx, net, now);
                 if merged > 0 {
                     self.syncs += 1;
                     if let Some(c) = enabled(self.collector.as_ref()) {
@@ -711,9 +801,10 @@ impl CoordNode {
                     .map(|k| (k, self.versions[k], self.rows[k].clone()))
                     .collect();
                 if !rows.is_empty() {
-                    net.send(self.cfg.coord, from, Msg::SyncResp { rows });
+                    let resp = self.ctx(ctx);
+                    net.send_traced(self.cfg.coord, from, resp, Msg::SyncResp { rows });
                 }
-                self.mark_heard(from, net, now);
+                self.mark_heard(from, ctx, net, now);
             }
             Msg::Check => {
                 for j in 0..self.cfg.m {
@@ -732,12 +823,13 @@ impl CoordNode {
                     if self.evicted[j] {
                         for k in 0..self.cfg.m {
                             if !self.evicted[k] {
-                                net.send(self.cfg.coord, k, Msg::Evict { user: j });
+                                let verdict = self.ctx(None);
+                                net.send_traced(self.cfg.coord, k, verdict, Msg::Evict { user: j });
                             }
                         }
                     }
                 }
-                self.try_accept(now);
+                self.try_accept(now, 0);
                 net.schedule(self.cfg.coord, self.cfg.tau, Msg::Check);
             }
             Msg::Ack { .. } | Msg::Evict { .. } => {}
@@ -747,8 +839,11 @@ impl CoordNode {
 
     /// The certificate-freshness acceptance rule (see module docs): all
     /// live statuses fresh within τ, unfrozen, ε-certified, and in
-    /// version-vector agreement with the coordinator's mirror.
-    fn try_accept(&mut self, now: u64) {
+    /// version-vector agreement with the coordinator's mirror. `trace`
+    /// is the causal trace of the status message that completed the
+    /// certificate (0 when the sweep timer triggered the check), so the
+    /// quiesce event joins the cross-node span tree.
+    fn try_accept(&mut self, now: u64, trace: u64) {
         if self.certified.is_some() {
             return;
         }
@@ -791,6 +886,7 @@ impl CoordNode {
                     ("t_us", now.into()),
                     ("gap", gap.into()),
                     ("epoch", self.max_epoch.into()),
+                    ("trace", trace.into()),
                 ],
             );
         }
@@ -1189,13 +1285,13 @@ impl AsyncNash {
             }
             let now = d.at_us;
             if d.to == m {
-                coord.handle(d.from, d.msg, &mut net, now);
+                coord.handle(d.from, d.msg, d.ctx, &mut net, now);
                 if coord.certified.is_some() {
                     termination = AsyncTermination::Converged;
                     break;
                 }
             } else {
-                users[d.to].handle(d.from, d.msg, &mut net, now);
+                users[d.to].handle(d.from, d.msg, d.ctx, &mut net, now);
             }
             if users.iter().all(|u| u.dead) {
                 termination = AsyncTermination::Exhausted {
@@ -1419,5 +1515,39 @@ mod tests {
         assert!(collector.count("async.update") > 0);
         assert_eq!(collector.count("async.quiesce"), 1);
         assert!(collector.count("net.drop") > 0);
+        // v3 families: every protocol message is traced, and the
+        // coordinator reports per-user view staleness on every status.
+        assert!(collector.count("xspan.send") > 0);
+        assert!(collector.count("xspan.recv") > 0);
+        assert!(collector.count("async.staleness") > 0);
+        assert!(
+            collector.count("xspan.send") >= collector.count("xspan.recv"),
+            "loss leaves orphan sends, never orphan recvs"
+        );
+    }
+
+    #[test]
+    fn attaching_observability_does_not_change_the_outcome() {
+        use lb_telemetry::{MemoryCollector, SloEngine, SloSpec};
+        let m = model();
+        let plan = || {
+            NetFaultPlan::new()
+                .loss(0.25)
+                .duplication(0.1)
+                .reordering(0.4)
+                .delay_us(10, 900)
+        };
+        let bare = AsyncNash::new().seed(6).fault_plan(plan()).run(&m).unwrap();
+        let engine = Arc::new(SloEngine::new(
+            vec![SloSpec::staleness_max(20_000.0, 10_000)],
+            Some(Arc::new(MemoryCollector::default()) as _),
+        ));
+        let watched = AsyncNash::new()
+            .seed(6)
+            .fault_plan(plan())
+            .collector(engine)
+            .run(&m)
+            .unwrap();
+        assert_eq!(format!("{bare:?}"), format!("{watched:?}"));
     }
 }

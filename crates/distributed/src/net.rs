@@ -28,6 +28,7 @@
 //! fault model: a node's local alarm cannot be lost to the network.
 
 use crate::fault::FaultPlan;
+use crate::messages::TraceContext;
 use lb_telemetry::{enabled, Collector};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -268,6 +269,8 @@ struct Env<M> {
     send_seq: u64,
     /// Timers bypass the fault model and the reorder accounting.
     timer: bool,
+    /// Causal trace context (both copies of a duplicate share it).
+    ctx: Option<TraceContext>,
     msg: M,
 }
 
@@ -299,6 +302,10 @@ pub struct Delivery<M> {
     pub from: usize,
     /// Receiving node.
     pub to: usize,
+    /// Causal trace context the sender attached via
+    /// [`VirtualNet::send_traced`] (`None` for plain sends and timers).
+    /// A duplicated message delivers the same context twice.
+    pub ctx: Option<TraceContext>,
     /// The payload.
     pub msg: M,
 }
@@ -380,11 +387,42 @@ impl<M: Clone> VirtualNet<M> {
     /// active partition) still consume a send sequence number, so the
     /// receiver can detect the gap.
     pub fn send(&mut self, from: usize, to: usize, msg: M) {
+        self.send_inner(from, to, None, msg);
+    }
+
+    /// Like [`VirtualNet::send`], but attaches a causal
+    /// [`TraceContext`] that rides the envelope to the receiver.
+    ///
+    /// Emits `xspan.send {t_us, trace, span, parent, from, to}` for
+    /// every call — *before* the fault rolls, so a lost message leaves
+    /// an `xspan.send` with no matching `xspan.recv` (that orphan is
+    /// how loss is attributed to a link). A duplicated message delivers
+    /// the same `span` id twice; fault events (`net.drop`, `net.dup`,
+    /// `net.reorder`) carry the victim's `trace`/`span` ids.
+    pub fn send_traced(&mut self, from: usize, to: usize, ctx: TraceContext, msg: M) {
+        self.send_inner(from, to, Some(ctx), msg);
+    }
+
+    fn send_inner(&mut self, from: usize, to: usize, ctx: Option<TraceContext>, msg: M) {
         assert!(from < self.nodes && to < self.nodes, "node id out of range");
         self.stats.sent += 1;
         let li = self.link_index(from, to);
         let seq = self.next_seq[li];
         self.next_seq[li] += 1;
+
+        if let (Some(ctx), Some(c)) = (ctx, enabled(self.collector.as_ref())) {
+            c.emit(
+                "xspan.send",
+                &[
+                    ("t_us", self.now.into()),
+                    ("trace", ctx.trace.into()),
+                    ("span", ctx.span.into()),
+                    ("parent", ctx.parent.into()),
+                    ("from", from.into()),
+                    ("to", to.into()),
+                ],
+            );
+        }
 
         // Partition at send time: the sender's packets die at the cut.
         if self.plan.partitioned(from, to, self.now) {
@@ -396,14 +434,16 @@ impl<M: Clone> VirtualNet<M> {
         if faults.drop > 0.0 && unit(&mut self.rng) < faults.drop {
             self.stats.dropped += 1;
             if let Some(c) = enabled(self.collector.as_ref()) {
-                c.emit(
-                    "net.drop",
-                    &[
-                        ("t_us", self.now.into()),
-                        ("from", from.into()),
-                        ("to", to.into()),
-                    ],
-                );
+                let mut fields = vec![
+                    ("t_us", self.now.into()),
+                    ("from", from.into()),
+                    ("to", to.into()),
+                ];
+                if let Some(ctx) = ctx {
+                    fields.push(("trace", ctx.trace.into()));
+                    fields.push(("span", ctx.span.into()));
+                }
+                c.emit("net.drop", &fields);
             }
             return;
         }
@@ -411,14 +451,16 @@ impl<M: Clone> VirtualNet<M> {
         let copies = if faults.duplicate > 0.0 && unit(&mut self.rng) < faults.duplicate {
             self.stats.duplicated += 1;
             if let Some(c) = enabled(self.collector.as_ref()) {
-                c.emit(
-                    "net.dup",
-                    &[
-                        ("t_us", self.now.into()),
-                        ("from", from.into()),
-                        ("to", to.into()),
-                    ],
-                );
+                let mut fields = vec![
+                    ("t_us", self.now.into()),
+                    ("from", from.into()),
+                    ("to", to.into()),
+                ];
+                if let Some(ctx) = ctx {
+                    fields.push(("trace", ctx.trace.into()));
+                    fields.push(("span", ctx.span.into()));
+                }
+                c.emit("net.dup", &fields);
             }
             2
         } else {
@@ -435,7 +477,7 @@ impl<M: Clone> VirtualNet<M> {
                 span + 1
             };
             let delay = faults.delay_min_us + (splitmix(&mut self.rng) % window);
-            self.enqueue(from, to, seq, false, delay, msg.clone());
+            self.enqueue(from, to, seq, false, ctx, delay, msg.clone());
         }
     }
 
@@ -443,10 +485,20 @@ impl<M: Clone> VirtualNet<M> {
     /// exactly `after_us` from now, immune to the fault model.
     pub fn schedule(&mut self, node: usize, after_us: u64, msg: M) {
         assert!(node < self.nodes, "node id out of range");
-        self.enqueue(node, node, 0, true, after_us, msg);
+        self.enqueue(node, node, 0, true, None, after_us, msg);
     }
 
-    fn enqueue(&mut self, from: usize, to: usize, send_seq: u64, timer: bool, delay: u64, msg: M) {
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue(
+        &mut self,
+        from: usize,
+        to: usize,
+        send_seq: u64,
+        timer: bool,
+        ctx: Option<TraceContext>,
+        delay: u64,
+        msg: M,
+    ) {
         let env = Env {
             at: self.now + delay,
             tie: self.tie,
@@ -454,6 +506,7 @@ impl<M: Clone> VirtualNet<M> {
             to,
             send_seq,
             timer,
+            ctx,
             msg,
         };
         self.tie += 1;
@@ -481,6 +534,7 @@ impl<M: Clone> VirtualNet<M> {
                     at_us: env.at,
                     from: env.from,
                     to: env.to,
+                    ctx: None,
                     msg: env.msg,
                 });
             }
@@ -496,24 +550,39 @@ impl<M: Clone> VirtualNet<M> {
             if env.send_seq < self.high_water[li] {
                 self.stats.reordered += 1;
                 if let Some(c) = enabled(self.collector.as_ref()) {
-                    c.emit(
-                        "net.reorder",
-                        &[
-                            ("t_us", self.now.into()),
-                            ("from", env.from.into()),
-                            ("to", env.to.into()),
-                            ("seq", env.send_seq.into()),
-                        ],
-                    );
+                    let mut fields = vec![
+                        ("t_us", self.now.into()),
+                        ("from", env.from.into()),
+                        ("to", env.to.into()),
+                        ("seq", env.send_seq.into()),
+                    ];
+                    if let Some(ctx) = env.ctx {
+                        fields.push(("trace", ctx.trace.into()));
+                        fields.push(("span", ctx.span.into()));
+                    }
+                    c.emit("net.reorder", &fields);
                 }
             } else {
                 self.high_water[li] = env.send_seq + 1;
             }
             self.stats.delivered += 1;
+            if let (Some(ctx), Some(c)) = (env.ctx, enabled(self.collector.as_ref())) {
+                c.emit(
+                    "xspan.recv",
+                    &[
+                        ("t_us", self.now.into()),
+                        ("trace", ctx.trace.into()),
+                        ("span", ctx.span.into()),
+                        ("from", env.from.into()),
+                        ("to", env.to.into()),
+                    ],
+                );
+            }
             return Some(Delivery {
                 at_us: env.at,
                 from: env.from,
                 to: env.to,
+                ctx: env.ctx,
                 msg: env.msg,
             });
         }
@@ -709,6 +778,82 @@ mod tests {
         drain(&mut net);
         assert_eq!(collector.count("net.partition"), 1);
         assert_eq!(collector.count("net.heal"), 1);
+    }
+
+    #[test]
+    fn trace_context_survives_chaos_and_dup_repeats_the_span() {
+        use lb_telemetry::{FieldValue, MemoryCollector};
+        let collector = Arc::new(MemoryCollector::default());
+        let plan = NetFaultPlan::new()
+            .loss(0.3)
+            .duplication(0.4)
+            .reordering(0.6)
+            .delay_us(0, 400);
+        let mut net: VirtualNet<u32> = VirtualNet::new(2, 21, plan);
+        net.collector(collector.clone());
+        for k in 0..40u64 {
+            let ctx = TraceContext::root(1000 + k, 2000 + k);
+            net.send_traced(0, 1, ctx, k as u32);
+        }
+        let mut deliveries = Vec::new();
+        while let Some(d) = net.step() {
+            deliveries.push(d);
+        }
+        let stats = net.stats();
+        assert!(stats.dropped > 0 && stats.duplicated > 0 && stats.reordered > 0);
+
+        // Every traced send left an xspan.send; every delivery (copies
+        // included) left an xspan.recv with an intact context.
+        assert_eq!(collector.count("xspan.send"), 40);
+        assert_eq!(collector.count("xspan.recv") as u64, stats.delivered);
+        for d in &deliveries {
+            let ctx = d.ctx.expect("traced sends deliver their context");
+            assert_eq!(ctx.trace, 1000 + u64::from(d.msg));
+            assert_eq!(ctx.span, 2000 + u64::from(d.msg));
+        }
+
+        // A duplicated message delivers the SAME span id twice: count
+        // recv events per span id and check multiplicity matches dup.
+        let field_u64 = |fields: &[(&str, FieldValue)], key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| match v {
+                    FieldValue::U64(u) => Some(*u),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let mut per_span = std::collections::BTreeMap::new();
+        let mut drop_spans = 0u64;
+        for (name, fields) in collector.events() {
+            match name {
+                "xspan.recv" => *per_span.entry(field_u64(&fields, "span")).or_insert(0u64) += 1,
+                "net.drop" => {
+                    assert!(field_u64(&fields, "span") >= 2000, "drop names its victim");
+                    drop_spans += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(drop_spans, stats.dropped);
+        let twice = per_span.values().filter(|&&n| n == 2).count() as u64;
+        assert_eq!(twice, stats.duplicated, "each dup repeats one span id");
+        assert!(per_span.keys().all(|&s| (2000..2040).contains(&s)));
+    }
+
+    #[test]
+    fn untraced_sends_and_timers_carry_no_context() {
+        let collector = Arc::new(lb_telemetry::MemoryCollector::default());
+        let mut net: VirtualNet<u32> = VirtualNet::new(2, 1, NetFaultPlan::new());
+        net.collector(collector.clone());
+        net.send(0, 1, 1);
+        net.schedule(1, 5, 2);
+        while let Some(d) = net.step() {
+            assert_eq!(d.ctx, None);
+        }
+        assert_eq!(collector.count("xspan.send"), 0);
+        assert_eq!(collector.count("xspan.recv"), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The `analyze` subcommand: offline causal-profile analysis of a
-//! schema-v2 JSONL trace (normally `trace_table1.jsonl` produced by
-//! the `trace` subcommand).
+//! schema-v2/v3 JSONL trace (normally `trace_table1.jsonl` produced
+//! by the `trace` subcommand).
 //!
 //! The flat `span_open`/`span_close` event stream is reconstructed
 //! into a forest of [`SpanNode`]s, then distilled four ways:
@@ -25,6 +25,16 @@
 //! and reports how many it had to. Orphans — spans naming a parent the
 //! log never opened — are impossible in a log that passes
 //! [`parse_log`] validation, but are counted defensively anyway.
+//!
+//! Schema-v3 logs additionally carry cross-node `xspan.send` /
+//! `xspan.recv` hops from the virtual network. When present, the
+//! analyzer appends a **staleness attribution** table: per network
+//! link, how many causal hops were delivered, lost (a send with no
+//! matching recv — the drop roll or a partition ate it), or
+//! duplicated, the delay the link charged (virtual µs between send and
+//! first delivery), and how much of that charge sits on *certifying*
+//! chains — traces an `async.quiesce` event names as the cause of a
+//! certificate closing. Legacy v2 logs simply skip the table.
 
 use crate::report::{fmt, Table};
 use lb_telemetry::{json, parse_log, EventLog, Json, SPAN_CLOSE, SPAN_OPEN};
@@ -540,7 +550,9 @@ pub struct AnalyzeReport {
     pub csv_path: PathBuf,
     /// Rendered ASCII timeline.
     pub timeline: String,
-    /// Summary tables (tree shape, per-name attribution).
+    /// Summary tables (tree shape, per-name attribution, and — for
+    /// schema-v3 logs with cross-node hops — per-link staleness
+    /// attribution).
     pub tables: Vec<Table>,
     /// The analysis itself, for programmatic use.
     pub analysis: Analysis,
@@ -586,7 +598,10 @@ pub fn run(log_path: Option<&Path>, out: &Path) -> Result<AnalyzeReport, String>
     std::fs::write(&folded_path, folded_stacks(&a))
         .map_err(|e| format!("writing {}: {e}", folded_path.display()))?;
 
-    let tables = vec![render_shape(&a, &log), render_attribution(&a)];
+    let mut tables = vec![render_shape(&a, &log), render_attribution(&a)];
+    if let Some(staleness) = render_staleness(&log) {
+        tables.push(staleness);
+    }
     let csv_path = out.join(format!("{stem}_spans.csv"));
     tables[1]
         .write_csv(&csv_path)
@@ -660,6 +675,133 @@ fn render_attribution(a: &Analysis) -> Table {
         ]);
     }
     t
+}
+
+/// Accumulated charges for one directed network link.
+#[derive(Default)]
+struct LinkCharge {
+    sends: u64,
+    delivered: u64,
+    lost: u64,
+    dup_extras: u64,
+    delay_us: u64,
+    max_delay_us: u64,
+    /// Delay charged to certifying chains (traces named by an
+    /// `async.quiesce` event).
+    cert_delay_us: u64,
+    /// Hops of certifying chains this link lost (each one forced a
+    /// retry or an anti-entropy round before the certificate could
+    /// close).
+    cert_lost: u64,
+}
+
+/// The per-link staleness attribution table, or `None` when the log
+/// carries no cross-node hops (a legacy v2 trace, or a scenario
+/// without the virtual network).
+fn render_staleness(log: &EventLog) -> Option<Table> {
+    // First pass: every send decision, keyed by its unique span id.
+    // (t_us, from, to, trace, recv count, first-delivery t_us)
+    let mut hops: BTreeMap<u64, (u64, u64, u64, u64, u64, u64)> = BTreeMap::new();
+    let mut cert_traces: Vec<u64> = Vec::new();
+    let u = |ev: &lb_telemetry::LogEvent, key: &str| ev.field(key).and_then(Json::as_u64);
+    for ev in &log.events {
+        match ev.name.as_str() {
+            "xspan.send" => {
+                if let (Some(span), Some(t), Some(from), Some(to), Some(trace)) = (
+                    u(ev, "span"),
+                    u(ev, "t_us"),
+                    u(ev, "from"),
+                    u(ev, "to"),
+                    u(ev, "trace"),
+                ) {
+                    hops.insert(span, (t, from, to, trace, 0, 0));
+                }
+            }
+            "xspan.recv" => {
+                if let (Some(span), Some(t)) = (u(ev, "span"), u(ev, "t_us")) {
+                    if let Some(h) = hops.get_mut(&span) {
+                        if h.4 == 0 {
+                            h.5 = t;
+                        }
+                        h.4 += 1;
+                    }
+                }
+            }
+            "async.quiesce" => {
+                if let Some(trace) = u(ev, "trace") {
+                    if trace != 0 {
+                        cert_traces.push(trace);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if hops.is_empty() {
+        return None;
+    }
+
+    // Second pass: fold the hops into per-link charges.
+    let mut links: BTreeMap<(u64, u64), LinkCharge> = BTreeMap::new();
+    for (t_send, from, to, trace, recvs, t_first) in hops.values() {
+        let link = links.entry((*from, *to)).or_default();
+        link.sends += 1;
+        let certifying = cert_traces.contains(trace);
+        if *recvs == 0 {
+            link.lost += 1;
+            if certifying {
+                link.cert_lost += 1;
+            }
+        } else {
+            link.delivered += 1;
+            link.dup_extras += recvs - 1;
+            let delay = t_first.saturating_sub(*t_send);
+            link.delay_us += delay;
+            link.max_delay_us = link.max_delay_us.max(delay);
+            if certifying {
+                link.cert_delay_us += delay;
+            }
+        }
+    }
+
+    let mut t = Table::new(
+        "Analyze: per-link staleness attribution (xspan hops)".to_string(),
+        vec![
+            "link".to_string(),
+            "sends".to_string(),
+            "delivered".to_string(),
+            "lost".to_string(),
+            "loss %".to_string(),
+            "dup extras".to_string(),
+            "mean delay (ms)".to_string(),
+            "max delay (ms)".to_string(),
+            "cert delay (ms)".to_string(),
+            "cert lost".to_string(),
+        ],
+    );
+    for ((from, to), link) in &links {
+        #[allow(clippy::cast_precision_loss)]
+        let loss_pct = 100.0 * link.lost as f64 / link.sends as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let mean_delay = if link.delivered == 0 {
+            0.0
+        } else {
+            us_to_ms(link.delay_us) / link.delivered as f64
+        };
+        t.row(vec![
+            format!("{from}->{to}"),
+            link.sends.to_string(),
+            link.delivered.to_string(),
+            link.lost.to_string(),
+            fmt(loss_pct),
+            link.dup_extras.to_string(),
+            fmt(mean_delay),
+            fmt(us_to_ms(link.max_delay_us)),
+            fmt(us_to_ms(link.cert_delay_us)),
+            link.cert_lost.to_string(),
+        ]);
+    }
+    Some(t)
 }
 
 #[cfg(test)]
@@ -893,6 +1035,15 @@ mod tests {
         assert!(out.chrome_path.exists());
         assert!(out.folded_path.exists());
         assert!(out.csv_path.exists());
+        // The v3 trace carries cross-node hops, so the staleness
+        // attribution table rides along (shape, attribution, staleness).
+        assert_eq!(out.tables.len(), 3);
+        assert!(
+            out.tables[2].render().contains("staleness attribution"),
+            "{}",
+            out.tables[2].render()
+        );
+        assert!(!out.tables[2].is_empty(), "at least one link row");
         let chrome = std::fs::read_to_string(&out.chrome_path).unwrap();
         let parsed = json::parse(&chrome).expect("chrome JSON re-parses");
         let n_x = parsed
@@ -904,6 +1055,72 @@ mod tests {
             .count();
         assert_eq!(n_x, a.tree.nodes.len());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn staleness_attribution_charges_links_for_loss_delay_and_certification() {
+        let send = |span: u64, trace: u64, t: u64, from: u64, to: u64| {
+            vec![
+                ("t_us", FieldValue::U64(t)),
+                ("trace", FieldValue::U64(trace)),
+                ("span", FieldValue::U64(span)),
+                ("parent", FieldValue::U64(0)),
+                ("from", FieldValue::U64(from)),
+                ("to", FieldValue::U64(to)),
+            ]
+        };
+        let recv = |span: u64, trace: u64, t: u64, from: u64, to: u64| {
+            vec![
+                ("t_us", FieldValue::U64(t)),
+                ("trace", FieldValue::U64(trace)),
+                ("span", FieldValue::U64(span)),
+                ("from", FieldValue::U64(from)),
+                ("to", FieldValue::U64(to)),
+            ]
+        };
+        // Link 1->0 carries three hops: one duplicated (two deliveries
+        // of span 11, delay 250 us), one lost (span 12), one delivered
+        // on the certifying trace 200 (span 13, delay 100 us). Link
+        // 2->0 delivers span 14 cleanly.
+        let quiesce = vec![
+            ("t_us", FieldValue::U64(5_000)),
+            ("trace", FieldValue::U64(200)),
+        ];
+        let s11 = send(11, 100, 1_000, 1, 0);
+        let r11a = recv(11, 100, 1_250, 1, 0);
+        let r11b = recv(11, 100, 1_400, 1, 0);
+        let s12 = send(12, 100, 2_000, 1, 0);
+        let s13 = send(13, 200, 3_000, 1, 0);
+        let r13 = recv(13, 200, 3_100, 1, 0);
+        let s14 = send(14, 300, 4_000, 2, 0);
+        let r14 = recv(14, 300, 4_400, 2, 0);
+        let log = log_from(&[
+            (1_000, "xspan.send", &s11),
+            (1_250, "xspan.recv", &r11a),
+            (1_400, "xspan.recv", &r11b),
+            (2_000, "xspan.send", &s12),
+            (3_000, "xspan.send", &s13),
+            (3_100, "xspan.recv", &r13),
+            (4_000, "xspan.send", &s14),
+            (4_400, "xspan.recv", &r14),
+            (5_000, "async.quiesce", &quiesce),
+        ]);
+        let t = render_staleness(&log).expect("xspan hops present");
+        assert_eq!(t.len(), 2, "one row per link");
+        let rendered = t.render();
+        // Link 1->0: 3 sends, 2 delivered, 1 lost (33.3%), 1 dup
+        // extra, mean delay (250+100)/2 = 175 us, max 250 us; the
+        // certifying trace was charged 100 us and lost nothing.
+        assert!(rendered.contains("1->0"), "{rendered}");
+        assert!(rendered.contains("33.3333"), "{rendered}");
+        assert!(rendered.contains("0.1750"), "{rendered}");
+        assert!(rendered.contains("0.2500"), "{rendered}");
+        assert!(rendered.contains("0.1000"), "{rendered}");
+        assert!(rendered.contains("2->0"), "{rendered}");
+
+        // A log without hops produces no table.
+        let plain = log_from(&[(0, "solver.start", &[])]);
+        assert!(render_staleness(&plain).is_none());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 use lb_experiments::cli::{self, Options};
 use lb_experiments::fig4::SimOptions;
 use lb_experiments::report::Table;
-use lb_experiments::{analyze, bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1, trace};
+use lb_experiments::{
+    analyze, bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1, trace, watch,
+};
 use lb_sim::scenario::SimFidelity;
 use std::path::Path;
 use std::process::ExitCode;
@@ -205,6 +207,16 @@ fn run(opts: &Options) -> Result<(), String> {
                 );
                 println!("[metrics] {}", report.metrics_json_path.display());
                 println!("[metrics] {}", report.metrics_prom_path.display());
+            }
+            "watch" => {
+                let report = watch::run(&opts.out, opts.port, opts.iterations, opts.linger_ms)?;
+                println!("{}", report.table.render());
+                println!(
+                    "[watch] {} episodes, {} alert fire(s), {} clear(s)",
+                    report.iterations, report.fires, report.clears
+                );
+                println!("[watch] served http://{}", report.addr);
+                println!("[watch] {}", report.log_path.display());
             }
             other => return Err(format!("unknown command `{other}`\n{}", cli::usage())),
         }

@@ -8,7 +8,7 @@ use std::path::PathBuf;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Subcommand (`table1`, `fig2`…`fig6`, `all`, `ext`, `ext-*`,
-    /// `bench`, `trace`, `analyze`).
+    /// `bench`, `trace`, `analyze`, `watch`).
     pub command: String,
     /// Whether to run the DES alongside the analytic path.
     pub simulate: bool,
@@ -30,14 +30,24 @@ pub struct Options {
     pub analytic: bool,
     /// Positional input path (`analyze <log>`); defaults per command.
     pub input: Option<PathBuf>,
+    /// TCP port for the live endpoint (`watch` subcommand; 0 =
+    /// ephemeral, printed at startup).
+    pub port: u16,
+    /// Episodes to replay (`watch` subcommand).
+    pub iterations: u32,
+    /// Milliseconds to keep serving after the last episode (`watch`
+    /// subcommand) so external scrapers get a guaranteed window.
+    pub linger_ms: u64,
 }
 
 /// The usage string.
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
-     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|ext-anytime|ext-async|bench|trace|analyze> \
-     [LOG] [--simulate] [--analytic] [--jobs N] [--replications R] [--out-dir DIR] [--verbose] [--large] [--sim]\n\
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|ext-anytime|ext-async|bench|trace|analyze|watch> \
+     [LOG] [--simulate] [--analytic] [--jobs N] [--replications R] [--out-dir DIR] [--verbose] [--large] [--sim] [--port P] [--iterations N] [--linger MS]\n\
      `analyze [LOG]` profiles a span trace (default LOG: <out-dir>/trace_table1.jsonl);\n\
+     `watch` serves /metrics /healthz /trace/recent live during an observed replay\n\
+     (--port 0 picks an ephemeral port; --linger keeps serving MS after the last episode);\n\
      `bench --large` adds the n=10,000 × m=100,000 solver groups;\n\
      `bench --sim` adds the simulation-throughput group (BENCH_sim.json, jobs/sec headline);\n\
      `--analytic` makes `--simulate` sample closed-form M/M/1 sojourns instead of running the DES;\n\
@@ -64,6 +74,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
         sim: false,
         analytic: false,
         input: None,
+        port: 0,
+        iterations: 28,
+        linger_ms: 0,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -85,6 +98,27 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
                     .ok_or("--replications needs a value")?
                     .parse()
                     .map_err(|e| format!("--replications: {e}"))?;
+            }
+            "--port" => {
+                opts.port = args
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+            }
+            "--iterations" => {
+                opts.iterations = args
+                    .next()
+                    .ok_or("--iterations needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?;
+            }
+            "--linger" => {
+                opts.linger_ms = args
+                    .next()
+                    .ok_or("--linger needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--linger: {e}"))?;
             }
             "--out" | "--out-dir" => {
                 opts.out = PathBuf::from(args.next().ok_or(format!("{a} needs a value"))?);
@@ -142,6 +176,31 @@ mod tests {
         assert!(!o.large);
         assert!(!o.sim);
         assert!(!o.analytic);
+        assert_eq!(o.port, 0);
+        assert_eq!(o.iterations, 28);
+        assert_eq!(o.linger_ms, 0);
+    }
+
+    #[test]
+    fn watch_flags_parse() {
+        let o = parse(args(&[
+            "watch",
+            "--port",
+            "9184",
+            "--iterations",
+            "12",
+            "--linger",
+            "5000",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, "watch");
+        assert_eq!(o.port, 9184);
+        assert_eq!(o.iterations, 12);
+        assert_eq!(o.linger_ms, 5000);
+        assert!(parse(args(&["watch", "--port"])).is_err());
+        assert!(parse(args(&["watch", "--port", "notaport"])).is_err());
+        assert!(parse(args(&["watch", "--iterations", "-1"])).is_err());
+        assert!(parse(args(&["watch", "--linger"])).is_err());
     }
 
     #[test]
@@ -228,7 +287,7 @@ mod tests {
         for c in expand_command("all")
             .iter()
             .chain(expand_command("ext").iter())
-            .chain(["bench", "trace", "analyze"].iter())
+            .chain(["bench", "trace", "analyze", "watch"].iter())
         {
             assert!(u.contains(c), "usage missing {c}");
         }

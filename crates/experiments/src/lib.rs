@@ -20,7 +20,9 @@
 //! shim that writes the machine-readable `BENCH_nash.json` summary.
 //! [`trace`] replays a Table-1 scenario with telemetry on; [`analyze`]
 //! reconstructs the resulting span forest into a causal profile
-//! (critical path, self time, Chrome trace JSON, folded stacks).
+//! (critical path, self time, Chrome trace JSON, folded stacks);
+//! [`watch`] is the live observability runtime — an observed replay
+//! with streaming SLO windows served over a scrapeable HTTP endpoint.
 //!
 //! Every experiment has an **analytic** path (closed-form response times
 //! under the computed profiles; deterministic) and, where the paper used
@@ -44,3 +46,4 @@ pub mod fig6;
 pub mod report;
 pub mod table1;
 pub mod trace;
+pub mod watch;

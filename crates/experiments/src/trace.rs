@@ -15,9 +15,13 @@
 //!    events and `runner.*` pool accounting;
 //! 4. **Async chaos** — an [`AsyncNash`] run over the seeded virtual
 //!    network with loss, duplication, reordering and one partition +
-//!    heal, streaming the `net.*` fault family and the `async.*`
-//!    protocol family (update deltas, anti-entropy syncs, the certified
-//!    quiescence event).
+//!    heal, streaming the `net.*` fault family, the `async.*`
+//!    protocol family (update deltas, anti-entropy syncs, staleness
+//!    ages, the certified quiescence event), and the cross-node
+//!    `xspan.send`/`xspan.recv` causal hops;
+//! 5. **SLO burn** — a deterministic certified-gap burn replayed
+//!    through the multi-window [`SloEngine`], streaming the
+//!    `alert.fire`/`alert.clear` pair.
 //!
 //! The event log is written to `trace_table1.jsonl`, re-parsed and
 //! schema-validated, distilled into a [`MetricsRegistry`] (exported as
@@ -38,8 +42,8 @@ use lb_sim::parallel::ParallelRunner;
 use lb_sim::scenario::SimulationConfig;
 use lb_stats::ReplicationPlan;
 use lb_telemetry::{
-    parse_log, Collector, EventLog, JsonlCollector, LogEvent, MetricsRegistry, StderrCollector,
-    TeeCollector,
+    parse_log, Collector, EventLog, FieldValue, JsonlCollector, LogEvent, MetricsRegistry,
+    SloEngine, SloSpec, StderrCollector, TeeCollector,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -71,7 +75,12 @@ pub const REQUIRED_EVENTS: &[&str] = &[
     "net.heal",
     "async.update",
     "async.sync",
+    "async.staleness",
     "async.quiesce",
+    "xspan.send",
+    "xspan.recv",
+    "alert.fire",
+    "alert.clear",
     "span_open",
     "span_close",
 ];
@@ -219,6 +228,31 @@ pub fn run(out: &Path, verbose: bool) -> Result<TraceReport, String> {
         .collector(collector.clone())
         .run(&async_model)
         .map_err(|e| format!("async run: {e}"))?;
+
+    // Phase 5 — a deterministic SLO burn: a certified-gap signal that
+    // degrades and recovers, replayed through the multi-window burn-rate
+    // engine so the committed log covers the alert event pair. The
+    // samples land in the log too (the alert stream should be
+    // explicable from the log alone).
+    let engine = SloEngine::new(
+        vec![SloSpec::certified_gap(0.05, 2_000)],
+        Some(collector.clone()),
+    );
+    for (k, gap) in [
+        0.001, 0.001, 0.001, 0.001, // healthy warm-up
+        1.0, 1.0, 1.0, 1.0, 1.0, 1.0, // overload: short + long windows burn
+        0.001, 0.001, 0.001, 0.001, 0.001, // recovery: hold, then clear
+    ]
+    .iter()
+    .enumerate()
+    {
+        let fields = [
+            ("t_us", FieldValue::from((k as u64 + 1) * 1_000)),
+            ("gap", FieldValue::from(*gap)),
+        ];
+        collector.emit("watch.gap", &fields);
+        engine.emit("watch.gap", &fields);
+    }
 
     collector.flush();
     if jsonl.had_error() {
@@ -442,6 +476,11 @@ mod tests {
         assert!(REQUIRED_EVENTS.contains(&"sim.goodput"));
         assert!(REQUIRED_EVENTS.contains(&"span_open"));
         assert!(REQUIRED_EVENTS.contains(&"span_close"));
+        assert!(REQUIRED_EVENTS.contains(&"xspan.send"));
+        assert!(REQUIRED_EVENTS.contains(&"xspan.recv"));
+        assert!(REQUIRED_EVENTS.contains(&"async.staleness"));
+        assert!(REQUIRED_EVENTS.contains(&"alert.fire"));
+        assert!(REQUIRED_EVENTS.contains(&"alert.clear"));
         assert!(REQUIRED_EVENTS.len() >= 16);
     }
 }

@@ -75,7 +75,7 @@ fn trace_writes_a_schema_valid_log_and_prints_the_report() {
     assert!(stdout.contains("NASH solver convergence"), "{stdout}");
     assert!(stdout.contains("token-ring fault timeline"), "{stdout}");
     assert!(stdout.contains("event counts"), "{stdout}");
-    assert!(stdout.contains("schema v2"), "{stdout}");
+    assert!(stdout.contains("schema v3"), "{stdout}");
     // --verbose mirrors events to stderr as they happen.
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("solver.sweep"), "stderr: {stderr}");
@@ -135,6 +135,45 @@ fn analyze_profiles_a_trace_and_writes_the_artifacts() {
     let folded = std::fs::read_to_string(out.join("trace_table1_folded.txt")).unwrap();
     assert!(folded.lines().count() > 5, "{folded}");
     assert!(std::fs::metadata(out.join("trace_table1_spans.csv")).is_ok());
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn watch_serves_replays_and_reports_the_slo_verdicts() {
+    let out = temp_out("watch");
+    let output = bin()
+        .args([
+            "watch",
+            "--port",
+            "0",
+            "--iterations",
+            "12",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("[watch] serving http://127.0.0.1:"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("SLO verdicts"), "{stdout}");
+    assert!(stdout.contains("OVERLOAD"), "{stdout}");
+    assert!(stdout.contains("alert fire(s)"), "{stdout}");
+    // The watch trace parses under the versioned schema and carries
+    // the live signals.
+    let text = std::fs::read_to_string(out.join("watch_trace.jsonl")).unwrap();
+    let log = lb_telemetry::parse_log(&text).expect("schema-valid log");
+    assert_eq!(log.version, lb_telemetry::SCHEMA_VERSION);
+    assert!(log.count("watch.gap") > 0);
+    assert!(log.count("xspan.send") > 0);
+    assert!(log.count("alert.fire") > 0, "overload must fire an alert");
     let _ = std::fs::remove_dir_all(&out);
 }
 

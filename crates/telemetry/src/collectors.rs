@@ -196,35 +196,106 @@ impl Collector for TeeCollector {
     }
 }
 
-/// Buffers events in memory for assertions in tests.
-#[derive(Default)]
+struct MemoryInner {
+    events: std::collections::VecDeque<(u64, &'static str, Vec<Field>)>,
+    /// Lifetime sequence number of the next event (survives eviction,
+    /// so `/trace/recent` consumers can detect gaps).
+    next_seq: u64,
+    /// `None` = unbounded (the test default); `Some(k)` = ring of the
+    /// most recent `k` events (the long-running live-endpoint use).
+    capacity: Option<usize>,
+    /// Events evicted by the ring bound.
+    dropped: u64,
+}
+
+/// Buffers events in memory — unbounded by default (test assertions),
+/// or as a fixed-capacity ring via [`MemoryCollector::with_capacity`]
+/// (the `/trace/recent` last-K buffer of the live endpoint, where an
+/// unbounded buffer would grow without limit for the life of the
+/// process). Counts are lifetime totals either way.
 pub struct MemoryCollector {
-    events: Mutex<Vec<(&'static str, Vec<Field>)>>,
+    inner: Mutex<MemoryInner>,
+}
+
+impl Default for MemoryCollector {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(MemoryInner {
+                events: std::collections::VecDeque::new(),
+                next_seq: 0,
+                capacity: None,
+                dropped: 0,
+            }),
+        }
+    }
 }
 
 impl MemoryCollector {
-    /// A snapshot of everything emitted so far.
-    pub fn events(&self) -> Vec<(&'static str, Vec<Field>)> {
-        self.events.lock().expect("memory lock").clone()
+    /// A ring buffer keeping only the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity (a ring that can hold nothing).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity event ring");
+        let c = Self::default();
+        c.inner.lock().expect("memory lock").capacity = Some(capacity);
+        c
     }
 
-    /// Number of events with the given name.
-    pub fn count(&self, name: &str) -> usize {
-        self.events
+    /// A snapshot of the buffered events (everything emitted so far
+    /// when unbounded; the last `capacity` when ring-bounded).
+    pub fn events(&self) -> Vec<(&'static str, Vec<Field>)> {
+        self.inner
             .lock()
             .expect("memory lock")
+            .events
             .iter()
-            .filter(|(n, _)| *n == name)
+            .map(|(_, n, f)| (*n, f.clone()))
+            .collect()
+    }
+
+    /// The buffered events with their lifetime sequence numbers, oldest
+    /// first — the `/trace/recent` payload.
+    pub fn recent(&self) -> Vec<(u64, &'static str, Vec<Field>)> {
+        self.inner
+            .lock()
+            .expect("memory lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted by the ring bound (0 when unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("memory lock").dropped
+    }
+
+    /// Number of *buffered* events with the given name.
+    pub fn count(&self, name: &str) -> usize {
+        self.inner
+            .lock()
+            .expect("memory lock")
+            .events
+            .iter()
+            .filter(|(_, n, _)| *n == name)
             .count()
     }
 }
 
 impl Collector for MemoryCollector {
     fn emit(&self, name: &'static str, fields: &[Field]) {
-        self.events
-            .lock()
-            .expect("memory lock")
-            .push((name, fields.to_vec()));
+        let mut inner = self.inner.lock().expect("memory lock");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back((seq, name, fields.to_vec()));
+        if let Some(cap) = inner.capacity {
+            while inner.events.len() > cap {
+                inner.events.pop_front();
+                inner.dropped += 1;
+            }
+        }
     }
 }
 
@@ -298,6 +369,30 @@ mod tests {
         let collector = JsonlCollector::new(Box::new(Failing));
         collector.emit("e", &[]);
         assert!(collector.had_error());
+    }
+
+    #[test]
+    fn bounded_memory_collector_keeps_only_the_last_k() {
+        let c = MemoryCollector::with_capacity(3);
+        for i in 0..5u64 {
+            c.emit("e", &[("i", i.into())]);
+        }
+        assert_eq!(c.dropped(), 2);
+        let recent = c.recent();
+        assert_eq!(recent.len(), 3);
+        // Lifetime seqs survive eviction: 2, 3, 4 remain.
+        assert_eq!(
+            recent.iter().map(|(s, _, _)| *s).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(c.count("e"), 3, "count reflects the buffer");
+
+        let unbounded = MemoryCollector::default();
+        for i in 0..5u64 {
+            unbounded.emit("e", &[("i", i.into())]);
+        }
+        assert_eq!(unbounded.dropped(), 0);
+        assert_eq!(unbounded.events().len(), 5);
     }
 
     #[test]

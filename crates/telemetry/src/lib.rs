@@ -20,7 +20,17 @@
 //!   event stream as `span_open`/`span_close` events, giving logs a
 //!   reconstructable parent/child tree for critical-path analysis.
 //! - [`MetricsRegistry`]: counters, gauges, and log-linear histograms
-//!   with p50/p95/p99, exportable as JSON and Prometheus text format.
+//!   with p50/p95/p99, exportable as JSON and Prometheus text format
+//!   (strictly checkable via [`validate_exposition`]).
+//! - [`stream`]: online aggregation — [`StreamAggregator`] folds the
+//!   event stream into sliding windows and EWMA gauges over a
+//!   virtual-time watermark, with no full-log buffering.
+//! - [`slo`]: declarative [`SloSpec`] objectives evaluated by the
+//!   multi-window burn-rate [`SloEngine`], emitting deterministic
+//!   `alert.fire`/`alert.clear` events.
+//! - [`serve`]: [`LiveServer`], a zero-dep `TcpListener` HTTP endpoint
+//!   exposing `/metrics`, `/healthz`, and `/trace/recent` from live
+//!   state while a scenario runs.
 //!
 //! Instrumentation never perturbs results: nothing ever flows back
 //! from a collector into the computation, and emit sites are
@@ -33,11 +43,17 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod schema;
+pub mod serve;
+pub mod slo;
 pub mod span;
+pub mod stream;
 
 pub use collectors::{JsonlCollector, MemoryCollector, StderrCollector, TeeCollector};
 pub use event::{enabled, Collector, Field, FieldValue, NullCollector, SpanTimer};
 pub use json::Json;
-pub use metrics::{HistogramSnapshot, MetricsRegistry};
+pub use metrics::{validate_exposition, HistogramSnapshot, MetricsRegistry};
 pub use schema::{parse_log, EventLog, LogEvent, SCHEMA_NAME, SCHEMA_VERSION};
+pub use serve::LiveServer;
+pub use slo::{AlertState, Objective, SloEngine, SloSpec, SloVerdict};
 pub use span::{Span, SpanHandle, SpanId, SPAN_CLOSE, SPAN_OPEN};
+pub use stream::{EwmaSpec, StreamAggregator, WindowSpec, WindowStats};

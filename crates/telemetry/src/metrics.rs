@@ -3,7 +3,7 @@
 //! Prometheus text exposition format.
 
 use crate::json::{escape_str, fmt_f64};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::Mutex;
 
@@ -84,7 +84,14 @@ impl LogLinearHistogram {
         for (&key, &n) in &self.buckets {
             seen += n;
             if seen >= rank {
-                return Some(Self::upper_bound(key).clamp(self.min, self.max));
+                let ub = Self::upper_bound(key);
+                // A NaN observation poisons min/max; `f64::clamp`
+                // panics on NaN bounds, so skip the clamp then.
+                return Some(if self.min.is_nan() || self.max.is_nan() {
+                    ub
+                } else {
+                    ub.clamp(self.min, self.max)
+                });
             }
         }
         Some(self.max)
@@ -237,10 +244,16 @@ impl MetricsRegistry {
     }
 
     /// Renders every metric in Prometheus text exposition format.
-    /// Histograms are exported as summaries with `quantile` labels.
-    /// Help strings ([`MetricsRegistry::describe`]) and label values go
-    /// through [`escape_help`]/[`escape_label_value`], so metadata
-    /// containing `\`, `"`, or newlines cannot corrupt the exposition.
+    /// Histograms are exported as summaries with `quantile` labels plus
+    /// derived `_min`/`_max` gauge series (each with its own
+    /// `# TYPE`/`# HELP` metadata). Help strings
+    /// ([`MetricsRegistry::describe`]) and label values go through
+    /// [`escape_help`]/[`escape_label_value`], so metadata containing
+    /// `\`, `"`, or newlines cannot corrupt the exposition. Non-finite
+    /// sample values render as Prometheus' `+Inf`/`-Inf`/`NaN` (Rust's
+    /// `Display` would write `inf`, which scrapers reject). The output
+    /// always satisfies [`validate_exposition`], which the test suite
+    /// round-trips.
     pub fn to_prometheus(&self) -> String {
         let inner = self.inner.lock().expect("metrics lock");
         let mut out = String::new();
@@ -261,7 +274,7 @@ impl MetricsRegistry {
             let prom = prom_name(name);
             help_line(&mut out, name, &prom);
             let _ = writeln!(out, "# TYPE {prom} gauge");
-            let _ = writeln!(out, "{prom} {v}");
+            let _ = writeln!(out, "{prom} {}", fmt_prom_value(*v));
         }
         for (name, h) in &inner.histograms {
             let prom = prom_name(name);
@@ -271,12 +284,278 @@ impl MetricsRegistry {
             for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
                 let _ = write!(out, "{prom}{{quantile=\"");
                 escape_label_value(&mut out, q);
-                let _ = writeln!(out, "\"}} {v}");
+                let _ = writeln!(out, "\"}} {}", fmt_prom_value(v));
             }
-            let _ = writeln!(out, "{prom}_sum {}", s.sum);
+            let _ = writeln!(out, "{prom}_sum {}", fmt_prom_value(s.sum));
             let _ = writeln!(out, "{prom}_count {}", s.count);
+            // The extreme-value gauges are separate metric families
+            // (`_min`/`_max` are not summary series), so each carries
+            // its own TYPE/HELP metadata.
+            for (suffix, what, v) in [("min", "Smallest", s.min), ("max", "Largest", s.max)] {
+                let _ = writeln!(
+                    out,
+                    "# HELP {prom}_{suffix} {what} value observed by the {prom} summary."
+                );
+                let _ = writeln!(out, "# TYPE {prom}_{suffix} gauge");
+                let _ = writeln!(out, "{prom}_{suffix} {}", fmt_prom_value(v));
+            }
         }
         out
+    }
+}
+
+/// Formats a sample value per the Prometheus text exposition format:
+/// non-finite values are spelled `+Inf` / `-Inf` / `NaN` (Rust's
+/// `Display` writes `inf`, which the format does not accept); finite
+/// values use the shortest round-trip form.
+pub fn fmt_prom_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Strictly validates Prometheus text exposition format, line by line:
+/// `# HELP`/`# TYPE` grammar (known types, no duplicates, declared
+/// before any sample of the family), metric and label name charsets,
+/// well-formed label escaping, and values that are either `+Inf` /
+/// `-Inf` / `NaN` or plain finite numbers (`inf`, `Infinity`, hex and
+/// friends are rejected even though Rust's `f64::from_str` accepts
+/// them). Samples whose family has no `# TYPE` are rejected — with the
+/// usual `_sum`/`_count`/`_bucket` suffixes resolving to their summary
+/// or histogram parent.
+///
+/// # Errors
+///
+/// A `line N: <problem>` description of the first violation.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut helped: BTreeSet<&str> = BTreeSet::new();
+    let mut sampled: BTreeSet<&str> = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        let fail = |msg: String| Err(format!("line {ln}: {msg}"));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, help)) = rest.split_once(' ') else {
+                return fail("HELP without docstring".into());
+            };
+            check_metric_name(name).map_err(|e| format!("line {ln}: {e}"))?;
+            if !helped.insert(name) {
+                return fail(format!("duplicate HELP for `{name}`"));
+            }
+            check_escapes(help, false).map_err(|e| format!("line {ln}: {e}"))?;
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                return fail("TYPE without a type".into());
+            };
+            check_metric_name(name).map_err(|e| format!("line {ln}: {e}"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return fail(format!("unknown type `{kind}`"));
+            }
+            if types.insert(name, kind).is_some() {
+                return fail(format!("duplicate TYPE for `{name}`"));
+            }
+            if sampled.contains(name) {
+                return fail(format!("TYPE for `{name}` after its samples"));
+            }
+        } else if line.starts_with('#') {
+            return fail(format!("unrecognized comment `{line}`"));
+        } else {
+            let (name, value) = parse_sample(line).map_err(|e| format!("line {ln}: {e}"))?;
+            let family = resolve_family(name, &types);
+            match family {
+                Some(f) => {
+                    sampled.insert(f);
+                    // The series name itself also counts as sampled, so
+                    // a later TYPE for e.g. `x_sum` is caught.
+                    sampled.insert(name);
+                }
+                None => return fail(format!("sample `{name}` has no TYPE metadata")),
+            }
+            check_prom_value(value).map_err(|e| format!("line {ln}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// The declared family a sample series belongs to, honoring the
+/// summary/histogram child-series suffixes.
+fn resolve_family<'a>(name: &'a str, types: &BTreeMap<&'a str, &str>) -> Option<&'a str> {
+    if let Some((n, _)) = types.get_key_value(name) {
+        return Some(n);
+    }
+    for (suffix, kinds) in [
+        ("_sum", &["summary", "histogram"][..]),
+        ("_count", &["summary", "histogram"][..]),
+        ("_bucket", &["histogram"][..]),
+    ] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some((n, k)) = types.get_key_value(base) {
+                if kinds.contains(k) {
+                    return Some(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Splits a sample line into `(series_name, value_text)` after
+/// validating the metric name, label names, and label-value escaping.
+fn parse_sample(line: &str) -> Result<(&str, &str), String> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| format!("malformed sample `{line}`"))?;
+    let name = &line[..name_end];
+    check_metric_name(name)?;
+    let rest = &line[name_end..];
+    let value = if let Some(labels) = rest.strip_prefix('{') {
+        let close = find_label_close(labels)
+            .ok_or_else(|| format!("unterminated label set in `{line}`"))?;
+        check_labels(&labels[..close])?;
+        labels[close + 1..]
+            .strip_prefix(' ')
+            .ok_or_else(|| format!("missing value after labels in `{line}`"))?
+    } else {
+        rest.strip_prefix(' ')
+            .ok_or_else(|| format!("missing value in `{line}`"))?
+    };
+    // An optional timestamp may follow the value; we emit none, and a
+    // strict validator flags anything after it.
+    let mut parts = value.split(' ');
+    let v = parts.next().unwrap_or_default();
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp `{ts}`"))?;
+    }
+    if parts.next().is_some() {
+        return Err(format!("trailing data after value in `{line}`"));
+    }
+    Ok((name, v))
+}
+
+/// Byte offset of the unescaped closing `}` of a label set.
+fn find_label_close(labels: &str) -> Option<usize> {
+    let bytes = labels.as_bytes();
+    let mut in_quotes = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_quotes => i += 1, // skip escaped char
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Validates `name="value",...` label pairs.
+fn check_labels(labels: &str) -> Result<(), String> {
+    let mut rest = labels;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{labels}`"))?;
+        let lname = &rest[..eq];
+        check_label_name(lname)?;
+        let after = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted value for label `{lname}`"))?;
+        let mut end = None;
+        let bytes = after.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 1,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let end = end.ok_or_else(|| format!("unterminated value for label `{lname}`"))?;
+        check_escapes(&after[..end], true)?;
+        rest = &after[end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err(format!("expected `,` between labels in `{labels}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates the escape discipline of a HELP docstring or (with
+/// `quotes_must_escape`) a label value.
+fn check_escapes(text: &str, quotes_must_escape: bool) -> Result<(), String> {
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some('\\' | 'n') => {}
+                Some('"') if quotes_must_escape => {}
+                other => return Err(format!("bad escape `\\{:?}`", other)),
+            },
+            '"' if quotes_must_escape => return Err("unescaped quote in label value".into()),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_metric_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    Ok(())
+}
+
+fn check_label_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("invalid label name `{name}`"));
+    }
+    Ok(())
+}
+
+/// Validates a sample value: `+Inf` / `-Inf` / `NaN` or a plain finite
+/// number. Rust's permissive spellings (`inf`, `Infinity`, `nan`) are
+/// rejected — Prometheus scrapers do not accept them.
+fn check_prom_value(v: &str) -> Result<(), String> {
+    if matches!(v, "+Inf" | "-Inf" | "NaN") {
+        return Ok(());
+    }
+    if !v
+        .chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+    {
+        return Err(format!("bad sample value `{v}`"));
+    }
+    match v.parse::<f64>() {
+        Ok(f) if f.is_finite() => Ok(()),
+        _ => Err(format!("bad sample value `{v}`")),
     }
 }
 
@@ -490,5 +769,82 @@ mod tests {
         assert!(text.contains("# TYPE lb_sweep_norm summary"));
         assert!(text.contains("lb_sweep_norm{quantile=\"0.95\"}"));
         assert!(text.contains("lb_sweep_norm_count 1"));
+    }
+
+    #[test]
+    fn histogram_extreme_gauges_carry_type_and_help_metadata() {
+        let reg = MetricsRegistry::new();
+        reg.observe("sweep.norm", 2.0);
+        reg.observe("sweep.norm", 8.0);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE lb_sweep_norm_min gauge"), "{text}");
+        assert!(text.contains("# HELP lb_sweep_norm_min "), "{text}");
+        assert!(text.contains("# TYPE lb_sweep_norm_max gauge"));
+        assert!(text.contains("# HELP lb_sweep_norm_max "));
+        assert!(text.contains("lb_sweep_norm_min 2"));
+        assert!(text.contains("lb_sweep_norm_max 8"));
+    }
+
+    #[test]
+    fn non_finite_values_render_in_prometheus_spelling() {
+        assert_eq!(fmt_prom_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_prom_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_prom_value(f64::NAN), "NaN");
+        assert_eq!(fmt_prom_value(2.5), "2.5");
+
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("weird.gauge", f64::INFINITY);
+        reg.observe("weird.hist", f64::NAN);
+        let text = reg.to_prometheus();
+        assert!(text.contains("lb_weird_gauge +Inf"), "{text}");
+        assert!(!text.contains(" inf"), "Rust float spelling leaked: {text}");
+        validate_exposition(&text).expect("non-finite exposition must validate");
+    }
+
+    #[test]
+    fn full_exposition_round_trips_through_the_validator() {
+        let reg = MetricsRegistry::new();
+        reg.inc("ring.hops", 7);
+        reg.describe("ring.hops", "token hops\nacross the \\ ring");
+        reg.set_gauge("calendar.depth", 3.25);
+        reg.observe("sweep.norm", 2.0);
+        reg.observe("sweep.norm", 1e-3);
+        reg.describe("sweep.norm", "per-sweep L1 norm");
+        validate_exposition(&reg.to_prometheus()).expect("exporter output must validate");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        let cases = [
+            ("x 1\n", "no TYPE metadata"),
+            ("# TYPE x widget\nx 1\n", "unknown type"),
+            ("# TYPE x gauge\n# TYPE x gauge\nx 1\n", "duplicate TYPE"),
+            ("# TYPE x gauge\nx 1\n# TYPE y gauge\n# HELP x late\n", ""),
+            (
+                "# TYPE x summary\nx_sum 1\n# TYPE x_sum gauge\n",
+                "after its samples",
+            ),
+            ("# TYPE x gauge\nx inf\n", "bad sample value"),
+            ("# TYPE x gauge\nx nan\n", "bad sample value"),
+            ("# TYPE 9bad gauge\n", "invalid metric name"),
+            ("# TYPE x gauge\nx{9l=\"v\"} 1\n", "invalid label name"),
+            ("# TYPE x gauge\nx{l=\"a\\qb\"} 1\n", "bad escape"),
+            ("# TYPE x gauge\nx{l=\"open} 1\n", "unterminated"),
+            ("# TYPE x gauge\nx{l=\"v\"}1\n", "missing value"),
+            ("# TYPE x gauge\nx 1 2 3\n", "trailing data"),
+            ("# random comment\n", "unrecognized comment"),
+            ("# TYPE x summary\nx_bucket 1\n", "no TYPE metadata"),
+        ];
+        for (text, want) in cases {
+            if want.is_empty() {
+                continue; // structurally fine, listed for contrast
+            }
+            let err = validate_exposition(text).expect_err(text);
+            assert!(err.contains(want), "{text:?}: got {err:?}, want {want:?}");
+        }
+        // Suffix series resolve to their declared parent.
+        validate_exposition("# TYPE x summary\nx_sum 3.5\nx_count 2\n").unwrap();
+        validate_exposition("# TYPE x histogram\nx_bucket{le=\"+Inf\"} 2\n").unwrap();
+        validate_exposition("# TYPE x gauge\nx +Inf\nx NaN\n").unwrap();
     }
 }

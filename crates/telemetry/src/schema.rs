@@ -22,9 +22,23 @@
 //! that are actually open. Spans left open at end-of-log are legal
 //! (a truncated run); analysis tools decide how to treat them.
 //!
+//! Version 3 adds the live-observability event families:
+//!
+//! - **Cross-node trace hops** — `xspan.send`/`xspan.recv` events carry
+//!   non-zero integer `trace` and `span` ids (the `TraceContext`
+//!   propagated inside `VirtualNet` messages; see
+//!   `lb_distributed::messages::TraceContext` for the id derivation).
+//!   Unlike in-process `span_open` ids, an xspan id may legally recur —
+//!   a duplicated network message delivers the *same* span twice by
+//!   design — so the validator checks field shape, not uniqueness.
+//! - **SLO alerts** — `alert.fire`/`alert.clear` events carry a
+//!   non-empty string `slo` naming the objective.
+//!
 //! Any change to this shape bumps [`SCHEMA_VERSION`]; the golden test
 //! in `tests/golden.rs` pins the byte-level format of the current
-//! version. Version-1 logs (no span events) still parse.
+//! version and keeps the previous version's golden file as a
+//! backward-compat fixture. Version-1 (no span events) and version-2
+//! (no alert/xspan events) logs still parse.
 
 use crate::event::{Field, FieldValue};
 use crate::json::{self, Json};
@@ -34,7 +48,7 @@ use std::fmt::Write as _;
 pub const SCHEMA_NAME: &str = "lb-telemetry";
 
 /// Current schema version; bumped on any incompatible format change.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest schema version the parser still accepts.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -213,6 +227,7 @@ pub fn parse_log(text: &str) -> Result<EventLog, String> {
         spans
             .check(&event)
             .map_err(|e| format!("line {lineno}: {e}"))?;
+        check_v3_families(&event).map_err(|e| format!("line {lineno}: {e}"))?;
         events.push(event);
     }
     Ok(EventLog {
@@ -273,6 +288,30 @@ impl SpanValidator {
             }
             _ => Ok(()),
         }
+    }
+}
+
+/// Field-shape validation for the v3 event families (`alert.*` and
+/// `xspan.*`). Applied unconditionally: v1/v2 logs never contained
+/// these names, so old logs are unaffected.
+fn check_v3_families(event: &LogEvent) -> Result<(), String> {
+    match event.name.as_str() {
+        "alert.fire" | "alert.clear" => match event.field("slo").and_then(Json::as_str) {
+            Some(s) if !s.is_empty() => Ok(()),
+            Some(_) => Err(format!("{} has empty slo name", event.name)),
+            None => Err(format!("{} missing string slo field", event.name)),
+        },
+        "xspan.send" | "xspan.recv" => {
+            for key in ["trace", "span"] {
+                match event.field(key).and_then(Json::as_u64) {
+                    Some(0) => return Err(format!("{} has zero {key} id", event.name)),
+                    Some(_) => {}
+                    None => return Err(format!("{} missing integer {key} id", event.name)),
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()),
     }
 }
 
@@ -379,6 +418,95 @@ mod tests {
         let log = parse_log(&text).unwrap();
         assert_eq!(log.version, 1);
         assert_eq!(log.events.len(), 1);
+    }
+
+    #[test]
+    fn version_2_logs_still_parse() {
+        // A v2 log with spans but none of the v3 families.
+        let text = format!(
+            "{{\"schema\":\"{SCHEMA_NAME}\",\"version\":2}}\n{}\n{}\n",
+            encode_event_line(
+                0,
+                0,
+                "span_open",
+                &[("span", 1u64.into()), ("name", "solve".into())]
+            ),
+            encode_event_line(1, 5, "span_close", &[("span", 1u64.into())]),
+        );
+        let log = parse_log(&text).unwrap();
+        assert_eq!(log.version, 2);
+        assert_eq!(log.events.len(), 2);
+    }
+
+    #[test]
+    fn v3_alert_and_xspan_fields_are_validated() {
+        let wrap = |line: String| format!("{}\n{line}\n", header_line());
+
+        // Well-formed v3 events parse.
+        let good = format!(
+            "{}\n{}\n{}\n{}\n",
+            header_line(),
+            encode_event_line(
+                0,
+                0,
+                "xspan.send",
+                &[("trace", 7u64.into()), ("span", 9u64.into())]
+            ),
+            encode_event_line(
+                1,
+                3,
+                "xspan.recv",
+                &[("trace", 7u64.into()), ("span", 9u64.into())]
+            ),
+            encode_event_line(2, 4, "alert.fire", &[("slo", "goodput".into())]),
+        );
+        assert!(parse_log(&good).is_ok());
+
+        // Duplicate delivery of the same xspan id is legal (net.dup).
+        let dup = format!(
+            "{}\n{}\n{}\n",
+            header_line(),
+            encode_event_line(
+                0,
+                0,
+                "xspan.recv",
+                &[("trace", 7u64.into()), ("span", 9u64.into())]
+            ),
+            encode_event_line(
+                1,
+                1,
+                "xspan.recv",
+                &[("trace", 7u64.into()), ("span", 9u64.into())]
+            ),
+        );
+        assert!(parse_log(&dup).is_ok());
+
+        let bad: Vec<(String, &str)> = vec![
+            (
+                encode_event_line(0, 0, "alert.fire", &[("value", 1.0.into())]),
+                "fire without slo",
+            ),
+            (
+                encode_event_line(0, 0, "alert.clear", &[("slo", "".into())]),
+                "clear with empty slo",
+            ),
+            (
+                encode_event_line(0, 0, "xspan.send", &[("trace", 7u64.into())]),
+                "send without span",
+            ),
+            (
+                encode_event_line(
+                    0,
+                    0,
+                    "xspan.recv",
+                    &[("trace", 0u64.into()), ("span", 1u64.into())],
+                ),
+                "zero trace id",
+            ),
+        ];
+        for (line, why) in bad {
+            assert!(parse_log(&wrap(line)).is_err(), "accepted bad log ({why})");
+        }
     }
 
     #[test]

@@ -1,14 +1,18 @@
-//! Golden-file test pinning schema version 2 at the byte level.
+//! Golden-file test pinning schema version 3 at the byte level, plus a
+//! backward-compat test that the committed version-2 golden file still
+//! parses.
 //!
-//! If this test fails because the format changed intentionally, bump
+//! If the v3 test fails because the format changed intentionally, bump
 //! `SCHEMA_VERSION` and regenerate the golden file by running the test
-//! with `LB_TELEMETRY_BLESS=1`.
+//! with `LB_TELEMETRY_BLESS=1`. The v2 file is frozen forever — it is a
+//! compatibility fixture, never re-blessed.
 
 use lb_telemetry::{parse_log, Collector, FieldValue, JsonlCollector, SCHEMA_VERSION};
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v2.jsonl");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v3.jsonl");
+const GOLDEN_V2_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v2.jsonl");
 
 #[derive(Clone, Default)]
 struct SharedBuf(Arc<Mutex<Vec<u8>>>);
@@ -23,8 +27,9 @@ impl Write for SharedBuf {
     }
 }
 
-/// Emits one representative event of every field type through a
-/// fixed-clock collector — the exact byte stream is the golden file.
+/// Emits one representative event of every field type and event family
+/// through a fixed-clock collector — the exact byte stream is the
+/// golden file.
 fn render_reference_log() -> String {
     let buf = SharedBuf::default();
     let collector = JsonlCollector::with_fixed_clock(Box::new(buf.clone()), 10);
@@ -100,13 +105,57 @@ fn render_reference_log() -> String {
             ("name", FieldValue::from("solver.solve")),
         ],
     );
+    // The version-3 additions: a cross-node trace hop (send, its
+    // duplicated delivery carrying the SAME span ids — legal under
+    // net.dup) and a burn-rate alert pair.
+    collector.emit(
+        "xspan.send",
+        &[
+            ("t_us", FieldValue::from(1_000u64)),
+            ("trace", FieldValue::from(0x0100_0000_0001u64)),
+            ("span", FieldValue::from(0x0200_0000_0007u64)),
+            ("parent", FieldValue::from(0u64)),
+            ("from", FieldValue::from(1u64)),
+            ("to", FieldValue::from(0u64)),
+        ],
+    );
+    for _ in 0..2 {
+        collector.emit(
+            "xspan.recv",
+            &[
+                ("t_us", FieldValue::from(1_350u64)),
+                ("trace", FieldValue::from(0x0100_0000_0001u64)),
+                ("span", FieldValue::from(0x0200_0000_0007u64)),
+                ("from", FieldValue::from(1u64)),
+                ("to", FieldValue::from(0u64)),
+            ],
+        );
+    }
+    collector.emit(
+        "alert.fire",
+        &[
+            ("t_us", FieldValue::from(2_000u64)),
+            ("slo", FieldValue::from("certified_gap")),
+            ("value", FieldValue::from(0.25)),
+            ("threshold", FieldValue::from(1e-3)),
+        ],
+    );
+    collector.emit(
+        "alert.clear",
+        &[
+            ("t_us", FieldValue::from(9_000u64)),
+            ("slo", FieldValue::from("certified_gap")),
+            ("value", FieldValue::from(0.0005)),
+            ("threshold", FieldValue::from(1e-3)),
+        ],
+    );
     collector.flush();
     let bytes = buf.0.lock().unwrap().clone();
     String::from_utf8(bytes).unwrap()
 }
 
 #[test]
-fn schema_v2_bytes_match_the_golden_file() {
+fn schema_v3_bytes_match_the_golden_file() {
     let rendered = render_reference_log();
     if std::env::var_os("LB_TELEMETRY_BLESS").is_some() {
         std::fs::write(GOLDEN_PATH, &rendered).unwrap();
@@ -125,7 +174,7 @@ fn golden_file_is_schema_valid() {
     let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap();
     let log = parse_log(&golden).unwrap();
     assert_eq!(log.version, SCHEMA_VERSION);
-    assert_eq!(log.events.len(), 8);
+    assert_eq!(log.events.len(), 13);
     assert_eq!(log.events[0].name, "solver.start");
     assert_eq!(log.events[3].field("nan").unwrap().as_str(), Some("NaN"));
     assert_eq!(
@@ -136,5 +185,30 @@ fn golden_file_is_schema_valid() {
     assert_eq!(log.events[4].name, "span_open");
     assert_eq!(log.events[5].field("parent").unwrap().as_u64(), Some(1));
     assert_eq!(log.events[6].field("norm").unwrap().as_f64(), Some(0.5));
+    assert_eq!(log.events[7].name, "span_close");
+    // The v3 families parse: duplicated xspan ids and the alert pair.
+    assert_eq!(log.events[9].name, "xspan.recv");
+    assert_eq!(
+        log.events[9].field("span").unwrap().as_u64(),
+        log.events[10].field("span").unwrap().as_u64(),
+        "net.dup delivers the same span id twice"
+    );
+    assert_eq!(
+        log.events[11].field("slo").unwrap().as_str(),
+        Some("certified_gap")
+    );
+    assert_eq!(log.events[12].name, "alert.clear");
+}
+
+#[test]
+fn v2_golden_log_still_parses() {
+    // Backward compat: the frozen v2 golden file (written by the PR 4/5
+    // collector) must keep parsing under the v3 schema.
+    let golden = std::fs::read_to_string(GOLDEN_V2_PATH)
+        .expect("the v2 golden file is a frozen compatibility fixture");
+    let log = parse_log(&golden).unwrap();
+    assert_eq!(log.version, 2);
+    assert_eq!(log.events.len(), 8);
+    assert_eq!(log.events[0].name, "solver.start");
     assert_eq!(log.events[7].name, "span_close");
 }
