@@ -86,6 +86,7 @@ pub struct Engine<E> {
     calendar: Calendar<E>,
     now: SimTime,
     processed: u64,
+    scheduled: u64,
     horizon: Option<SimTime>,
     max_events: Option<u64>,
     collector: Option<Arc<dyn Collector>>,
@@ -108,6 +109,7 @@ impl<E> Engine<E> {
             calendar: Calendar::new(),
             now: SimTime::ZERO,
             processed: 0,
+            scheduled: 0,
             horizon: None,
             max_events: None,
             collector: None,
@@ -228,6 +230,14 @@ impl<E> Engine<E> {
         self.processed
     }
 
+    /// Number of events accepted into the calendar so far (including
+    /// later-cancelled ones — cancellation does not unschedule for
+    /// accounting purposes).
+    #[inline]
+    pub fn events_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
     /// Schedules an event at an absolute time, rejecting times that
     /// precede the current clock (delivering an event in the past would
     /// corrupt causality).
@@ -238,6 +248,7 @@ impl<E> Engine<E> {
                 now: self.now.as_secs(),
             });
         }
+        self.scheduled += 1;
         Ok(self.calendar.schedule(time, event))
     }
 
@@ -250,6 +261,7 @@ impl<E> Engine<E> {
         if delay < 0.0 {
             return Err(ScheduleError::NegativeDelay { delay });
         }
+        self.scheduled += 1;
         Ok(self.calendar.schedule(self.now + delay, event))
     }
 
@@ -290,13 +302,16 @@ impl<E> Engine<E> {
     /// as [`Engine::schedule_at`]).
     pub fn schedule_batch<I: IntoIterator<Item = (SimTime, E)>>(&mut self, events: I) -> usize {
         let now = self.now;
-        self.calendar
+        let count = self
+            .calendar
             .schedule_batch(events.into_iter().inspect(|(time, _)| {
                 assert!(
                     *time >= now,
                     "cannot schedule into the past: t={time} < now={now}"
                 );
-            }))
+            }));
+        self.scheduled += count as u64;
+        count
     }
 
     /// Cancels a pending event; `true` if it was still pending.

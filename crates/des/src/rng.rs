@@ -19,6 +19,11 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct RngStream {
     rng: StdRng,
+    /// Base draws taken from this stream. Every sampler funnels
+    /// through [`RngStream::uniform01`], so this single plain counter
+    /// (no atomics on the 3.5M-jobs/s hot path) accounts for all RNG
+    /// work; snapshot points fold it into `account.*` events.
+    draws: u64,
 }
 
 impl RngStream {
@@ -33,13 +38,20 @@ impl RngStream {
         z ^= z >> 31;
         Self {
             rng: StdRng::seed_from_u64(z),
+            draws: 0,
         }
     }
 
     /// Uniform sample in `[0, 1)`.
     #[inline]
     pub fn uniform01(&mut self) -> f64 {
+        self.draws += 1;
         self.rng.gen::<f64>()
+    }
+
+    /// Number of base uniform draws taken from this stream so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 
     /// Uniform sample in `[low, high)`.
@@ -452,6 +464,21 @@ mod tests {
             let x = s.uniform01();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn every_sampler_is_accounted_through_the_draw_counter() {
+        let mut s = RngStream::new(1, 2);
+        assert_eq!(s.draws(), 0);
+        s.uniform01();
+        assert_eq!(s.draws(), 1);
+        s.exponential(2.0);
+        assert_eq!(s.draws(), 2);
+        let mut buf = [0.0; 16];
+        s.fill_exponential(1.0, &mut buf);
+        assert_eq!(s.draws(), 18, "bulk fills count per variate");
+        s.normal01();
+        assert_eq!(s.draws(), 20, "Box-Muller takes two base draws");
     }
 
     #[test]

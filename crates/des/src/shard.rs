@@ -225,6 +225,21 @@ pub fn run_station_shard<F: FnMut(usize, f64)>(
     }
 
     let utilization = station.utilization(spec.horizon);
+    // Resource-accounting snapshot: one `account.des` event per shard,
+    // emitted inside the shard span so diff/analyze can attribute it.
+    if let Some(c) = collector.and_then(|c| lb_telemetry::enabled(Some(c))) {
+        c.emit(
+            "account.des",
+            &[
+                ("scheduled", engine.events_scheduled().into()),
+                ("executed", engine.events_processed().into()),
+                (
+                    "rng_draws",
+                    (arrival_rng.draws() + service_rng.draws() + attribution_rng.draws()).into(),
+                ),
+            ],
+        );
+    }
     if let Some(span) = shard_span {
         span.close_with(&[
             ("jobs", jobs.into()),
@@ -327,6 +342,50 @@ mod tests {
     }
 
     #[test]
+    fn sampling_collector_does_not_perturb_the_shard() {
+        use lb_telemetry::{MemoryCollector, SamplingCollector, SamplingConfig};
+        let s = spec(4.0, 1_000.0);
+        let mut plain_sink = Vec::new();
+        let plain = run(&s, 9, &mut plain_sink);
+
+        // Heavy head sampling on the way out; the simulation itself
+        // must stay bit-identical because the sampler only filters the
+        // event stream after the fact.
+        let mem = Arc::new(MemoryCollector::default());
+        let sampler: Arc<dyn Collector> = Arc::new(SamplingCollector::new(
+            mem.clone(),
+            SamplingConfig::new(0xD15C, 1.0 / 32.0),
+        ));
+        let root = Span::root(Some(&sampler), "test.root", &[]).unwrap();
+        let attribution = AliasTable::new(&[0.5, 0.3, 0.2]);
+        let mut arr = RngStream::new(9, 0);
+        let mut svc = RngStream::new(9, 1);
+        let mut att = RngStream::new(9, 2);
+        let mut traced_sink = Vec::new();
+        let traced = run_station_shard(
+            &s,
+            &attribution,
+            &mut arr,
+            &mut svc,
+            &mut att,
+            Some(&sampler),
+            Some(&root.handle()),
+            |u, r| traced_sink.push((u, r)),
+        );
+        root.close();
+        sampler.flush();
+        assert_eq!(plain.jobs_generated, traced.jobs_generated);
+        assert_eq!(
+            plain.monitor.system_mean().to_bits(),
+            traced.monitor.system_mean().to_bits()
+        );
+        assert_eq!(plain_sink, traced_sink);
+        // Accounting snapshots are always-keep, so the log still
+        // carries the resource totals even at 1/32 sampling.
+        assert_eq!(mem.count("account.des"), 1);
+    }
+
+    #[test]
     fn tracing_does_not_perturb_the_shard() {
         use lb_telemetry::MemoryCollector;
         let s = spec(4.0, 1_000.0);
@@ -365,5 +424,27 @@ mod tests {
             mem.count(lb_telemetry::SPAN_OPEN),
             mem.count(lb_telemetry::SPAN_CLOSE)
         );
+        // Exactly one resource-accounting snapshot, with sane totals:
+        // every delivered event was scheduled first, and the three RNG
+        // streams drew at least once per generated job.
+        assert_eq!(mem.count("account.des"), 1);
+        let (_, fields) = mem
+            .events()
+            .into_iter()
+            .find(|(name, _)| *name == "account.des")
+            .unwrap();
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| match v {
+                    lb_telemetry::FieldValue::U64(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(get("scheduled") >= get("executed"));
+        assert!(get("executed") >= traced.jobs_generated);
+        assert!(get("rng_draws") >= 2 * traced.jobs_generated);
     }
 }

@@ -243,6 +243,7 @@ struct UserNode {
     updates: u64,
     dup_msgs: u64,
     gap_msgs: u64,
+    retries: u64,
     next_span: u64,
 }
 
@@ -266,6 +267,7 @@ impl UserNode {
             updates: 0,
             dup_msgs: 0,
             gap_msgs: 0,
+            retries: 0,
             next_span: 0,
         }
     }
@@ -291,6 +293,7 @@ impl UserNode {
                 Some(p) => (p.seq, p.trace),
                 None => return,
             };
+            self.retries += 1;
             (seq, self.ctx(Some(TraceContext::root(trace, trace))))
         };
         self.attempts[dest] = self.attempts[dest].saturating_add(1);
@@ -923,6 +926,7 @@ pub struct AsyncOutcome {
     virtual_time_us: u64,
     updates: u64,
     syncs: u64,
+    retries: u64,
     net: NetStats,
 }
 
@@ -985,6 +989,12 @@ impl AsyncOutcome {
     /// Anti-entropy merges performed at the coordinator.
     pub fn syncs(&self) -> u64 {
         self.syncs
+    }
+
+    /// Ack-less resends performed across all users (each consumes a
+    /// fresh span under the original trace).
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// What the network did to the traffic.
@@ -1311,6 +1321,25 @@ impl AsyncNash {
             user_times[j] = dj;
         }
         let updates: u64 = users.iter().map(|u| u.updates).sum();
+        let retries: u64 = users.iter().map(|u| u.retries).sum();
+        // Resource-accounting snapshot: what the episode cost the
+        // network, every field an integer (schema `account.*` rule).
+        let stats = net.stats();
+        if let Some(c) = enabled(self.collector.as_ref()) {
+            c.emit(
+                "account.net",
+                &[
+                    ("sent", stats.sent.into()),
+                    ("delivered", stats.delivered.into()),
+                    ("dropped", stats.dropped.into()),
+                    ("duplicated", stats.duplicated.into()),
+                    ("reordered", stats.reordered.into()),
+                    ("partition_drops", stats.partition_drops.into()),
+                    ("bytes", stats.bytes.into()),
+                    ("retries", retries.into()),
+                ],
+            );
+        }
         Ok(AsyncOutcome {
             certified_gap: (termination == AsyncTermination::Converged).then_some(final_gap),
             termination,
@@ -1323,7 +1352,8 @@ impl AsyncNash {
             virtual_time_us,
             updates,
             syncs: coord.syncs,
-            net: net.stats(),
+            retries,
+            net: stats,
         })
     }
 }
@@ -1524,6 +1554,30 @@ mod tests {
             collector.count("xspan.send") >= collector.count("xspan.recv"),
             "loss leaves orphan sends, never orphan recvs"
         );
+        // v4: the episode closes with one resource-accounting snapshot
+        // whose counters agree with the outcome's own bookkeeping.
+        assert_eq!(collector.count("account.net"), 1);
+        let (_, fields) = collector
+            .events()
+            .into_iter()
+            .find(|(name, _)| *name == "account.net")
+            .unwrap();
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| match v {
+                    lb_telemetry::FieldValue::U64(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let stats = out.net_stats();
+        assert_eq!(get("sent"), stats.sent);
+        assert_eq!(get("dropped"), stats.dropped);
+        assert_eq!(get("bytes"), stats.bytes);
+        assert_eq!(get("retries"), out.retries());
+        assert!(stats.bytes >= stats.sent, "payloads are non-empty");
     }
 
     #[test]

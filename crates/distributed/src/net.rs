@@ -255,6 +255,10 @@ pub struct NetStats {
     pub reordered: u64,
     /// Envelopes destroyed by an active partition.
     pub partition_drops: u64,
+    /// Payload bytes handed to [`VirtualNet::send`] (`size_of::<M>()`
+    /// per message — the in-memory payload size, counted at send time
+    /// whether or not the message survives the fault rolls).
+    pub bytes: u64,
 }
 
 /// One queued delivery. Ordering compares `(at, tie)` only, so the heap
@@ -406,6 +410,7 @@ impl<M: Clone> VirtualNet<M> {
     fn send_inner(&mut self, from: usize, to: usize, ctx: Option<TraceContext>, msg: M) {
         assert!(from < self.nodes && to < self.nodes, "node id out of range");
         self.stats.sent += 1;
+        self.stats.bytes += std::mem::size_of::<M>() as u64;
         let li = self.link_index(from, to);
         let seq = self.next_seq[li];
         self.next_seq[li] += 1;

@@ -37,7 +37,7 @@
 //! certificate closing. Legacy v2 logs simply skip the table.
 
 use crate::report::{fmt, Table};
-use lb_telemetry::{json, parse_log, EventLog, Json, SPAN_CLOSE, SPAN_OPEN};
+use lb_telemetry::{json, EventLog, Json, SPAN_CLOSE, SPAN_OPEN};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -569,9 +569,15 @@ pub struct AnalyzeReport {
 /// Chrome JSON export that fails to re-parse (encoder bug).
 pub fn run(log_path: Option<&Path>, out: &Path) -> Result<AnalyzeReport, String> {
     let log_path = log_path.map_or_else(|| out.join("trace_table1.jsonl"), Path::to_path_buf);
-    let text = std::fs::read_to_string(&log_path)
-        .map_err(|e| format!("reading {}: {e}", log_path.display()))?;
-    let log = parse_log(&text).map_err(|e| format!("{}: {e}", log_path.display()))?;
+    // Stream the log line by line: validation never buffers the raw
+    // text, so multi-GB traces cost only the parsed events we keep.
+    let reader = lb_telemetry::LogReader::open(&log_path)
+        .map_err(|e| format!("{}: {e}", log_path.display()))?;
+    let version = reader.version();
+    let events = reader
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{}: {e}", log_path.display()))?;
+    let log = EventLog { version, events };
     let a = analyze(&log);
     if a.tree.nodes.is_empty() {
         return Err(format!(
@@ -602,6 +608,9 @@ pub fn run(log_path: Option<&Path>, out: &Path) -> Result<AnalyzeReport, String>
     if let Some(staleness) = render_staleness(&log) {
         tables.push(staleness);
     }
+    if let Some(sampling) = render_sampling(&log) {
+        tables.push(sampling);
+    }
     let csv_path = out.join(format!("{stem}_spans.csv"));
     tables[1]
         .write_csv(&csv_path)
@@ -616,6 +625,46 @@ pub fn run(log_path: Option<&Path>, out: &Path) -> Result<AnalyzeReport, String>
         tables,
         analysis: a,
     })
+}
+
+/// Sampling reweighting table — present only for head-sampled traces
+/// (those carrying `sample.digest` aggregates). Kept counts come from
+/// the surviving events; dropped counts from the digests; their sum is
+/// the exact emitted total per event type, so attribution over a
+/// sampled trace is reweightable without guessing at the rate.
+fn render_sampling(log: &EventLog) -> Option<Table> {
+    let dropped = crate::trace::digest_counts(log);
+    if dropped.is_empty() {
+        return None;
+    }
+    let mut t = Table::new(
+        "Analyze: sampling reweighting (kept + dropped = emitted)".to_string(),
+        vec![
+            "event".to_string(),
+            "kept".to_string(),
+            "dropped".to_string(),
+            "emitted".to_string(),
+            "kept %".to_string(),
+        ],
+    );
+    for (name, drop_count) in &dropped {
+        let kept = log.count(name) as u64;
+        let emitted = kept + drop_count;
+        #[allow(clippy::cast_precision_loss)]
+        let share = if emitted == 0 {
+            100.0
+        } else {
+            100.0 * kept as f64 / emitted as f64
+        };
+        t.row(vec![
+            name.clone(),
+            kept.to_string(),
+            drop_count.to_string(),
+            emitted.to_string(),
+            fmt(share),
+        ]);
+    }
+    Some(t)
 }
 
 /// The forest-shape summary table.
@@ -821,7 +870,7 @@ mod tests {
             text.push_str(&encode_event_line(seq as u64, *t, name, &fields));
             text.push('\n');
         }
-        parse_log(&text).unwrap()
+        lb_telemetry::parse_log(&text).unwrap()
     }
 
     fn open(id: u64, name: &'static str) -> Vec<(&'static str, FieldValue)> {

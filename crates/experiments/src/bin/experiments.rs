@@ -10,7 +10,7 @@ use lb_experiments::cli::{self, Options};
 use lb_experiments::fig4::SimOptions;
 use lb_experiments::report::Table;
 use lb_experiments::{
-    analyze, bench, beyond, config, fig2, fig3, fig4, fig5, fig6, table1, trace, watch,
+    analyze, bench, beyond, config, diff, fig2, fig3, fig4, fig5, fig6, table1, trace, watch,
 };
 use lb_sim::scenario::SimFidelity;
 use std::path::Path;
@@ -207,6 +207,21 @@ fn run(opts: &Options) -> Result<(), String> {
                 );
                 println!("[metrics] {}", report.metrics_json_path.display());
                 println!("[metrics] {}", report.metrics_prom_path.display());
+            }
+            "diff" => {
+                let (Some(a), Some(b)) = (opts.input.as_deref(), opts.input2.as_deref()) else {
+                    return Err(format!("diff needs two inputs\n{}", cli::usage()));
+                };
+                let report = diff::run(a, b)?;
+                for table in &report.tables {
+                    // Delta rows only: identical runs print no tables.
+                    if !table.is_empty() {
+                        println!("{}", table.render());
+                    }
+                }
+                println!("[diff] A {}", report.log_a.display());
+                println!("[diff] B {}", report.log_b.display());
+                println!("[diff] {}", report.verdict.to_json());
             }
             "watch" => {
                 let report = watch::run(&opts.out, opts.port, opts.iterations, opts.linger_ms)?;

@@ -8,7 +8,7 @@ use std::path::PathBuf;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Subcommand (`table1`, `fig2`…`fig6`, `all`, `ext`, `ext-*`,
-    /// `bench`, `trace`, `analyze`, `watch`).
+    /// `bench`, `trace`, `analyze`, `diff`, `watch`).
     pub command: String,
     /// Whether to run the DES alongside the analytic path.
     pub simulate: bool,
@@ -28,8 +28,11 @@ pub struct Options {
     /// Use the analytic M/M/1 fast path for simulated figures instead of
     /// the full discrete-event engine.
     pub analytic: bool,
-    /// Positional input path (`analyze <log>`); defaults per command.
+    /// Positional input path (`analyze <log>`, `diff <A> <B>`);
+    /// defaults per command.
     pub input: Option<PathBuf>,
+    /// Second positional input path (`diff <A> <B>` only).
+    pub input2: Option<PathBuf>,
     /// TCP port for the live endpoint (`watch` subcommand; 0 =
     /// ephemeral, printed at startup).
     pub port: u16,
@@ -43,9 +46,12 @@ pub struct Options {
 /// The usage string.
 pub fn usage() -> String {
     "usage: experiments <table1|fig2|fig3|fig4|fig5|fig6|all|ext|\
-     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|ext-anytime|ext-async|bench|trace|analyze|watch> \
-     [LOG] [--simulate] [--analytic] [--jobs N] [--replications R] [--out-dir DIR] [--verbose] [--large] [--sim] [--port P] [--iterations N] [--linger MS]\n\
+     ext-service|ext-stackelberg|ext-dynamics|ext-noise|ext-multicore|ext-poa|ext-burstiness|ext-policies|ext-tails|ext-churn|ext-anytime|ext-async|bench|trace|analyze|diff|watch> \
+     [LOG] [LOG_B] [--simulate] [--analytic] [--jobs N] [--replications R] [--out-dir DIR] [--verbose] [--large] [--sim] [--port P] [--iterations N] [--linger MS]\n\
      `analyze [LOG]` profiles a span trace (default LOG: <out-dir>/trace_table1.jsonl);\n\
+     `diff A B` compares two trace logs or result directories (reweighted event\n\
+     counts, account.* sums, span structure/wall time, BENCH_*.json) and prints\n\
+     a machine-readable verdict line;\n\
      `watch` serves /metrics /healthz /trace/recent live during an observed replay\n\
      (--port 0 picks an ephemeral port; --linger keeps serving MS after the last episode);\n\
      `bench --large` adds the n=10,000 × m=100,000 solver groups;\n\
@@ -74,6 +80,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
         sim: false,
         analytic: false,
         input: None,
+        input2: None,
         port: 0,
         iterations: 28,
         linger_ms: 0,
@@ -126,6 +133,10 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             other if !other.starts_with('-') && opts.input.is_none() => {
                 opts.input = Some(PathBuf::from(other));
             }
+            // Only `diff` takes a second positional.
+            other if !other.starts_with('-') && opts.command == "diff" && opts.input2.is_none() => {
+                opts.input2 = Some(PathBuf::from(other));
+            }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
@@ -173,6 +184,7 @@ mod tests {
         assert_eq!(o.replications, 5);
         assert_eq!(o.out, PathBuf::from("results"));
         assert_eq!(o.input, None);
+        assert_eq!(o.input2, None);
         assert!(!o.large);
         assert!(!o.sim);
         assert!(!o.analytic);
@@ -236,10 +248,20 @@ mod tests {
         let o = parse(args(&["analyze", "results/trace_table1.jsonl"])).unwrap();
         assert_eq!(o.command, "analyze");
         assert_eq!(o.input, Some(PathBuf::from("results/trace_table1.jsonl")));
-        // A second positional argument is still an error.
+        // A second positional argument is still an error outside `diff`.
         assert!(parse(args(&["analyze", "a.jsonl", "b.jsonl"])).is_err());
         // And the path is optional.
         assert_eq!(parse(args(&["analyze"])).unwrap().input, None);
+    }
+
+    #[test]
+    fn diff_takes_two_positional_paths() {
+        let o = parse(args(&["diff", "runs/a", "runs/b"])).unwrap();
+        assert_eq!(o.command, "diff");
+        assert_eq!(o.input, Some(PathBuf::from("runs/a")));
+        assert_eq!(o.input2, Some(PathBuf::from("runs/b")));
+        // A third positional is an error even for diff.
+        assert!(parse(args(&["diff", "a", "b", "c"])).is_err());
     }
 
     #[test]
@@ -287,7 +309,7 @@ mod tests {
         for c in expand_command("all")
             .iter()
             .chain(expand_command("ext").iter())
-            .chain(["bench", "trace", "analyze", "watch"].iter())
+            .chain(["bench", "trace", "analyze", "diff", "watch"].iter())
         {
             assert!(u.contains(c), "usage missing {c}");
         }

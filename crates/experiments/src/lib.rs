@@ -38,6 +38,7 @@ pub mod bench;
 pub mod beyond;
 pub mod cli;
 pub mod config;
+pub mod diff;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

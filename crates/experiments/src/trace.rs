@@ -42,9 +42,10 @@ use lb_sim::parallel::ParallelRunner;
 use lb_sim::scenario::SimulationConfig;
 use lb_stats::ReplicationPlan;
 use lb_telemetry::{
-    parse_log, Collector, EventLog, FieldValue, JsonlCollector, LogEvent, MetricsRegistry,
-    SloEngine, SloSpec, StderrCollector, TeeCollector,
+    Collector, EventLog, FieldValue, JsonlCollector, LogEvent, LogReader, MetricsRegistry,
+    SamplingCollector, SamplingConfig, SloEngine, SloSpec, StderrCollector, TeeCollector,
 };
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
@@ -81,9 +82,24 @@ pub const REQUIRED_EVENTS: &[&str] = &[
     "xspan.recv",
     "alert.fire",
     "alert.clear",
+    "account.solver",
+    "account.des",
+    "account.net",
     "span_open",
     "span_close",
 ];
+
+/// Env var: when set to a keep rate in (0, 1], the trace is head-sampled
+/// through a [`SamplingCollector`] (seed-keyed, so two runs with the
+/// same rate keep the same events) and the coverage check reweights
+/// through `sample.digest` aggregates.
+pub const SAMPLE_ENV: &str = "LB_TRACE_SAMPLE";
+
+/// Env var: when set to a duration in microseconds, the replay sleeps
+/// that long inside a synthetic `trace.inject` span — a knob for CI to
+/// manufacture a known regression and assert `experiments diff` flags
+/// the offending span by name.
+pub const SLOWDOWN_ENV: &str = "LB_TRACE_SLOWDOWN_US";
 
 /// Everything the `trace` subcommand produced.
 #[derive(Debug)]
@@ -115,13 +131,32 @@ pub fn run(out: &Path, verbose: bool) -> Result<TraceReport, String> {
         JsonlCollector::create(&log_path)
             .map_err(|e| format!("creating {}: {e}", log_path.display()))?,
     );
-    let collector: Arc<dyn Collector> = if verbose {
+    let sink: Arc<dyn Collector> = if verbose {
         Arc::new(TeeCollector::new(vec![
             jsonl.clone(),
             Arc::new(StderrCollector::new()),
         ]))
     } else {
         jsonl.clone()
+    };
+    // Optional deterministic head sampling (see [`SAMPLE_ENV`]): the
+    // computation underneath is untouched — sampling only bounds what
+    // reaches the sink, and digests keep the totals reweightable.
+    let sample_rate = match std::env::var(SAMPLE_ENV) {
+        Ok(v) => Some(
+            v.parse::<f64>()
+                .ok()
+                .filter(|r| *r > 0.0 && *r <= 1.0)
+                .ok_or_else(|| format!("{SAMPLE_ENV} must be a rate in (0, 1], got {v:?}"))?,
+        ),
+        Err(_) => None,
+    };
+    let collector: Arc<dyn Collector> = match sample_rate {
+        Some(rate) => Arc::new(SamplingCollector::new(
+            sink,
+            SamplingConfig::new(0x7472_6163, rate),
+        )),
+        None => sink,
     };
 
     // Phase 1 — solver convergence, both paper initializations.
@@ -254,17 +289,43 @@ pub fn run(out: &Path, verbose: bool) -> Result<TraceReport, String> {
         engine.emit("watch.gap", &fields);
     }
 
+    // Synthetic regression knob for CI's diff-smoke job: sleep inside
+    // a dedicated span so the slowdown is attributable by name.
+    if let Ok(v) = std::env::var(SLOWDOWN_ENV) {
+        let us: u64 = v
+            .parse()
+            .map_err(|e| format!("{SLOWDOWN_ENV} must be microseconds, got {v:?}: {e}"))?;
+        let span = lb_telemetry::Span::root(
+            Some(&collector),
+            "trace.inject",
+            &[("slowdown_us", us.into())],
+        );
+        std::thread::sleep(Duration::from_micros(us));
+        if let Some(span) = span {
+            span.close();
+        }
+    }
+
     collector.flush();
     if jsonl.had_error() {
         return Err(format!("I/O error writing {}", log_path.display()));
     }
 
-    // Validate the log end to end: schema, then coverage.
-    let text = std::fs::read_to_string(&log_path)
-        .map_err(|e| format!("reading {}: {e}", log_path.display()))?;
-    let log = parse_log(&text).map_err(|e| format!("{}: {e}", log_path.display()))?;
+    // Validate the log end to end — streamed line by line, so a
+    // web-scale trace never has to fit in memory just to be checked —
+    // then collect it for the (bounded-size) report tables.
+    let reader = LogReader::open(&log_path).map_err(|e| format!("{}: {e}", log_path.display()))?;
+    let version = reader.version();
+    let events = reader
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{}: {e}", log_path.display()))?;
+    let log = EventLog { version, events };
+    // Coverage: a name counts as covered if it survived sampling or is
+    // accounted for in a `sample.digest` aggregate (the digest proves
+    // the instrumentation emitted it, even if the sampler dropped it).
+    let digests = digest_counts(&log);
     for name in REQUIRED_EVENTS {
-        if log.count(name) == 0 {
+        if log.count(name) == 0 && digests.get(*name).copied().unwrap_or(0) == 0 {
             return Err(format!("trace log is missing any `{name}` event"));
         }
     }
@@ -290,6 +351,24 @@ pub fn run(out: &Path, verbose: bool) -> Result<TraceReport, String> {
         log,
         tables,
     })
+}
+
+/// Dropped-event counts per event type, summed over every
+/// `sample.digest` in the log (empty for unsampled traces).
+pub fn digest_counts(log: &EventLog) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for ev in &log.events {
+        if ev.name != "sample.digest" {
+            continue;
+        }
+        if let (Some(name), Some(count)) = (
+            ev.field("event").and_then(|v| v.as_str()),
+            ev.field("count").and_then(lb_telemetry::Json::as_u64),
+        ) {
+            *counts.entry(name.to_string()).or_insert(0) += count;
+        }
+    }
+    counts
 }
 
 /// Folds the event log into counters, gauges and histograms.
@@ -337,6 +416,23 @@ fn build_registry(log: &EventLog) -> MetricsRegistry {
             "des.calendar" => {
                 if let Some(depth) = f(ev, "depth") {
                     registry.observe("des.calendar_depth", depth);
+                }
+            }
+            "sample.digest" => {
+                if let (Some(event), Some(count)) = (
+                    ev.field("event").and_then(|v| v.as_str()),
+                    ev.field("count").and_then(lb_telemetry::Json::as_u64),
+                ) {
+                    registry.inc(&format!("sample.dropped.{event}"), count);
+                }
+            }
+            name if name.starts_with("account.") => {
+                // Every `account.*` field is an integer counter by
+                // schema rule; fold them all for Prometheus export.
+                for (key, value) in &ev.fields {
+                    if let Some(n) = value.as_u64() {
+                        registry.inc(&format!("{}.{key}", ev.name), n);
+                    }
                 }
             }
             _ => {}

@@ -25,8 +25,8 @@ use crate::report::{fmt, Table};
 use lb_distributed::{AsyncNash, NetFaultPlan};
 use lb_game::model::SystemModel;
 use lb_telemetry::{
-    parse_log, Collector, JsonlCollector, LiveServer, MemoryCollector, MetricsRegistry, SloEngine,
-    SloSpec, SloVerdict, TeeCollector,
+    Collector, JsonlCollector, LiveServer, MemoryCollector, MetricsRegistry, SloEngine, SloSpec,
+    SloVerdict, TeeCollector,
 };
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -244,11 +244,20 @@ pub fn run_with_probe(
         return Err(format!("I/O error writing {}", log_path.display()));
     }
 
-    // Validate the log end to end and tally the alert stream.
-    let text = std::fs::read_to_string(&log_path)
-        .map_err(|e| format!("reading {}: {e}", log_path.display()))?;
-    let log = parse_log(&text).map_err(|e| format!("{}: {e}", log_path.display()))?;
-    let (fires, clears) = (log.count("alert.fire"), log.count("alert.clear"));
+    // Validate the log end to end and tally the alert stream — one
+    // line at a time, so the validation pass is O(1) in memory no
+    // matter how long the watch ran.
+    let reader = lb_telemetry::LogReader::open(&log_path)
+        .map_err(|e| format!("{}: {e}", log_path.display()))?;
+    let (mut fires, mut clears) = (0usize, 0usize);
+    for event in reader {
+        let event = event.map_err(|e| format!("{}: {e}", log_path.display()))?;
+        match event.name.as_str() {
+            "alert.fire" => fires += 1,
+            "alert.clear" => clears += 1,
+            _ => {}
+        }
+    }
     let verdicts = engine.verdicts();
     let table = render_slos(&verdicts);
     Ok(WatchReport {
@@ -351,7 +360,7 @@ mod tests {
         for sub in ["a", "b"] {
             let report = run(&base.join(sub), 0, 12, 0).unwrap();
             let text = std::fs::read_to_string(&report.log_path).unwrap();
-            let log = parse_log(&text).unwrap();
+            let log = lb_telemetry::parse_log(&text).unwrap();
             // Compare the full alert timeline by (name, slo, t_us).
             let alerts: Vec<String> = log
                 .events

@@ -75,7 +75,7 @@ fn trace_writes_a_schema_valid_log_and_prints_the_report() {
     assert!(stdout.contains("NASH solver convergence"), "{stdout}");
     assert!(stdout.contains("token-ring fault timeline"), "{stdout}");
     assert!(stdout.contains("event counts"), "{stdout}");
-    assert!(stdout.contains("schema v3"), "{stdout}");
+    assert!(stdout.contains("schema v4"), "{stdout}");
     // --verbose mirrors events to stderr as they happen.
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("solver.sweep"), "stderr: {stderr}");

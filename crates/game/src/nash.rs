@@ -377,6 +377,10 @@ impl NashSolver {
                             &mut ws.next_flows,
                         )?;
                     }
+                    // One water-fill per user per Jacobi batch, whether
+                    // the batch ran sequentially or fanned out.
+                    ws.best_replies += m as u64;
+                    ws.water_fills += m as u64;
                     if let Some(span) = batch_span {
                         span.close();
                     }
@@ -450,6 +454,15 @@ impl NashSolver {
                         fields.push(("cert_rel", cert.relative.into()));
                     }
                     c.emit("solver.done", &fields);
+                    c.emit(
+                        "account.solver",
+                        &[
+                            ("sweeps", (iter + 1).into()),
+                            ("best_replies", ws.best_replies.into()),
+                            ("water_fills", ws.water_fills.into()),
+                            ("refreshes", ws.refreshes.into()),
+                        ],
+                    );
                 }
                 if let Some(span) = solve_span {
                     span.close_with(&[
@@ -480,6 +493,15 @@ impl NashSolver {
                 fields.push(("cert_rel", cert.relative.into()));
             }
             c.emit("solver.done", &fields);
+            c.emit(
+                "account.solver",
+                &[
+                    ("sweeps", self.max_iterations.into()),
+                    ("best_replies", ws.best_replies.into()),
+                    ("water_fills", ws.water_fills.into()),
+                    ("refreshes", ws.refreshes.into()),
+                ],
+            );
         }
         if let Some(span) = solve_span {
             span.close_with(&[
@@ -637,6 +659,12 @@ struct Workspace {
     /// Exact `loads` recomputes performed so far (telemetry's
     /// workspace-refresh marker; one per GS sweep, two per Jacobi).
     refreshes: u64,
+    /// Best-reply computations performed (one per user per sweep).
+    best_replies: u64,
+    /// Water-fill invocations performed (one per best reply here; the
+    /// sampled solver retries widened candidate sets, so there the two
+    /// counters diverge).
+    water_fills: u64,
 }
 
 impl Workspace {
@@ -656,6 +684,8 @@ impl Workspace {
                 FlowMatrix::new(0, n)
             },
             refreshes: 0,
+            best_replies: 0,
+            water_fills: 0,
         }
     }
 
@@ -709,6 +739,8 @@ impl Workspace {
                 self.avail[i] = model.computer_rate(i) - (self.loads[i] - flow);
             }
         }
+        self.best_replies += 1;
+        self.water_fills += 1;
         water_fill_flows_into(&self.avail, phi, &mut self.wf, &mut self.reply)
             .map_err(|e| rename_infeasible(e, j))?;
         let row = self.flows.row_mut(j);
@@ -1243,6 +1275,36 @@ mod tests {
     }
 
     #[test]
+    fn sampling_collector_does_not_perturb_the_solve() {
+        use lb_telemetry::{MemoryCollector, SamplingCollector, SamplingConfig};
+
+        let model = SystemModel::table1_system(0.6).unwrap();
+        let plain = NashSolver::new(Initialization::Proportional)
+            .solve(&model)
+            .unwrap();
+        // Aggressive 1/64 head sampling in front of the memory sink:
+        // the solve must stay bit-identical (sampling only filters the
+        // outbound event stream, never feeds back into the solver).
+        let mem = Arc::new(MemoryCollector::default());
+        let sampler: Arc<dyn Collector> = Arc::new(SamplingCollector::new(
+            mem.clone(),
+            SamplingConfig::new(0xBEEF, 1.0 / 64.0),
+        ));
+        let traced = NashSolver::new(Initialization::Proportional)
+            .collector(sampler)
+            .solve(&model)
+            .unwrap();
+        assert_eq!(traced.iterations(), plain.iterations());
+        for (a, b) in traced.trace().values().iter().zip(plain.trace().values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Always-keep classes survive any rate, so the terminal event
+        // and the accounting snapshot are still present in the log.
+        assert_eq!(mem.count("solver.done"), 1);
+        assert_eq!(mem.count("account.solver"), 1);
+    }
+
+    #[test]
     fn collector_sees_every_sweep_and_does_not_perturb_the_solve() {
         use lb_telemetry::{FieldValue, MemoryCollector};
 
@@ -1262,10 +1324,28 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
 
-        // One start, one sweep per iteration, one done.
+        // One start, one sweep per iteration, one done, one accounting
+        // snapshot whose counters match the solve's shape exactly: GS
+        // does one best reply (= one water-fill) per user per sweep.
         assert_eq!(mem.count("solver.start"), 1);
         assert_eq!(mem.count("solver.sweep"), plain.iterations() as usize);
         assert_eq!(mem.count("solver.done"), 1);
+        assert_eq!(mem.count("account.solver"), 1);
+        let (_, acct) = mem
+            .events()
+            .into_iter()
+            .find(|(name, _)| *name == "account.solver")
+            .unwrap();
+        let acct_u64 = |k: &str| match acct.iter().find(|(key, _)| *key == k).unwrap().1 {
+            FieldValue::U64(v) => v,
+            ref other => panic!("{k} field was {other:?}"),
+        };
+        let sweeps = u64::from(plain.iterations());
+        let users = model.num_users() as u64;
+        assert_eq!(acct_u64("sweeps"), sweeps);
+        assert_eq!(acct_u64("best_replies"), sweeps * users);
+        assert_eq!(acct_u64("water_fills"), sweeps * users);
+        assert_eq!(acct_u64("refreshes"), sweeps + 1);
 
         // The sweep norms mirror the outcome's trace exactly.
         let events = mem.events();

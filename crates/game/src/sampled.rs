@@ -268,6 +268,11 @@ impl SampledNashSolver {
         }
 
         let mut order_js: Vec<u32> = (0..m as u32).collect();
+        // Resource accounting: one best reply per user per sweep, but
+        // water-fill invocations also count feasibility-widening
+        // retries, so the two diverge on under-sampled models.
+        let mut best_replies: u64 = 0;
+        let mut water_fills: u64 = 0;
 
         for sweep in 0..self.max_sweeps {
             // Deterministic per-sweep shuffle of the update order
@@ -288,6 +293,7 @@ impl SampledNashSolver {
             let mut norm = 0.0;
             for &ju in &order_js {
                 let j = ju as usize;
+                best_replies += 1;
                 let phi = model.user_rate(j);
                 // Lift the user's own flow out of the aggregate so the
                 // candidate availabilities are what *this* user sees.
@@ -356,6 +362,7 @@ impl SampledNashSolver {
                             avail.push(a);
                         }
                     }
+                    water_fills += 1;
                     match water_fill_flows_into(&avail, phi, &mut wf, &mut reply) {
                         Ok(()) => break,
                         Err(GameError::InfeasibleBestReply { .. }) if draw < n => {
@@ -458,6 +465,14 @@ impl SampledNashSolver {
                             ("cert_rel", cert.relative.into()),
                         ],
                     );
+                    c.emit(
+                        "account.sampled",
+                        &[
+                            ("sweeps", (sweep + 1).into()),
+                            ("best_replies", best_replies.into()),
+                            ("water_fills", water_fills.into()),
+                        ],
+                    );
                 }
                 return Ok(SampledOutcome {
                     flows: rows,
@@ -477,6 +492,14 @@ impl SampledNashSolver {
                     ("iterations", self.max_sweeps.into()),
                     ("converged", false.into()),
                     ("cert_rel", final_rel.into()),
+                ],
+            );
+            c.emit(
+                "account.sampled",
+                &[
+                    ("sweeps", self.max_sweeps.into()),
+                    ("best_replies", best_replies.into()),
+                    ("water_fills", water_fills.into()),
                 ],
             );
         }
@@ -926,7 +949,22 @@ mod tests {
         assert_eq!(mem.count("sampled.start"), 1);
         assert_eq!(mem.count("sampled.sweep"), out.iterations() as usize);
         assert_eq!(mem.count("sampled.done"), 1);
+        assert_eq!(mem.count("account.sampled"), 1);
         let events = mem.events();
+        let (_, acct) = events
+            .iter()
+            .find(|(name, _)| *name == "account.sampled")
+            .unwrap();
+        let acct_u64 = |k: &str| match acct.iter().find(|(key, _)| *key == k).unwrap().1 {
+            FieldValue::U64(v) => v,
+            ref other => panic!("{k} field was {other:?}"),
+        };
+        let expected_replies = u64::from(out.iterations()) * model.num_users() as u64;
+        assert_eq!(acct_u64("best_replies"), expected_replies);
+        assert!(
+            acct_u64("water_fills") >= expected_replies,
+            "widening retries only ever add water-fills"
+        );
         let (_, last_sweep) = events
             .iter()
             .rev()

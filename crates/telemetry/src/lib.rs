@@ -31,6 +31,13 @@
 //! - [`serve`]: [`LiveServer`], a zero-dep `TcpListener` HTTP endpoint
 //!   exposing `/metrics`, `/healthz`, and `/trace/recent` from live
 //!   state while a scenario runs.
+//! - [`sample`]: [`SamplingCollector`], deterministic seed-keyed head
+//!   sampling with per-event-type rate caps and exact reweighting via
+//!   `sample.digest` aggregates, for web-scale traces with bounded
+//!   size.
+//! - [`account`]: [`Account`], per-subsystem relaxed-atomic resource
+//!   counters snapshotted into `account.*` events at span close and
+//!   exportable through the metrics registry.
 //!
 //! Instrumentation never perturbs results: nothing ever flows back
 //! from a collector into the computation, and emit sites are
@@ -38,21 +45,25 @@
 //! byte-identical with collection on or off (property-tested in
 //! `lb-sim` and asserted end-to-end in `lb-experiments`).
 
+pub mod account;
 pub mod collectors;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod sample;
 pub mod schema;
 pub mod serve;
 pub mod slo;
 pub mod span;
 pub mod stream;
 
+pub use account::Account;
 pub use collectors::{JsonlCollector, MemoryCollector, StderrCollector, TeeCollector};
 pub use event::{enabled, Collector, Field, FieldValue, NullCollector, SpanTimer};
 pub use json::Json;
 pub use metrics::{validate_exposition, HistogramSnapshot, MetricsRegistry};
-pub use schema::{parse_log, EventLog, LogEvent, SCHEMA_NAME, SCHEMA_VERSION};
+pub use sample::{SamplingCollector, SamplingConfig};
+pub use schema::{parse_log, EventLog, LogEvent, LogReader, SCHEMA_NAME, SCHEMA_VERSION};
 pub use serve::LiveServer;
 pub use slo::{AlertState, Objective, SloEngine, SloSpec, SloVerdict};
 pub use span::{Span, SpanHandle, SpanId, SPAN_CLOSE, SPAN_OPEN};

@@ -34,21 +34,42 @@
 //! - **SLO alerts** — `alert.fire`/`alert.clear` events carry a
 //!   non-empty string `slo` naming the objective.
 //!
+//! Version 4 adds the sampling and accounting families:
+//!
+//! - **Sampling digests** — `sample.digest` events aggregate the
+//!   events a [`crate::sample::SamplingCollector`] dropped since the
+//!   last digest: a non-empty string `event` naming the dropped type,
+//!   an integer `count ≥ 1`, and the dropped events' numeric fields
+//!   summed under their original keys, so downstream analysis can
+//!   reweight sampled traces back to exact totals.
+//! - **Resource accounting** — `account.*` events snapshot
+//!   per-subsystem counters (RNG draws, network messages/bytes,
+//!   solver best-replies, DES events) at span close; every field is an
+//!   integer counter.
+//!
 //! Any change to this shape bumps [`SCHEMA_VERSION`]; the golden test
 //! in `tests/golden.rs` pins the byte-level format of the current
-//! version and keeps the previous version's golden file as a
-//! backward-compat fixture. Version-1 (no span events) and version-2
-//! (no alert/xspan events) logs still parse.
+//! version and keeps the previous versions' golden files as
+//! backward-compat fixtures. Version-1 (no span events), version-2
+//! (no alert/xspan events), and version-3 (no sample/account events)
+//! logs still parse.
+//!
+//! Logs can be multi-GB at web scale, so validation is streaming:
+//! [`LogReader`] wraps any [`std::io::BufRead`] and yields validated
+//! [`LogEvent`]s one line at a time without ever holding the file in
+//! memory; [`parse_log`] is the convenience wrapper that collects a
+//! full in-memory [`EventLog`] from the same reader.
 
 use crate::event::{Field, FieldValue};
 use crate::json::{self, Json};
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 /// Schema identifier carried in the header line.
 pub const SCHEMA_NAME: &str = "lb-telemetry";
 
 /// Current schema version; bumped on any incompatible format change.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema version the parser still accepts.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -135,68 +156,81 @@ impl EventLog {
 
 /// Parses and validates a complete JSONL event log: header first, then
 /// events with strictly increasing `seq`, non-decreasing `t_us`, and
-/// flat scalar field values.
+/// flat scalar field values. Convenience wrapper over [`LogReader`]
+/// for logs that fit in memory; streaming consumers should iterate a
+/// [`LogReader`] directly.
 ///
 /// # Errors
 ///
 /// A human-readable message naming the offending line (1-based).
 pub fn parse_log(text: &str) -> Result<EventLog, String> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let Some((header_no, header_text)) = lines.next() else {
-        return Err("empty log: missing header line".into());
-    };
-    let header = json::parse(header_text).map_err(|e| format!("line {}: {e}", header_no + 1))?;
+    let reader = LogReader::new(text.as_bytes())?;
+    let version = reader.version();
+    let events = reader.collect::<Result<Vec<_>, _>>()?;
+    Ok(EventLog { version, events })
+}
+
+/// Parses and validates the header line, returning the version.
+fn parse_header(line: &str, lineno: usize) -> Result<u32, String> {
+    let header = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
     match header.get("schema").and_then(Json::as_str) {
         Some(SCHEMA_NAME) => {}
         other => {
             return Err(format!(
-                "line {}: header schema is {other:?}, expected {SCHEMA_NAME:?}",
-                header_no + 1
+                "line {lineno}: header schema is {other:?}, expected {SCHEMA_NAME:?}"
             ))
         }
     }
     let version = header
         .get("version")
         .and_then(Json::as_u64)
-        .ok_or_else(|| format!("line {}: header missing integer version", header_no + 1))?;
+        .ok_or_else(|| format!("line {lineno}: header missing integer version"))?;
     if version < u64::from(MIN_SCHEMA_VERSION) || version > u64::from(SCHEMA_VERSION) {
         return Err(format!(
-            "line {}: schema version {version} unsupported \
-             (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})",
-            header_no + 1
+            "line {lineno}: schema version {version} unsupported \
+             (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
         ));
     }
+    #[allow(clippy::cast_possible_truncation)]
+    Ok(version as u32)
+}
 
-    let mut events = Vec::new();
-    let mut next_seq = 0u64;
-    let mut last_t_us = 0u64;
-    let mut spans = SpanValidator::default();
-    for (no, line) in lines {
-        let lineno = no + 1;
+/// The per-line validation state shared by [`parse_log`] and
+/// [`LogReader`]: seq monotonicity, the t_us clock, span causality,
+/// and the versioned family checks.
+#[derive(Default)]
+struct LineValidator {
+    next_seq: u64,
+    last_t_us: u64,
+    spans: SpanValidator,
+}
+
+impl LineValidator {
+    /// Validates one event line and decodes it.
+    fn check_line(&mut self, line: &str, lineno: usize) -> Result<LogEvent, String> {
         let value = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
         let seq = value
             .get("seq")
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("line {lineno}: missing integer seq"))?;
-        if seq != next_seq {
+        if seq != self.next_seq {
             return Err(format!(
-                "line {lineno}: seq {seq} out of order (expected {next_seq})"
+                "line {lineno}: seq {seq} out of order (expected {})",
+                self.next_seq
             ));
         }
-        next_seq = seq + 1;
+        self.next_seq = seq + 1;
         let t_us = value
             .get("t_us")
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("line {lineno}: missing integer t_us"))?;
-        if t_us < last_t_us {
+        if t_us < self.last_t_us {
             return Err(format!(
-                "line {lineno}: t_us {t_us} went backwards (previous {last_t_us})"
+                "line {lineno}: t_us {t_us} went backwards (previous {})",
+                self.last_t_us
             ));
         }
-        last_t_us = t_us;
+        self.last_t_us = t_us;
         let name = value
             .get("event")
             .and_then(Json::as_str)
@@ -224,16 +258,119 @@ pub fn parse_log(text: &str) -> Result<EventLog, String> {
             name: name.to_string(),
             fields: fields.to_vec(),
         };
-        spans
+        self.spans
             .check(&event)
             .map_err(|e| format!("line {lineno}: {e}"))?;
         check_v3_families(&event).map_err(|e| format!("line {lineno}: {e}"))?;
-        events.push(event);
+        check_v4_families(&event).map_err(|e| format!("line {lineno}: {e}"))?;
+        Ok(event)
     }
-    Ok(EventLog {
-        version: version as u32,
-        events,
-    })
+}
+
+/// A streaming, validating reader over a JSONL event log.
+///
+/// Reads one line at a time from any [`BufRead`] source, applying the
+/// exact validation [`parse_log`] applies — header shape, seq/t_us
+/// monotonicity, span causality, versioned family checks — without
+/// ever holding more than the current line in memory, so multi-GB
+/// traces can be scanned in constant space. Construction reads and
+/// validates the header; iteration yields each validated event (or
+/// the first error, after which the iterator fuses).
+pub struct LogReader<R> {
+    input: R,
+    buf: String,
+    lineno: usize,
+    version: u32,
+    state: LineValidator,
+    done: bool,
+}
+
+impl LogReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a log file for streaming validation.
+    ///
+    /// # Errors
+    ///
+    /// The open/read error, or an invalid header.
+    pub fn open(path: &std::path::Path) -> Result<Self, String> {
+        let file =
+            std::fs::File::open(path).map_err(|e| format!("opening {}: {e}", path.display()))?;
+        Self::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: BufRead> LogReader<R> {
+    /// Wraps a buffered reader, consuming and validating the header
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// A read error, a missing header, or an invalid header.
+    pub fn new(mut input: R) -> Result<Self, String> {
+        let mut buf = String::new();
+        let mut lineno = 0usize;
+        loop {
+            buf.clear();
+            let n = input
+                .read_line(&mut buf)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if n == 0 {
+                return Err("empty log: missing header line".into());
+            }
+            lineno += 1;
+            if !buf.trim().is_empty() {
+                break;
+            }
+        }
+        let version = parse_header(buf.trim_end_matches(['\n', '\r']), lineno)?;
+        Ok(Self {
+            input,
+            buf: String::new(),
+            lineno,
+            version,
+            state: LineValidator::default(),
+            done: false,
+        })
+    }
+
+    /// Schema version from the header.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+}
+
+impl<R: BufRead> Iterator for LogReader<R> {
+    type Item = Result<LogEvent, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            match self.input.read_line(&mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(format!("line {}: {e}", self.lineno + 1)));
+                }
+            }
+            self.lineno += 1;
+            if self.buf.trim().is_empty() {
+                continue;
+            }
+            let result = self
+                .state
+                .check_line(self.buf.trim_end_matches(['\n', '\r']), self.lineno);
+            if result.is_err() {
+                self.done = true;
+            }
+            return Some(result);
+        }
+    }
 }
 
 /// Streaming validator for the span causality rules of schema v2.
@@ -313,6 +450,39 @@ fn check_v3_families(event: &LogEvent) -> Result<(), String> {
         }
         _ => Ok(()),
     }
+}
+
+/// Field-shape validation for the v4 event families (`sample.*` and
+/// `account.*`). Applied unconditionally: older logs never contained
+/// these names, so old logs are unaffected.
+fn check_v4_families(event: &LogEvent) -> Result<(), String> {
+    if event.name == "sample.digest" {
+        match event.field("event").and_then(Json::as_str) {
+            Some(s) if !s.is_empty() => {}
+            Some(_) => return Err("sample.digest has empty event name".into()),
+            None => return Err("sample.digest missing string event field".into()),
+        }
+        match event.field("count").and_then(Json::as_u64) {
+            Some(n) if n >= 1 => {}
+            Some(_) => return Err("sample.digest has zero count".into()),
+            None => return Err("sample.digest missing integer count".into()),
+        }
+    } else if event.name.starts_with("account.") {
+        // Accounting snapshots are pure counter dumps: every field is
+        // an integer, so cross-run diffs can compare them exactly.
+        for (key, v) in &event.fields {
+            match v {
+                Json::Int(_) | Json::UInt(_) => {}
+                other => {
+                    return Err(format!(
+                        "{} field {key:?} must be an integer counter, got {other:?}",
+                        event.name
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Whether a parsed field value is the faithful decoding of an emitted
@@ -563,6 +733,139 @@ mod tests {
             let text = format!("{}\n{body}\n", header_line());
             assert!(parse_log(&text).is_err(), "accepted bad span log ({why})");
         }
+    }
+
+    #[test]
+    fn v4_sample_and_account_fields_are_validated() {
+        let wrap = |line: String| format!("{}\n{line}\n", header_line());
+
+        // Well-formed v4 events parse: a digest with summed numeric
+        // fields and an integer-only accounting snapshot.
+        let good = format!(
+            "{}\n{}\n{}\n",
+            header_line(),
+            encode_event_line(
+                0,
+                0,
+                "sample.digest",
+                &[
+                    ("event", "net.drop".into()),
+                    ("count", 17u64.into()),
+                    ("t_us", 123_456u64.into()),
+                ]
+            ),
+            encode_event_line(
+                1,
+                5,
+                "account.solver",
+                &[
+                    ("best_replies", 120u64.into()),
+                    ("water_fills", 360u64.into()),
+                ]
+            ),
+        );
+        assert!(parse_log(&good).is_ok());
+
+        let bad: Vec<(String, &str)> = vec![
+            (
+                encode_event_line(0, 0, "sample.digest", &[("count", 1u64.into())]),
+                "digest without event name",
+            ),
+            (
+                encode_event_line(
+                    0,
+                    0,
+                    "sample.digest",
+                    &[("event", "".into()), ("count", 1u64.into())],
+                ),
+                "digest with empty event name",
+            ),
+            (
+                encode_event_line(0, 0, "sample.digest", &[("event", "x".into())]),
+                "digest without count",
+            ),
+            (
+                encode_event_line(
+                    0,
+                    0,
+                    "sample.digest",
+                    &[("event", "x".into()), ("count", 0u64.into())],
+                ),
+                "digest with zero count",
+            ),
+            (
+                encode_event_line(0, 0, "account.net", &[("subsystem", "net".into())]),
+                "account with a string field",
+            ),
+            (
+                encode_event_line(0, 0, "account.des", &[("utilization", 0.5.into())]),
+                "account with a float field",
+            ),
+        ];
+        for (line, why) in bad {
+            assert!(parse_log(&wrap(line)).is_err(), "accepted bad log ({why})");
+        }
+    }
+
+    #[test]
+    fn log_reader_streams_events_one_at_a_time() {
+        let text = format!(
+            "{}\n\n{}\n{}\n",
+            header_line(),
+            encode_event_line(0, 0, "solver.start", &[("users", 40u64.into())]),
+            encode_event_line(1, 7, "solver.done", &[("converged", true.into())]),
+        );
+        let mut reader = LogReader::new(text.as_bytes()).unwrap();
+        assert_eq!(reader.version(), SCHEMA_VERSION);
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first.name, "solver.start");
+        let second = reader.next().unwrap().unwrap();
+        assert_eq!(second.name, "solver.done");
+        assert_eq!(second.t_us, 7);
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none(), "reader fuses at EOF");
+    }
+
+    #[test]
+    fn log_reader_reports_the_offending_line_and_fuses() {
+        // Line 3 has an out-of-order seq; the reader must surface it
+        // with its 1-based line number and then stop.
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            header_line(),
+            encode_event_line(0, 0, "e", &[]),
+            encode_event_line(9, 1, "e", &[]),
+            encode_event_line(1, 2, "e", &[]),
+        );
+        let mut reader = LogReader::new(text.as_bytes()).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("seq 9"), "{err}");
+        assert!(reader.next().is_none(), "reader fuses after an error");
+
+        // parse_log (the collecting wrapper) surfaces the same error.
+        assert_eq!(parse_log(&text).unwrap_err(), err);
+    }
+
+    #[test]
+    fn log_reader_and_parse_log_agree_on_a_valid_log() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            header_line(),
+            encode_event_line(
+                0,
+                0,
+                "span_open",
+                &[("span", 1u64.into()), ("name", "solve".into())]
+            ),
+            encode_event_line(1, 5, "span_close", &[("span", 1u64.into())]),
+        );
+        let streamed: Vec<LogEvent> = LogReader::new(text.as_bytes())
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(parse_log(&text).unwrap().events, streamed);
     }
 
     #[test]

@@ -250,8 +250,12 @@ impl SloEngine {
     }
 
     /// Current verdict for every SLO, in declaration order.
+    ///
+    /// Recovers from a poisoned lock: per-SLO state is plain data that
+    /// stays internally consistent under panic, and `/healthz` must
+    /// keep answering even after a scrape thread died mid-evaluate.
     pub fn verdicts(&self) -> Vec<SloVerdict> {
-        let slos = self.slos.lock().expect("slo lock");
+        let slos = self.slos.lock().unwrap_or_else(|e| e.into_inner());
         slos.iter()
             .map(|s| SloVerdict {
                 name: s.spec.name.clone(),
@@ -287,7 +291,7 @@ impl SloEngine {
 
     fn evaluate(&self) {
         let watermark = self.agg.watermark_us();
-        let mut slos = self.slos.lock().expect("slo lock");
+        let mut slos = self.slos.lock().unwrap_or_else(|e| e.into_inner());
         for s in slos.iter_mut() {
             let (short, long) = self.means(&s.spec);
             s.last_value = short;
@@ -523,5 +527,35 @@ mod tests {
             );
         }
         assert_eq!(sink.count("alert.fire"), 1);
+    }
+
+    #[test]
+    fn verdicts_survive_a_poisoned_lock() {
+        // A scrape thread that panics while holding the SLO lock must
+        // not wedge /healthz: verdicts() recovers the poisoned lock
+        // and keeps serving the (still consistent) per-SLO state.
+        let engine = Arc::new(SloEngine::new(
+            vec![SloSpec::certified_gap(1e-3, 10_000)],
+            None,
+        ));
+        engine.emit(
+            "watch.gap",
+            &[("t_us", 1_000u64.into()), ("gap", 0.5.into())],
+        );
+        let poisoner = engine.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.slos.lock().expect("first lock is clean");
+            panic!("die holding the slo lock");
+        })
+        .join();
+        let verdicts = engine.verdicts();
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].name, "certified_gap");
+        // Evaluation keeps working after recovery too.
+        engine.emit(
+            "watch.gap",
+            &[("t_us", 2_000u64.into()), ("gap", 0.5.into())],
+        );
+        assert_eq!(engine.verdicts().len(), 1);
     }
 }

@@ -1,17 +1,18 @@
-//! Golden-file test pinning schema version 3 at the byte level, plus a
-//! backward-compat test that the committed version-2 golden file still
-//! parses.
+//! Golden-file test pinning schema version 4 at the byte level, plus
+//! backward-compat tests that the committed version-2 and version-3
+//! golden files still parse.
 //!
-//! If the v3 test fails because the format changed intentionally, bump
+//! If the v4 test fails because the format changed intentionally, bump
 //! `SCHEMA_VERSION` and regenerate the golden file by running the test
-//! with `LB_TELEMETRY_BLESS=1`. The v2 file is frozen forever — it is a
-//! compatibility fixture, never re-blessed.
+//! with `LB_TELEMETRY_BLESS=1`. The v2/v3 files are frozen forever —
+//! they are compatibility fixtures, never re-blessed.
 
 use lb_telemetry::{parse_log, Collector, FieldValue, JsonlCollector, SCHEMA_VERSION};
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v3.jsonl");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v4.jsonl");
+const GOLDEN_V3_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v3.jsonl");
 const GOLDEN_V2_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schema_v2.jsonl");
 
 #[derive(Clone, Default)]
@@ -149,13 +150,33 @@ fn render_reference_log() -> String {
             ("threshold", FieldValue::from(1e-3)),
         ],
     );
+    // The version-4 additions: a sampling digest (dropped-event
+    // aggregate with numeric-field sums under the original keys) and a
+    // per-subsystem resource-accounting snapshot.
+    collector.emit(
+        "sample.digest",
+        &[
+            ("event", FieldValue::from("sim.arrival")),
+            ("count", FieldValue::from(4_096u64)),
+            ("t_us", FieldValue::from(81_920_000u64)),
+        ],
+    );
+    collector.emit(
+        "account.solver",
+        &[
+            ("sweeps", FieldValue::from(12u64)),
+            ("best_replies", FieldValue::from(480u64)),
+            ("water_fills", FieldValue::from(480u64)),
+            ("refreshes", FieldValue::from(12u64)),
+        ],
+    );
     collector.flush();
     let bytes = buf.0.lock().unwrap().clone();
     String::from_utf8(bytes).unwrap()
 }
 
 #[test]
-fn schema_v3_bytes_match_the_golden_file() {
+fn schema_v4_bytes_match_the_golden_file() {
     let rendered = render_reference_log();
     if std::env::var_os("LB_TELEMETRY_BLESS").is_some() {
         std::fs::write(GOLDEN_PATH, &rendered).unwrap();
@@ -174,7 +195,7 @@ fn golden_file_is_schema_valid() {
     let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap();
     let log = parse_log(&golden).unwrap();
     assert_eq!(log.version, SCHEMA_VERSION);
-    assert_eq!(log.events.len(), 13);
+    assert_eq!(log.events.len(), 15);
     assert_eq!(log.events[0].name, "solver.start");
     assert_eq!(log.events[3].field("nan").unwrap().as_str(), Some("NaN"));
     assert_eq!(
@@ -198,12 +219,25 @@ fn golden_file_is_schema_valid() {
         Some("certified_gap")
     );
     assert_eq!(log.events[12].name, "alert.clear");
+    // The v4 families parse: a digest with its reweighting fields and
+    // an all-integer accounting snapshot.
+    assert_eq!(log.events[13].name, "sample.digest");
+    assert_eq!(
+        log.events[13].field("event").unwrap().as_str(),
+        Some("sim.arrival")
+    );
+    assert_eq!(log.events[13].field("count").unwrap().as_u64(), Some(4_096));
+    assert_eq!(log.events[14].name, "account.solver");
+    assert_eq!(
+        log.events[14].field("water_fills").unwrap().as_u64(),
+        Some(480)
+    );
 }
 
 #[test]
 fn v2_golden_log_still_parses() {
     // Backward compat: the frozen v2 golden file (written by the PR 4/5
-    // collector) must keep parsing under the v3 schema.
+    // collector) must keep parsing under the v4 schema.
     let golden = std::fs::read_to_string(GOLDEN_V2_PATH)
         .expect("the v2 golden file is a frozen compatibility fixture");
     let log = parse_log(&golden).unwrap();
@@ -211,4 +245,17 @@ fn v2_golden_log_still_parses() {
     assert_eq!(log.events.len(), 8);
     assert_eq!(log.events[0].name, "solver.start");
     assert_eq!(log.events[7].name, "span_close");
+}
+
+#[test]
+fn v3_golden_log_still_parses() {
+    // Backward compat: the frozen v3 golden file (written by the PR 9
+    // collector) must keep parsing under the v4 schema.
+    let golden = std::fs::read_to_string(GOLDEN_V3_PATH)
+        .expect("the v3 golden file is a frozen compatibility fixture");
+    let log = parse_log(&golden).unwrap();
+    assert_eq!(log.version, 3);
+    assert_eq!(log.events.len(), 13);
+    assert_eq!(log.events[0].name, "solver.start");
+    assert_eq!(log.events[12].name, "alert.clear");
 }
